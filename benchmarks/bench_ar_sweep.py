@@ -1,0 +1,26 @@
+"""The acceptable-range continuum (extends the paper's four AR points into
+a full tradeoff curve; section 7.3's argument visualized)."""
+from repro.eval import ar_sweep, render_sweep
+from repro.workloads import get_workload
+
+ARS = (0.05, 0.1, 0.2, 0.35, 0.5, 0.8, 1.0, 1.5)
+
+
+def test_ar_continuum(benchmark, bench_scale, sfi_trials, sfi_scale):
+    workload = get_workload("backprop")
+    points = benchmark.pedantic(
+        lambda: ar_sweep(workload, ars=ARS, scale=bench_scale,
+                         trials=max(sfi_trials // 2, 10), sfi_scale=sfi_scale),
+        rounds=1, iterations=1,
+    )
+    print("\n== Acceptable-range continuum ==")
+    print(render_sweep(workload.name, points))
+    benchmark.extra_info["points"] = [
+        (p.label, round(p.skip_rate, 3), round(p.norm_instructions, 3),
+         None if p.protection_rate is None else round(p.protection_rate, 3))
+        for p in points
+    ]
+    # the tradeoff: overhead falls monotonically-ish as AR widens...
+    assert points[-1].norm_instructions < points[0].norm_instructions
+    # ...while protection does not improve (it pays for the speedup)
+    assert points[-1].protection_rate <= points[0].protection_rate + 0.10

@@ -1,0 +1,17 @@
+"""Figure 2: coverage of predictable computations (Trend vs Top-10)."""
+from repro.eval import figure2, reporting
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_figure2(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: figure2(ALL_WORKLOADS, scale=bench_scale), rounds=1, iterations=1
+    )
+    print("\n== Figure 2: proportion of dynamic instructions whose outputs can be estimated ==")
+    print(reporting.render_figure2(rows))
+    benchmark.extra_info["rows"] = [
+        (r.workload, round(r.trend_coverage, 3), round(r.topk_coverage, 3)) for r in rows
+    ]
+    # the paper's motivation: both methods cover a substantial share
+    avg_trend = sum(r.trend_coverage for r in rows) / len(rows)
+    assert avg_trend > 0.2

@@ -1,0 +1,69 @@
+"""Figures 7a-7d: skip rate, normalized execution time, dynamic
+instructions and IPC for every benchmark under SWIFT-R and RSkip AR20-100.
+
+The expensive sweep runs once (inside the first benchmark); the remaining
+sub-figures render from the cached result.
+"""
+import pytest
+
+from repro.eval import figure7, reporting
+from repro.workloads import ALL_WORKLOADS
+
+_CACHE = {}
+
+
+def _sweep(scale):
+    result = _CACHE.get(scale)
+    if result is None:
+        result = figure7(ALL_WORKLOADS, scale=scale)
+        _CACHE[scale] = result
+    return result
+
+
+def test_fig7a_skip_rate(benchmark, bench_scale):
+    result = benchmark.pedantic(lambda: _sweep(bench_scale), rounds=1, iterations=1)
+    print("\n== Figure 7a: average skip rate ==")
+    print(reporting.render_figure7(result, "skip", pct=True))
+    averages = {a.scheme: a for a in result.averages()}
+    benchmark.extra_info["avg_skip"] = {
+        s: round(a.skip_rate, 4) for s, a in averages.items() if a.skip_rate is not None
+    }
+    # paper: 67.03% (AR20) rising to 81.10% (AR100)
+    assert averages["AR100"].skip_rate > averages["AR20"].skip_rate - 0.02
+    assert averages["AR100"].skip_rate > 0.6
+
+
+def test_fig7b_execution_time(benchmark, bench_scale):
+    result = benchmark.pedantic(lambda: _sweep(bench_scale), rounds=1, iterations=1)
+    print("\n== Figure 7b: normalized execution time ==")
+    print(reporting.render_figure7(result, "time"))
+    averages = {a.scheme: a for a in result.averages()}
+    benchmark.extra_info["avg_time"] = {s: round(a.norm_time, 3) for s, a in averages.items()}
+    # paper: SWIFT-R 2.33x; RSkip 1.42x (AR20) down to 1.27x (AR100)
+    assert averages["SWIFT-R"].norm_time > averages["AR20"].norm_time
+    assert averages["AR100"].norm_time <= averages["AR20"].norm_time + 0.02
+
+
+def test_fig7c_dynamic_instructions(benchmark, bench_scale):
+    result = benchmark.pedantic(lambda: _sweep(bench_scale), rounds=1, iterations=1)
+    print("\n== Figure 7c: normalized number of dynamic instructions ==")
+    print(reporting.render_figure7(result, "instructions"))
+    averages = {a.scheme: a for a in result.averages()}
+    benchmark.extra_info["avg_instructions"] = {
+        s: round(a.norm_instructions, 3) for s, a in averages.items()
+    }
+    # paper: SWIFT-R 3.48x; RSkip 1.71x (AR20) down to 1.49x (AR100)
+    assert averages["SWIFT-R"].norm_instructions > 2.5
+    assert averages["AR100"].norm_instructions < 2.0
+
+
+def test_fig7d_ipc(benchmark, bench_scale):
+    result = benchmark.pedantic(lambda: _sweep(bench_scale), rounds=1, iterations=1)
+    print("\n== Figure 7d: normalized IPC ==")
+    print(reporting.render_figure7(result, "ipc"))
+    averages = {a.scheme: a for a in result.averages()}
+    benchmark.extra_info["avg_ipc"] = {s: round(a.norm_ipc, 3) for s, a in averages.items()}
+    # paper: SWIFT-R gains 1.47x IPC from its duplicated streams while
+    # RSkip stays at the unprotected program's level
+    assert averages["SWIFT-R"].norm_ipc > averages["AR100"].norm_ipc
+    assert 0.8 <= averages["AR100"].norm_ipc <= 1.3

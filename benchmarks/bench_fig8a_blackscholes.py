@@ -1,0 +1,23 @@
+"""Figure 8a: blackscholes with interpolation only vs. with the
+approximate-memoization fallback predictor."""
+from repro.eval import figure8a, reporting
+from repro.workloads import get_workload
+
+
+def test_figure8a(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: figure8a(get_workload("blackscholes"), scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Figure 8a: blackscholes, interpolation-only vs + memoization ==")
+    print(reporting.render_figure8a(rows))
+    benchmark.extra_info["rows"] = [
+        (r.scheme, round(r.interp_only_skip, 3), round(r.full_skip, 3)) for r in rows
+    ]
+    # the paper's observation: the second-level predictor dominates the
+    # skip rate at every AR, while interpolation alone improves with AR
+    for row in rows:
+        assert row.full_skip >= row.interp_only_skip - 0.05
+    assert rows[0].full_skip > 0.7  # with memoization even AR20 skips most
+    assert rows[0].interp_only_skip < rows[-1].interp_only_skip + 0.05

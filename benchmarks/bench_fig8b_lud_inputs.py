@@ -1,0 +1,28 @@
+"""Figure 8b: lud at AR20 across many disjoint test inputs — the impact of
+input diversity on performance and skip rate."""
+import os
+
+from repro.eval import figure8b, reporting
+from repro.workloads import get_workload
+
+N_INPUTS = int(os.environ.get("REPRO_BENCH_LUD_INPUTS", "10"))
+
+
+def test_figure8b(benchmark, bench_scale):
+    # lud's skip rate depends strongly on the loop length (the paper runs
+    # 1024x1024 matrices); use at least the full problem size here
+    scale = max(bench_scale, 1.0)
+    rows = benchmark.pedantic(
+        lambda: figure8b(get_workload("lud"), inputs=N_INPUTS, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n== Figure 8b: lud across {N_INPUTS} test inputs (AR20) ==")
+    print(reporting.render_figure8b(rows))
+    benchmark.extra_info["rows"] = [
+        (r.input_id, round(r.rskip_time, 3), round(r.skip_rate, 3)) for r in rows
+    ]
+    # significant enhancement from SWIFT-R on average (paper section 7.1)
+    avg_swift = sum(r.swift_r_time for r in rows) / len(rows)
+    avg_rskip = sum(r.rskip_time for r in rows) / len(rows)
+    assert avg_rskip < avg_swift

@@ -1,0 +1,77 @@
+"""Figures 9a and 9b: the statistical fault injection study.
+
+One SEU per run, injected only into the detected loops, classified as
+Correct / SDC / Segfault / Core dump / Hang (9a); false negatives —
+corruption that slipped through fuzzy validation — per AR (9b).
+
+The full campaign runs once; both sub-figures render from the cache.
+``REPRO_BENCH_TRIALS`` scales the per-scheme trial count (paper: 1000).
+"""
+from repro.eval import Harness, figure9, reporting
+from repro.runtime import Outcome
+from repro.workloads import ALL_WORKLOADS
+
+SCHEMES = ("UNSAFE", "SWIFT-R", "AR20", "AR50", "AR80", "AR100")
+
+_CACHE = {}
+
+
+def _campaigns(trials, scale):
+    key = (trials, scale)
+    cached = _CACHE.get(key)
+    if cached is None:
+        harnesses = {}
+
+        def profile_source(workload, ar):
+            harness = harnesses.get(workload.name)
+            if harness is None:
+                harness = Harness(workload, scale=scale, timing=False)
+                harnesses[workload.name] = harness
+            return harness.profiles_for(ar)
+
+        cached = figure9(
+            ALL_WORKLOADS,
+            schemes=SCHEMES,
+            trials=trials,
+            scale=scale,
+            profile_source=profile_source,
+        )
+        _CACHE[key] = cached
+    return cached
+
+
+def _scheme_rate(results, scheme, outcome):
+    group = [c for (w, s), c in results.items() if s == scheme]
+    return sum(c.rate(outcome) for c in group) / len(group)
+
+
+def test_fig9a_fault_injection(benchmark, sfi_trials, sfi_scale):
+    results = benchmark.pedantic(
+        lambda: _campaigns(sfi_trials, sfi_scale), rounds=1, iterations=1
+    )
+    print(f"\n== Figure 9a: fault injection ({sfi_trials} faults per scheme) ==")
+    print(reporting.render_figure9a(results, SCHEMES))
+    protection = {s: _scheme_rate(results, s, Outcome.CORRECT) for s in SCHEMES}
+    benchmark.extra_info["protection_rate"] = {
+        s: round(r, 4) for s, r in protection.items()
+    }
+    # paper: UNSAFE 76.68% masked; SWIFT-R 97.24%; AR20 95.67% .. AR100 92.52%
+    assert protection["SWIFT-R"] > protection["UNSAFE"]
+    assert protection["AR20"] > protection["UNSAFE"]
+    assert protection["SWIFT-R"] >= protection["AR100"] - 0.05
+
+
+def test_fig9b_false_negatives(benchmark, sfi_trials, sfi_scale):
+    results = benchmark.pedantic(
+        lambda: _campaigns(sfi_trials, sfi_scale), rounds=1, iterations=1
+    )
+    ar_schemes = ("AR20", "AR50", "AR80", "AR100")
+    print(f"\n== Figure 9b: false negatives ({sfi_trials} faults per scheme) ==")
+    print(reporting.render_figure9b(results, schemes=ar_schemes))
+    fn = {}
+    for scheme in ar_schemes:
+        group = [c for (w, s), c in results.items() if s == scheme]
+        fn[scheme] = sum(c.fn_rate for c in group) / len(group)
+    benchmark.extra_info["fn_rate"] = {s: round(r, 4) for s, r in fn.items()}
+    # paper: FN occurrence grows with the acceptable range (1.80% -> 5.04%)
+    assert fn["AR100"] >= fn["AR20"] - 0.02

@@ -1,0 +1,60 @@
+"""Robustness study: hostile inputs and the CP fallback.
+
+The paper's run-time management "may disable the dynamic interpolation at
+low accuracy" (they never saw it trigger on their inputs).  This bench
+feeds conv1d sign-flipping, trendless inputs until the QoS model gives up
+on prediction and routes subsequent executions through the conventional
+SWIFT-R-protected loop version — and verifies the outputs stay correct
+throughout."""
+import random
+
+from repro.core import RSkipConfig, apply_rskip
+from repro.runtime import Interpreter, outputs_equal
+from repro.workloads import get_workload
+from repro.workloads.inputs import rough_series
+
+
+def test_qos_fallback_to_cp(benchmark, bench_scale):
+    workload = get_workload("conv1d")
+
+    def run_hostile():
+        module = workload.build()
+        app = apply_rskip(
+            module,
+            RSkipConfig(acceptable_range=0.2, interp_min_skip=0.10),
+        )
+        intrinsics = app.intrinsics()
+        rng = random.Random(7)
+        correct = 0
+        runs = 4
+        for _ in range(runs):
+            inp = workload.make_input(rng, bench_scale)
+            inp.arrays["x"] = rough_series(
+                rng, len(inp.arrays["x"]), base=2.0, amplitude=1.5
+            )
+            # golden from an unprotected module on the same input
+            ref_module = workload.build()
+            ref_mem = workload.fresh_memory(ref_module, inp)
+            Interpreter(ref_module, memory=ref_mem).run("main", inp.args)
+            golden = ref_mem.read_global(*inp.output)
+
+            mem = workload.fresh_memory(module, inp)
+            interp = Interpreter(module, memory=mem)
+            interp.register_intrinsics(intrinsics)
+            interp.run("main", inp.args)
+            if outputs_equal(golden, mem.read_global(*inp.output)):
+                correct += 1
+        loop = app.runtime.loop(0)
+        return correct, runs, loop.disabled, loop.stats
+
+    correct, runs, disabled, stats = benchmark.pedantic(
+        run_hostile, rounds=1, iterations=1
+    )
+    print(f"\n== Robustness: hostile inputs == correct {correct}/{runs}, "
+          f"PP disabled={disabled}, executions pp={stats.executions_pp} "
+          f"cp={stats.executions_cp}, skip={stats.skip_rate:.1%}")
+    benchmark.extra_info["disabled"] = disabled
+    benchmark.extra_info["cp_executions"] = stats.executions_cp
+    assert correct == runs  # protection never corrupts the output
+    assert disabled  # run-time management gave up on prediction
+    assert stats.executions_cp > 0  # and the CP version actually ran

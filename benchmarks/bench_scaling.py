@@ -1,0 +1,35 @@
+"""Problem-size sensitivity (supports EXPERIMENTS.md's scale-deviation
+notes): dynamic interpolation amortizes its per-phase endpoint
+re-computations, so skip rate rises and overhead falls with loop length."""
+from repro.eval import render_scaling, scaling_study
+from repro.workloads import get_workload
+
+SCALES = (0.4, 0.8, 1.2, 1.7)
+
+
+def test_scaling_lud(benchmark):
+    workload = get_workload("lud")
+    rows = benchmark.pedantic(
+        lambda: scaling_study(workload, scales=SCALES), rounds=1, iterations=1
+    )
+    print("\n== Scaling study ==")
+    print(render_scaling("lud", rows))
+    benchmark.extra_info["rows"] = [
+        (r.scale, r.elements, round(r.skip_rate, 4)) for r in rows
+    ]
+    assert rows[-1].skip_rate > rows[0].skip_rate
+    assert rows[-1].norm_instructions < rows[0].norm_instructions
+
+
+def test_scaling_conv1d(benchmark):
+    workload = get_workload("conv1d")
+    rows = benchmark.pedantic(
+        lambda: scaling_study(workload, scales=SCALES), rounds=1, iterations=1
+    )
+    print("\n== Scaling study ==")
+    print(render_scaling("conv1d", rows))
+    benchmark.extra_info["rows"] = [
+        (r.scale, r.elements, round(r.skip_rate, 4)) for r in rows
+    ]
+    # conv1d is long-loop already at small scales: overhead stays flat-ish
+    assert rows[-1].norm_instructions <= rows[0].norm_instructions + 0.25

@@ -1,0 +1,30 @@
+"""Section 2's cost hierarchy: interpolation : memoization : re-computation
+(the paper measures 1 : 1.84 : 4.18 for blackscholes)."""
+from repro.eval import cost_ratio
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+
+def test_cost_ratio_blackscholes(benchmark):
+    ratio = benchmark.pedantic(
+        lambda: cost_ratio(get_workload("blackscholes")), rounds=1, iterations=1
+    )
+    print(f"\n== Section 2 cost ratio == {ratio}")
+    one, memo, recompute = ratio.normalized()
+    benchmark.extra_info["ratio"] = (one, round(memo, 2), round(recompute, 2))
+    # the ordering that justifies the two-level predictor:
+    # interpolation < memoization < re-computation
+    assert one < memo < recompute
+    # and two consecutive predictions stay cheaper than one re-computation
+    assert memo < recompute
+
+
+def test_cost_ratio_all_workloads(benchmark):
+    def sweep():
+        return [cost_ratio(w) for w in ALL_WORKLOADS]
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n== Cost ratios across benchmarks ==")
+    for ratio in ratios:
+        print(f"  {ratio}")
+    for ratio in ratios:
+        assert ratio.interpolation < ratio.recomputation

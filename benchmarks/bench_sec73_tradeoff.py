@@ -1,0 +1,28 @@
+"""Section 7.3: the rationality of the acceptable range — protection rate
+vs. slowdown per scheme."""
+from repro.eval import reporting, section73
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_section73_tradeoff(benchmark, sfi_trials, bench_scale, sfi_scale):
+    rows = benchmark.pedantic(
+        lambda: section73(
+            ALL_WORKLOADS,
+            trials=max(sfi_trials // 2, 10),
+            perf_scale=bench_scale,
+            sfi_scale=sfi_scale,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Section 7.3: protection rate vs slowdown ==")
+    print(reporting.render_tradeoff(rows))
+    by_scheme = {r.scheme: r for r in rows}
+    benchmark.extra_info["rows"] = [
+        (r.scheme, round(r.protection_rate, 4), round(r.slowdown, 3)) for r in rows
+    ]
+    # paper: SWIFT-R 97.24% @ 2.33x; AR20 95.67% @ 1.42x; AR100 92.52% @ 1.27x
+    assert by_scheme["AR20"].slowdown < by_scheme["SWIFT-R"].slowdown
+    assert by_scheme["AR100"].slowdown <= by_scheme["AR20"].slowdown + 0.02
+    # the protection loss stays bounded (the paper accepts 5 points)
+    assert by_scheme["AR100"].protection_rate > by_scheme["SWIFT-R"].protection_rate - 0.15

@@ -1,0 +1,16 @@
+"""Table 1: benchmark characteristics from the static pattern detector."""
+from repro.eval import reporting, table1
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_table1(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: table1(ALL_WORKLOADS, scale=bench_scale), rounds=1, iterations=1
+    )
+    text = reporting.render_table1(rows)
+    print("\n== Table 1: selected benchmarks ==")
+    print(text)
+    benchmark.extra_info["rows"] = [
+        (r.benchmark, r.computation_type, r.location) for r in rows
+    ]
+    assert len(rows) == 9

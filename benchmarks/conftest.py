@@ -1,0 +1,34 @@
+"""Shared configuration of the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints it
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables).
+Scale knobs via environment variables:
+
+* ``REPRO_BENCH_SCALE``  — problem-size multiplier (default 0.5)
+* ``REPRO_BENCH_TRIALS`` — fault-injection trials per (workload, scheme)
+  (default 40; the paper uses 1000)
+"""
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+SFI_SCALE = float(os.environ.get("REPRO_BENCH_SFI_SCALE", "0.35"))
+BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "40"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def sfi_scale() -> float:
+    return SFI_SCALE
+
+
+@pytest.fixture(scope="session")
+def sfi_trials() -> int:
+    return BENCH_TRIALS

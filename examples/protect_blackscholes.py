@@ -1,0 +1,52 @@
+"""The paper's flagship workload: blackscholes under RSkip.
+
+Trains the predictors on disjoint training inputs, then prices a test
+portfolio under every acceptable range — with and without the
+approximate-memoization fallback (the Figure 8a story).
+
+Run:  python examples/protect_blackscholes.py
+"""
+from repro.core import RSkipConfig
+from repro.eval import Harness
+from repro.workloads import get_workload
+
+SCALE = 0.6
+
+
+def evaluate(memoization: bool):
+    workload = get_workload("blackscholes")
+    harness = Harness(
+        workload,
+        config=RSkipConfig(memoization=memoization),
+        scale=SCALE,
+    )
+    inp = workload.test_inputs(1, scale=SCALE)[0]
+    records = harness.run_all(["SWIFT-R", "AR20", "AR50", "AR80", "AR100"], inp)
+    return records
+
+
+def main() -> None:
+    print("Training and running blackscholes (this takes a few seconds)...\n")
+    full = evaluate(memoization=True)
+    solo = evaluate(memoization=False)
+    base = full["UNSAFE"]
+
+    print(f"{'scheme':9s} {'time':>7s} {'instrs':>7s} {'skip (interp only)':>20s} {'skip (+memo)':>13s} {'ok':>4s}")
+    swift = full["SWIFT-R"].normalized(base)
+    print(f"{'SWIFT-R':9s} {swift['time']:6.2f}x {swift['instructions']:6.2f}x {'-':>20s} {'-':>13s} {full['SWIFT-R'].correct!s:>4s}")
+    for scheme in ("AR20", "AR50", "AR80", "AR100"):
+        norm = full[scheme].normalized(base)
+        interp_skip = solo[scheme].skip_rate
+        full_skip = full[scheme].skip_rate
+        print(
+            f"{scheme:9s} {norm['time']:6.2f}x {norm['instructions']:6.2f}x "
+            f"{interp_skip:>19.1%} {full_skip:>12.1%} {full[scheme].correct!s:>4s}"
+        )
+
+    print("\nPaper reference (Fig. 8a): interpolation alone manages ~11-67% "
+          "skip depending on AR; the memoization fallback lifts every AR "
+          "above 99% on their inputs.")
+
+
+if __name__ == "__main__":
+    main()

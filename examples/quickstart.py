@@ -1,0 +1,102 @@
+"""Quickstart: protect a program with RSkip in ~60 lines.
+
+Builds a small image-smoothing kernel in the IR, lets the compiler detect
+the prediction target, applies RSkip, and compares the protected run
+against the unprotected and SWIFT-R baselines.
+
+Run:  python examples/quickstart.py
+"""
+import math
+
+from repro.analysis import detect_target_loops
+from repro.core import RSkipConfig, apply_rskip
+from repro.ir import F64, I64, Function, IRBuilder, Module, Reg, verify_module
+from repro.runtime import Interpreter, Memory, TimingModel
+from repro.transforms import apply_swift_r
+
+N = 96
+KERNEL = 9
+
+
+def build_program() -> Module:
+    """out[i] = weighted average of x[i .. i+KERNEL-1]."""
+    module = Module("smooth")
+    module.add_global("x", N + KERNEL)
+    module.add_global("w", KERNEL)
+    module.add_global("out", N)
+
+    func = Function("main", [Reg("n", I64)], F64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    xp = b.mov(b.global_addr("x"), hint="xp")
+    wp = b.mov(b.global_addr("w"), hint="wp")
+    op = b.mov(b.global_addr("out"), hint="op")
+
+    with b.loop(0, func.params[0], hint="smooth") as i:  # <- detected loop
+        acc = b.mov(0.0, hint="acc")
+        with b.loop(0, KERNEL, hint="tap") as j:
+            xv = b.load(b.padd(xp, b.add(i, j)))
+            wv = b.load(b.padd(wp, j))
+            b.mov(b.fadd(acc, b.fmul(xv, wv)), dest=acc)
+        b.store(acc, b.padd(op, i))
+    b.ret(0.0)
+    verify_module(module)
+    return module
+
+
+def fresh_memory(module: Module) -> Memory:
+    memory = Memory()
+    memory.load_globals(module)
+    memory.write_global("x", [2.0 + math.sin(k / 14.0) for k in range(N + KERNEL)])
+    memory.write_global("w", [1.0 / KERNEL] * KERNEL)
+    return memory
+
+
+def run(module: Module, intrinsics=None):
+    memory = fresh_memory(module)
+    interp = Interpreter(module, memory=memory, timing=TimingModel())
+    if intrinsics:
+        interp.register_intrinsics(intrinsics)
+    result = interp.run("main", [N])
+    return result, memory.read_global("out", N)
+
+
+def main() -> None:
+    # 1. what does the compiler see?
+    probe = build_program()
+    targets = detect_target_loops(probe.get_function("main"), probe)
+    print("Detected prediction targets:")
+    for target in targets:
+        print(f"  {target.describe()}")
+
+    # 2. the three executables
+    base_result, golden = run(build_program())
+
+    swift_r = build_program()
+    apply_swift_r(swift_r)
+    swift_result, swift_out = run(swift_r)
+
+    rskip = build_program()
+    app = apply_rskip(rskip, RSkipConfig(acceptable_range=0.5))
+    rskip_result, rskip_out = run(rskip, app.intrinsics())
+
+    # 3. compare
+    print(f"\n{'scheme':10s} {'instructions':>14s} {'cycles':>10s} {'output ok':>10s}")
+    for name, result, out in (
+        ("UNSAFE", base_result, golden),
+        ("SWIFT-R", swift_result, swift_out),
+        ("RSkip", rskip_result, rskip_out),
+    ):
+        ratio = result.steps / base_result.steps
+        cyc = result.cycles / base_result.cycles
+        print(f"{name:10s} {result.steps:>8d} ({ratio:4.2f}x) {cyc:8.2f}x {out == golden!s:>8s}")
+
+    stats = app.runtime.total_stats()
+    print(
+        f"\nRSkip skipped {stats.skipped}/{stats.elements} re-computations "
+        f"({stats.skip_rate:.1%}) across {stats.phases} phases."
+    )
+
+
+if __name__ == "__main__":
+    main()

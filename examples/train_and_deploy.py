@@ -1,0 +1,68 @@
+"""Train once, deploy anywhere: profile serialization.
+
+RSkip's offline training produces per-loop artifacts — the QoS model
+(context signature -> tuning parameter) and the memoization lookup table.
+A deployment ships them next to the executable.  This example trains on
+blackscholes, saves the profile to JSON, reloads it in a "fresh process",
+and shows the reloaded profile performing identically.
+
+Run:  python examples/train_and_deploy.py
+"""
+import os
+import tempfile
+
+from repro.core import RSkipConfig, load_profiles, save_profiles
+from repro.eval import Harness, prepare
+from repro.runtime import Interpreter
+from repro.workloads import get_workload
+
+SCALE = 0.6
+AR = 0.2
+
+
+def run_with_profiles(workload, profiles, inp):
+    prepared = prepare(workload, "AR20", RSkipConfig(), profiles)
+    memory = workload.fresh_memory(prepared.module, inp)
+    interp = Interpreter(prepared.module, memory=memory)
+    interp.register_intrinsics(prepared.intrinsics)
+    interp.run(prepared.main, inp.args)
+    return prepared.runtime.total_stats()
+
+
+def main() -> None:
+    workload = get_workload("blackscholes")
+
+    # --- training side -------------------------------------------------
+    print("Training on disjoint training inputs...")
+    harness = Harness(workload, scale=SCALE, timing=False)
+    profiles = harness.profiles_for(AR)
+    (key, profile), = profiles.items()
+    print(f"  loop {key}:")
+    print(f"    QoS table: {len(profile.qos.table)} signatures, "
+          f"default TP {profile.default_tp}")
+    if profile.memo:
+        print(f"    memo table: {len(profile.memo.table)} cells, "
+              f"bits per input {profile.memo.bits}")
+
+    path = os.path.join(tempfile.gettempdir(), "rskip-blackscholes.json")
+    save_profiles(profiles, path)
+    print(f"  saved -> {path} ({os.path.getsize(path)} bytes)")
+
+    # --- deployment side -------------------------------------------------
+    print("\nReloading the profile and pricing a test portfolio...")
+    restored = load_profiles(path)
+    inp = workload.test_inputs(1, scale=SCALE)[0]
+
+    fresh = run_with_profiles(workload, profiles, inp)
+    reloaded = run_with_profiles(workload, restored, inp)
+
+    print(f"  trained profile : skip {fresh.skip_rate:.1%} "
+          f"({fresh.skipped}/{fresh.elements})")
+    print(f"  reloaded profile: skip {reloaded.skip_rate:.1%} "
+          f"({reloaded.skipped}/{reloaded.elements})")
+    assert fresh.skipped == reloaded.skipped
+    print("  identical behaviour — the JSON round-trip is faithful.")
+
+
+if __name__ == "__main__":
+    main()

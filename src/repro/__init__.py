@@ -1,0 +1,34 @@
+"""repro — a reproduction of "Low-Cost Prediction-Based Fault Protection
+Strategy" (Park, Li, Zhang, Mahlke — CGO 2020): the RSkip compiler and
+runtime, its SWIFT/SWIFT-R baselines, and every substrate they need.
+
+Quick tour
+----------
+
+>>> from repro import workloads
+>>> from repro.eval import Harness
+>>> w = workloads.get_workload("sgemm")
+>>> harness = Harness(w, scale=0.5)
+>>> inp = w.test_inputs(1, scale=0.5)[0]
+>>> records = harness.run_all(["SWIFT-R", "AR20"], inp)  # doctest: +SKIP
+
+Package map (see DESIGN.md for the full inventory):
+
+* ``repro.ir`` — the IR substrate (builder, parser, verifier)
+* ``repro.analysis`` — CFG/dominators/loops/def-use/cost/patterns
+* ``repro.runtime`` — interpreter, timing model, memory, fault injector
+* ``repro.transforms`` — SWIFT, SWIFT-R, DCE, constant folding
+* ``repro.core`` — RSkip: transform, predictors, runtime management, training
+* ``repro.workloads`` — the nine Table 1 benchmarks
+* ``repro.eval`` — every figure and table of the evaluation
+"""
+from . import analysis, core, eval, ir, runtime, transforms, workloads
+from .driver import CompiledProgram, SCHEMES, compile_protected
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis", "core", "eval", "ir", "runtime", "transforms", "workloads",
+    "CompiledProgram", "SCHEMES", "compile_protected",
+    "__version__",
+]

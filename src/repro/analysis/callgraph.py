@@ -1,0 +1,82 @@
+"""Call-graph construction.
+
+Used by the cost model's consumers and the driver to reason about whole-
+module structure: which functions a protected loop can reach (fault-region
+construction), whether recursion bounds static cost estimation, and a
+bottom-up order for function-at-a-time processing.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..ir.instructions import Opcode
+from ..ir.module import Module
+
+
+@dataclass
+class CallGraph:
+    """Direct-call edges between module functions."""
+
+    callees: Dict[str, Set[str]] = field(default_factory=dict)
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def reachable_from(self, root: str) -> Set[str]:
+        """*root* plus everything it can (transitively) call."""
+        seen: Set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, ()))
+        return seen
+
+    def is_recursive(self, name: str) -> bool:
+        """True if *name* participates in a call cycle."""
+        stack = list(self.callees.get(name, ()))
+        seen: Set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current == name:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.callees.get(current, ()))
+        return False
+
+    def bottom_up_order(self) -> List[str]:
+        """Callees before callers (cycles broken arbitrarily but
+        deterministically)."""
+        order: List[str] = []
+        visited: Set[str] = set()
+        in_progress: Set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited or name in in_progress:
+                return
+            in_progress.add(name)
+            for callee in sorted(self.callees.get(name, ())):
+                visit(callee)
+            in_progress.discard(name)
+            visited.add(name)
+            order.append(name)
+
+        for name in sorted(self.callees):
+            visit(name)
+        return order
+
+
+def build_callgraph(module: Module) -> CallGraph:
+    graph = CallGraph()
+    for name, func in module.functions.items():
+        graph.callees.setdefault(name, set())
+        graph.callers.setdefault(name, set())
+    for name, func in module.functions.items():
+        for instr in func.instructions():
+            if instr.op is Opcode.CALL and instr.callee in module.functions:
+                graph.callees[name].add(instr.callee)
+                graph.callers[instr.callee].add(name)
+    return graph

@@ -1,0 +1,84 @@
+"""Backward liveness dataflow.
+
+Used by the fault injector ("a transient fault may occur at the examined
+register before its actual usage" — live registers are the vulnerable
+window) and by DCE.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.function import Function
+from .cfg import CFG
+
+
+class Liveness:
+    """Live-in / live-out register-name sets per block."""
+
+    def __init__(self, func: Function, cfg: CFG = None):
+        self.func = func
+        self.cfg = cfg or CFG(func)
+        self.live_in: Dict[str, Set[str]] = {}
+        self.live_out: Dict[str, Set[str]] = {}
+        self._run()
+
+    def _run(self) -> None:
+        func, cfg = self.func, self.cfg
+        gen: Dict[str, Set[str]] = {}
+        kill: Dict[str, Set[str]] = {}
+        for label, block in func.blocks.items():
+            g: Set[str] = set()
+            k: Set[str] = set()
+            for instr in block.instrs:
+                for reg in instr.uses():
+                    if reg.name not in k:
+                        g.add(reg.name)
+                if instr.dest is not None:
+                    k.add(instr.dest.name)
+            gen[label], kill[label] = g, k
+            self.live_in[label] = set()
+            self.live_out[label] = set()
+
+        changed = True
+        order = cfg.postorder()  # backward problem converges fast in postorder
+        while changed:
+            changed = False
+            for label in order:
+                out: Set[str] = set()
+                for succ in cfg.succs.get(label, ()):
+                    out |= self.live_in.get(succ, set())
+                new_in = gen[label] | (out - kill[label])
+                if out != self.live_out[label] or new_in != self.live_in[label]:
+                    self.live_out[label] = out
+                    self.live_in[label] = new_in
+                    changed = True
+
+    def live_at(self, label: str, index: int) -> Set[str]:
+        """Registers live immediately *before* instruction *index* of *label*."""
+        live = set(self.live_out[label])
+        instrs = self.func.blocks[label].instrs
+        for instr in reversed(instrs[index:]):
+            if instr.dest is not None:
+                live.discard(instr.dest.name)
+            for reg in instr.uses():
+                live.add(reg.name)
+        return live
+
+    def dead_defs(self) -> List[tuple]:
+        """(label, index) sites whose destination is dead after the write."""
+        out = []
+        for label, block in self.func.blocks.items():
+            live = set(self.live_out[label])
+            for idx in range(len(block.instrs) - 1, -1, -1):
+                instr = block.instrs[idx]
+                if (
+                    instr.dest is not None
+                    and instr.dest.name not in live
+                    and not instr.has_side_effect
+                ):
+                    out.append((label, idx))
+                if instr.dest is not None:
+                    live.discard(instr.dest.name)
+                for reg in instr.uses():
+                    live.add(reg.name)
+        return out

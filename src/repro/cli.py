@@ -1,0 +1,274 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+::
+
+    python -m repro table1
+    python -m repro figure2
+    python -m repro figure7  [--scale 0.6] [--inputs 1]
+    python -m repro figure8a
+    python -m repro figure8b [--inputs 10]
+    python -m repro figure9  [--trials 100] [--scale 0.35]
+    python -m repro tradeoff [--trials 60]
+    python -m repro costratio
+    python -m repro all
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .eval import (
+    Harness,
+    charts,
+    cost_ratio,
+    figure2,
+    figure7,
+    figure8a,
+    figure8b,
+    figure9,
+    reporting,
+    section73,
+    table1,
+)
+from .workloads import ALL_WORKLOADS, get_workload
+
+
+def _timed(label):
+    class _Timer:
+        def __enter__(self):
+            self.t0 = time.time()
+            print(f"== {label} ==")
+            return self
+
+        def __exit__(self, *exc):
+            print(f"   ({time.time() - self.t0:.1f}s)\n")
+
+    return _Timer()
+
+
+def cmd_table1(args) -> None:
+    with _timed("Table 1: selected benchmarks"):
+        print(reporting.render_table1(table1(ALL_WORKLOADS, scale=args.scale)))
+
+
+def cmd_figure2(args) -> None:
+    with _timed("Figure 2: coverage of predictable computations"):
+        print(reporting.render_figure2(figure2(ALL_WORKLOADS, scale=args.scale)))
+
+
+def cmd_figure7(args) -> None:
+    with _timed("Figure 7: performance overhead"):
+        result = figure7(ALL_WORKLOADS, scale=args.scale, test_count=args.inputs)
+        for metric, title, pct in (
+            ("skip", "7a: average skip rate", True),
+            ("time", "7b: normalized execution time", False),
+            ("instructions", "7c: normalized dynamic instructions", False),
+            ("ipc", "7d: normalized IPC", False),
+        ):
+            print(f"-- Figure {title} --")
+            print(reporting.render_figure7(result, metric, pct=pct))
+            print()
+        averages = result.averages()
+        print("-- averages (normalized execution time) --")
+        print(charts.bar_chart(
+            [(a.scheme, a.norm_time) for a in averages], fmt="{:.2f}x"
+        ))
+        print()
+
+
+def cmd_figure8a(args) -> None:
+    with _timed("Figure 8a: blackscholes predictor ablation"):
+        print(reporting.render_figure8a(figure8a(get_workload("blackscholes"), scale=args.scale)))
+
+
+def cmd_figure8b(args) -> None:
+    with _timed("Figure 8b: lud input diversity (AR20)"):
+        print(
+            reporting.render_figure8b(
+                figure8b(get_workload("lud"), inputs=args.inputs, scale=max(args.scale, 1.0))
+            )
+        )
+
+
+def _profile_source_factory(scale):
+    harnesses = {}
+
+    def profile_source(workload, ar):
+        harness = harnesses.get(workload.name)
+        if harness is None:
+            harness = Harness(workload, scale=scale, timing=False)
+            harnesses[workload.name] = harness
+        return harness.profiles_for(ar)
+
+    return profile_source
+
+
+def cmd_figure9(args) -> None:
+    schemes = ("UNSAFE", "SWIFT-R", "AR20", "AR50", "AR80", "AR100")
+    sfi_scale = min(args.scale, 0.45)  # injection runs use smaller problems
+    with _timed(f"Figure 9: fault injection ({args.trials} trials per scheme)"):
+        results = figure9(
+            ALL_WORKLOADS,
+            schemes=schemes,
+            trials=args.trials,
+            scale=sfi_scale,
+            profile_source=_profile_source_factory(sfi_scale),
+        )
+        print("-- Figure 9a: outcome breakdown --")
+        print(reporting.render_figure9a(results, schemes))
+        print()
+        from .runtime import Outcome
+
+        rows = []
+        for scheme in schemes:
+            group = [c for (w, s), c in results.items() if s == scheme]
+            shares = {
+                str(o): sum(c.rate(o) for c in group) / len(group)
+                for o in Outcome
+            }
+            rows.append((scheme, shares))
+        print(charts.stacked_chart(rows, [str(o) for o in Outcome],
+                                   title="outcome shares per scheme"))
+        print()
+        print("-- Figure 9b: false negatives --")
+        print(reporting.render_figure9b(results))
+
+
+def cmd_tradeoff(args) -> None:
+    with _timed("Section 7.3: acceptable-range tradeoff"):
+        rows = section73(
+            ALL_WORKLOADS,
+            trials=args.trials,
+            perf_scale=args.scale,
+            sfi_scale=min(args.scale, 0.45),
+        )
+        print(reporting.render_tradeoff(rows))
+
+
+def cmd_sweep(args) -> None:
+    from .eval import ar_sweep, render_sweep
+
+    workload = get_workload(args.workload)
+    with _timed(f"Acceptable-range continuum: {workload.name}"):
+        points = ar_sweep(
+            workload, scale=args.scale, trials=args.trials,
+            sfi_scale=min(args.scale, 0.45),
+        )
+        print(render_sweep(workload.name, points))
+
+
+def cmd_scaling(args) -> None:
+    from .eval import render_scaling, scaling_study
+
+    workload = get_workload(args.workload)
+    with _timed(f"Problem-size scaling: {workload.name}"):
+        rows = scaling_study(workload)
+        print(render_scaling(workload.name, rows))
+
+
+def cmd_costratio(args) -> None:
+    with _timed("Section 2: prediction vs re-computation cost"):
+        for workload in ALL_WORKLOADS:
+            print(f"  {cost_ratio(workload)}")
+
+
+def cmd_all(args) -> None:
+    cmd_table1(args)
+    cmd_figure2(args)
+    cmd_costratio(args)
+    cmd_figure7(args)
+    cmd_figure8a(args)
+    cmd_figure8b(args)
+    cmd_figure9(args)
+    cmd_tradeoff(args)
+
+
+def cmd_report(args) -> None:
+    """Run everything and write a markdown results report."""
+    import contextlib
+    import io
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        cmd_all(args)
+    body = buffer.getvalue()
+
+    lines = ["# RSkip reproduction — measured results", ""]
+    lines.append(
+        f"Generated by `python -m repro report` "
+        f"(scale {args.scale}, {args.trials} SFI trials per scheme)."
+    )
+    lines.append("")
+    for raw in body.splitlines():
+        if raw.startswith("== "):
+            lines.append(f"## {raw.strip('= ').strip()}")
+            lines.append("")
+        elif raw.startswith("-- "):
+            lines.append(f"### {raw.strip('- ').strip()}")
+            lines.append("")
+        elif raw.startswith("   ("):
+            lines.append(f"_{raw.strip()}_")
+            lines.append("")
+        else:
+            lines.append(f"    {raw}" if raw.strip() else "")
+    text = "\n".join(lines).rstrip() + "\n"
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the RSkip paper (CGO'20).",
+    )
+    parser.add_argument("--scale", type=float, default=0.6,
+                        help="problem-size multiplier (default 0.6)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1").set_defaults(fn=cmd_table1)
+    sub.add_parser("figure2").set_defaults(fn=cmd_figure2)
+    p7 = sub.add_parser("figure7")
+    p7.add_argument("--inputs", type=int, default=1)
+    p7.set_defaults(fn=cmd_figure7)
+    sub.add_parser("figure8a").set_defaults(fn=cmd_figure8a)
+    p8b = sub.add_parser("figure8b")
+    p8b.add_argument("--inputs", type=int, default=10)
+    p8b.set_defaults(fn=cmd_figure8b)
+    p9 = sub.add_parser("figure9")
+    p9.add_argument("--trials", type=int, default=100)
+    p9.set_defaults(fn=cmd_figure9)
+    ptr = sub.add_parser("tradeoff")
+    ptr.add_argument("--trials", type=int, default=60)
+    ptr.set_defaults(fn=cmd_tradeoff)
+    sub.add_parser("costratio").set_defaults(fn=cmd_costratio)
+    psw = sub.add_parser("sweep")
+    psw.add_argument("--workload", default="backprop")
+    psw.add_argument("--trials", type=int, default=0)
+    psw.set_defaults(fn=cmd_sweep)
+    psc = sub.add_parser("scaling")
+    psc.add_argument("--workload", default="lud")
+    psc.set_defaults(fn=cmd_scaling)
+    pall = sub.add_parser("all")
+    pall.add_argument("--trials", type=int, default=60)
+    pall.add_argument("--inputs", type=int, default=10)
+    pall.set_defaults(fn=cmd_all)
+    prep = sub.add_parser("report")
+    prep.add_argument("--trials", type=int, default=60)
+    prep.add_argument("--inputs", type=int, default=10)
+    prep.add_argument("--output", default="results.md")
+    prep.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

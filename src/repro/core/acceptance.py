@@ -1,0 +1,40 @@
+"""Fuzzy validation: the acceptable-range (AR) test.
+
+The paper uses *relative difference* to define the acceptable range: the
+original computation is assumed fault-free when
+
+    |original - prediction| <= AR * |prediction|
+
+A tiny absolute epsilon keeps values near zero comparable (a prediction of
+exactly 0.0 would otherwise reject everything but itself even at AR100).
+"""
+from __future__ import annotations
+
+import math
+
+#: Absolute floor applied to the denominator of the relative difference.
+EPSILON = 1e-12
+
+
+def relative_difference(actual: float, predicted: float) -> float:
+    """|actual - predicted| / max(|predicted|, EPSILON); inf for NaNs."""
+    if math.isnan(actual) or math.isnan(predicted):
+        return math.inf
+    denom = abs(predicted)
+    if denom < EPSILON:
+        denom = EPSILON
+    try:
+        return abs(actual - predicted) / denom
+    except OverflowError:  # pragma: no cover - inf arithmetic
+        return math.inf
+
+
+def within_range(actual: float, predicted: float, acceptable_range: float) -> bool:
+    """The fuzzy-validation predicate.
+
+    ``acceptable_range == 0`` degenerates to exact equality — the paper's
+    pragma for regions that need the highest protection rate.
+    """
+    if acceptable_range == 0:
+        return actual == predicted
+    return relative_difference(actual, predicted) <= acceptable_range

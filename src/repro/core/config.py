@@ -1,0 +1,68 @@
+"""Configuration of the RSkip protection scheme."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: The four acceptable ranges evaluated in the paper (section 7).
+PAPER_ACCEPTABLE_RANGES = (0.2, 0.5, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class RSkipConfig:
+    """Tunables of the prediction-based protection scheme.
+
+    ``acceptable_range`` is the AR of the fuzzy validation: the maximum
+    relative difference between the original computation and the prediction
+    for the computation to be assumed fault-free (0.2 == "AR20").  Setting
+    it to 0 forces exact validation everywhere — the paper's pragma escape
+    hatch for code that must have the highest protection rate.
+    """
+
+    acceptable_range: float = 0.2
+    #: Initial tuning parameter (TP) of dynamic interpolation: the maximum
+    #: accepted relative slope change for a point to extend the phase.
+    tuning_parameter: float = 0.5
+    #: Elements per run-time-management observation window.
+    window: int = 48
+    #: Upper edges of the slope-change histogram bins used for the context
+    #: signature (an implicit final bin catches everything above the last).
+    signature_bins: Tuple[float, ...] = (0.02, 0.1, 0.3, 1.0)
+    #: TP values swept during offline training.
+    tp_grid: Tuple[float, ...] = (0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 12.0, 30.0)
+    #: Total address bits of the approximate-memoization lookup table.
+    memo_address_bits: int = 12
+    #: Run-time management disables memoization below this hit accuracy.
+    memo_min_hit_rate: float = 0.5
+    #: Run-time management falls back to conventional protection when the
+    #: measured skip rate of a loop drops below this (paper: "may disable
+    #: the dynamic interpolation at low accuracy").
+    interp_min_skip: float = 0.02
+    #: Safety cap on the phase buffer; reaching it forces a cut.
+    max_pending: int = 4096
+    #: Enable the second-level memoization predictor where applicable.
+    memoization: bool = True
+    #: Enable the temporal (last-execution) extension predictor — beyond
+    #: the paper's evaluated system (see `repro.core.temporal`).
+    temporal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.acceptable_range < 0:
+            raise ValueError("acceptable_range must be non-negative")
+        if self.tuning_parameter < 0:
+            raise ValueError("tuning_parameter must be non-negative")
+        if self.window < 2:
+            raise ValueError("window must be at least 2")
+        if self.max_pending < 4:
+            raise ValueError("max_pending must be at least 4")
+
+    def with_ar(self, acceptable_range: float) -> "RSkipConfig":
+        """Copy of this config at a different acceptable range."""
+        from dataclasses import replace
+
+        return replace(self, acceptable_range=acceptable_range)
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. 0.2 -> 'AR20'."""
+        return f"AR{int(round(self.acceptable_range * 100))}"

@@ -1,0 +1,439 @@
+"""Run-time management (paper section 5) and the RSkip runtime.
+
+``RskipRuntime`` owns one :class:`LoopRuntime` per transformed target loop.
+The transformed IR talks to it through ``intrin rskip.*`` calls:
+
+==================  ========================================================
+``rskip.select``    choose the PP or CP loop version for this execution
+``rskip.enter``     reset per-execution predictor state
+``rskip.observe``   feed one loop output (index, value, addr[, orig/args]);
+                    runs phase slicing, fuzzy validation and the QoS window
+``rskip.fetch``     next element index needing re-computation, or -1
+``rskip.orig``      buffered read-modify-write original for that element
+``rskip.arg``       buffered call argument *k* for that element
+``rskip.resolve``   first re-computation result -> provisional fixed value
+``rskip.need2``     1 when the first re-computation mismatched (vote needed)
+``rskip.resolve2``  second re-computation result -> majority-voted value
+``rskip.addr``      the element's store address (commit)
+``rskip.flush``     loop ended: validate the unfinished phase
+``rskip.exit``      update QoS state (may disable predictors)
+==================  ========================================================
+
+Every handler returns ``(value, charge)`` where *charge* is the list of
+opcodes accounted against the program — predictor bookkeeping is paid for,
+not free (see DESIGN.md).
+"""
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..ir.instructions import Opcode
+from .acceptance import within_range
+from .config import RSkipConfig
+from .interpolation import CutEvent, PhaseSlicer, validate_phase
+from .memoization import MemoTable
+from .signature import QoSModel, make_signature
+from .temporal import TemporalPredictor
+
+#: Slope/trend bookkeeping per observed element (Figure 5's extend test;
+#: the relative test |Δslope| <= TP·|slope| is strength-reduced to a
+#: multiply, as a compiler would emit it).
+OBSERVE_CHARGE = (
+    Opcode.FSUB, Opcode.FSUB, Opcode.FABS, Opcode.FMUL, Opcode.FCMP,
+    Opcode.ADD, Opcode.MOV, Opcode.MOV,
+)
+#: Linear prediction + fuzzy validation per interior point at a cut.
+VALIDATE_CHARGE = (
+    Opcode.FMUL, Opcode.FADD, Opcode.FSUB, Opcode.FABS, Opcode.FMUL, Opcode.FCMP,
+)
+#: Queueing one element for re-computation.
+ENQUEUE_CHARGE = (Opcode.MOV, Opcode.MOV)
+#: The QoS window: signature generation and table lookup.
+ADJUST_CHARGE = (Opcode.ADD, Opcode.ADD, Opcode.LOAD, Opcode.MOV)
+
+_FETCH_CHARGE = (Opcode.LOAD, Opcode.ICMP)
+_READ_CHARGE = (Opcode.LOAD,)
+_RESOLVE_CHARGE = (Opcode.FCMP,)
+_RESOLVE2_CHARGE = (Opcode.FCMP, Opcode.FCMP)
+_SELECT_CHARGE = (Opcode.LOAD, Opcode.ICMP)
+_ENTER_CHARGE = (Opcode.MOV, Opcode.MOV)
+
+
+@dataclass
+class Element:
+    """One buffered loop output awaiting validation."""
+
+    index: int
+    value: float
+    addr: int
+    orig: float = 0.0
+    args: Tuple[float, ...] = ()
+
+
+@dataclass
+class SkipStats:
+    """Counters the evaluation reads out (skip rate, recovery activity)."""
+
+    elements: int = 0
+    skipped_interp: int = 0
+    skipped_memo: int = 0
+    skipped_temporal: int = 0
+    recomputed: int = 0
+    endpoint_recomputes: int = 0
+    interp_mispredictions: int = 0
+    memo_mispredictions: int = 0
+    recompute_mismatches: int = 0
+    corrected_master: int = 0
+    corrected_shadow: int = 0
+    unresolved_votes: int = 0
+    phases: int = 0
+    executions_pp: int = 0
+    executions_cp: int = 0
+    tp_adjustments: int = 0
+
+    @property
+    def skipped(self) -> int:
+        return self.skipped_interp + self.skipped_memo + self.skipped_temporal
+
+    @property
+    def skip_rate(self) -> float:
+        return self.skipped / self.elements if self.elements else 0.0
+
+    def merge(self, other: "SkipStats") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class LoopProfile:
+    """Trained artifacts for one target loop (see `repro.core.training`)."""
+
+    qos: QoSModel = field(default_factory=QoSModel)
+    memo: Optional[MemoTable] = None
+    default_tp: Optional[float] = None
+
+
+class LoopRuntime:
+    """Predictors + run-time management for one transformed loop."""
+
+    def __init__(
+        self,
+        key: str,
+        config: RSkipConfig,
+        profile: Optional[LoopProfile] = None,
+        rmw: bool = False,
+    ):
+        self.key = key
+        self.config = config
+        self.rmw = rmw
+        self.profile = profile or LoopProfile()
+        tp = self.profile.default_tp
+        if tp is None:
+            tp = config.tuning_parameter
+        self.slicer = PhaseSlicer(tp, config.max_pending)
+        self.payloads: List[Element] = []
+        self.queue: Deque[Element] = deque()
+        self.current: Optional[Element] = None
+        self._rv1: Optional[float] = None
+        self._need2 = False
+        self.stats = SkipStats()
+        self.disabled = False
+        self.memo_active = (
+            config.memoization and self.profile.memo is not None
+        )
+        self.temporal = TemporalPredictor() if config.temporal else None
+        self.signatures: List[str] = []
+        #: record mode captures per-execution output traces for offline
+        #: training (`repro.core.training` flips this on); each loop
+        #: execution appends a fresh sublist
+        self.recording: Optional[List[List[Element]]] = None
+
+    # -- version selection & lifecycle ------------------------------------
+    def select(self) -> int:
+        if self.disabled:
+            self.stats.executions_cp += 1
+            return 0
+        self.stats.executions_pp += 1
+        return 1
+
+    def enter(self) -> None:
+        if self.recording is not None:
+            self.recording.append([])
+        if self.temporal is not None:
+            self.temporal.begin_execution()
+        self.slicer.reset()
+        self.payloads = []
+        self.queue.clear()
+        self.current = None
+        self._rv1 = None
+        self._need2 = False
+
+    def exit(self) -> None:
+        # QoS: disable a persistently useless predictor for future runs
+        stats = self.stats
+        if stats.elements >= 4 * self.config.window:
+            if stats.skip_rate < self.config.interp_min_skip:
+                self.disabled = True
+        # memoization QoS "simply monitors the occurrence of misprediction
+        # and disables its usage at poor run-time accuracy" (paper sec. 5)
+        attempts = stats.skipped_memo + stats.memo_mispredictions
+        if self.memo_active and attempts >= 64:
+            accuracy = stats.skipped_memo / attempts
+            if accuracy < self.config.memo_min_hit_rate:
+                self.memo_active = False
+
+    # -- the observation path ------------------------------------------------
+    def observe(self, element: Element) -> Tuple[int, List[Opcode]]:
+        """Feed one loop output; returns (#queued for re-computation, charge)."""
+        stats = self.stats
+        stats.elements += 1
+        charge: List[Opcode] = list(OBSERVE_CHARGE)
+
+        if self.recording is not None:
+            if not self.recording:
+                self.recording.append([])
+            self.recording[-1].append(element)
+
+        # periodic run-time management: adjust TP from the context signature
+        changes = self.slicer.slope_changes
+        if len(changes) >= self.config.window:
+            signature = make_signature(changes, self.config.signature_bins)
+            self.signatures.append(signature)
+            new_tp = self.profile.qos.lookup(signature, self.slicer.tp)
+            if new_tp != self.slicer.tp:
+                self.slicer.set_tp(new_tp)
+            stats.tp_adjustments += 1
+            self.slicer.slope_changes = []
+            charge.extend(ADJUST_CHARGE)
+
+        cut = self.slicer.observe(element.index, element.value)
+        if cut is None:
+            self.payloads.append(element)
+            return len(self.queue), charge
+
+        phase_payloads = self.payloads
+        self.payloads = [element]
+        self._process_cut(cut, phase_payloads, charge)
+        return len(self.queue), charge
+
+    def flush(self) -> Tuple[int, List[Opcode]]:
+        charge: List[Opcode] = []
+        cut = self.slicer.flush()
+        if cut is not None:
+            phase_payloads = self.payloads
+            self.payloads = []
+            self._process_cut(cut, phase_payloads, charge)
+        return len(self.queue), charge
+
+    def _process_cut(
+        self,
+        cut: CutEvent,
+        payloads: List[Element],
+        charge: List[Opcode],
+    ) -> None:
+        stats = self.stats
+        stats.phases += 1
+        by_index = {e.index: e for e in payloads}
+        skipped, recompute = validate_phase(cut, self.config.acceptable_range)
+
+        n_interior = max(len(cut.points) - 2, 0)
+        charge.extend((Opcode.FSUB, Opcode.FSUB, Opcode.FDIV))  # phase slope
+        for _ in range(n_interior):
+            charge.extend(VALIDATE_CHARGE)
+
+        stats.skipped_interp += len(skipped)
+        temporal = self.temporal
+        if temporal is not None:
+            for point in skipped:
+                temporal.record(point.index, point.value)
+        endpoints = {cut.points[0].index, cut.points[-1].index}
+        interior_failures = sum(1 for p in recompute if p.index not in endpoints)
+        stats.interp_mispredictions += interior_failures
+
+        memo = self.profile.memo if self.memo_active else None
+        for point in recompute:
+            element = by_index[point.index]
+            if temporal is not None:
+                charge.extend(temporal.charge())
+                if temporal.validate(
+                    element.index, element.value, self.config.acceptable_range
+                ):
+                    stats.skipped_temporal += 1
+                    temporal.record(element.index, element.value)
+                    continue
+            if memo is not None and element.args:
+                charge.extend(memo.charge())
+                predicted = memo.predict(element.args)
+                if predicted is not None and within_range(
+                    element.value, predicted, self.config.acceptable_range
+                ):
+                    stats.skipped_memo += 1
+                    if temporal is not None:
+                        temporal.record(element.index, element.value)
+                    continue
+                stats.memo_mispredictions += 1
+            if point.index in endpoints:
+                stats.endpoint_recomputes += 1
+            charge.extend(ENQUEUE_CHARGE)
+            self.queue.append(element)
+
+    # -- the re-computation drain ---------------------------------------------
+    def fetch(self) -> Tuple[int, List[Opcode]]:
+        if not self.queue:
+            self.current = None
+            return -1, list(_FETCH_CHARGE)
+        self.current = self.queue.popleft()
+        self._rv1 = None
+        self._need2 = False
+        return self.current.index, list(_FETCH_CHARGE)
+
+    def _require_current(self) -> Element:
+        if self.current is None:
+            raise RuntimeError(f"rskip runtime {self.key}: no element fetched")
+        return self.current
+
+    def orig(self) -> Tuple[float, List[Opcode]]:
+        return self._require_current().orig, list(_READ_CHARGE)
+
+    def arg(self, k: int) -> Tuple[float, List[Opcode]]:
+        element = self._require_current()
+        return element.args[int(k)], list(_READ_CHARGE)
+
+    def addr(self) -> Tuple[int, List[Opcode]]:
+        return self._require_current().addr, list(_READ_CHARGE)
+
+    def resolve(self, rv: float) -> Tuple[float, List[Opcode]]:
+        element = self._require_current()
+        self.stats.recomputed += 1
+        if rv == element.value or (rv != rv and element.value != element.value):
+            self._need2 = False
+            if self.temporal is not None:
+                self.temporal.record(element.index, element.value)
+            return element.value, list(_RESOLVE_CHARGE)
+        # mismatch: the original and the redundant copy disagree —
+        # a possible transient fault; majority vote over a third evaluation
+        self.stats.recompute_mismatches += 1
+        self._need2 = True
+        self._rv1 = rv
+        return rv, list(_RESOLVE_CHARGE)
+
+    def need2(self) -> Tuple[int, List[Opcode]]:
+        return (1 if self._need2 else 0), list(_READ_CHARGE)
+
+    def resolve2(self, rv2: float) -> Tuple[float, List[Opcode]]:
+        element = self._require_current()
+        rv1 = self._rv1
+        self._need2 = False
+        if rv1 == rv2:
+            # both re-computations agree: the original value was corrupted
+            self.stats.corrected_master += 1
+            if self.temporal is not None:
+                self.temporal.record(element.index, rv1)
+            return rv1, list(_RESOLVE2_CHARGE)
+        if element.value == rv2:
+            # the first re-computation was corrupted
+            self.stats.corrected_shadow += 1
+            if self.temporal is not None:
+                self.temporal.record(element.index, element.value)
+            return element.value, list(_RESOLVE2_CHARGE)
+        self.stats.unresolved_votes += 1
+        return rv2, list(_RESOLVE2_CHARGE)
+
+
+class RskipRuntime:
+    """All loop runtimes of a transformed module + the intrinsic table."""
+
+    def __init__(self, config: RSkipConfig):
+        self.config = config
+        self.loops: Dict[int, LoopRuntime] = {}
+
+    def add_loop(
+        self,
+        ctx_id: int,
+        key: str,
+        profile: Optional[LoopProfile] = None,
+        config: Optional[RSkipConfig] = None,
+        rmw: bool = False,
+    ) -> LoopRuntime:
+        runtime = LoopRuntime(key, config or self.config, profile, rmw=rmw)
+        self.loops[ctx_id] = runtime
+        return runtime
+
+    def loop(self, ctx_id: int) -> LoopRuntime:
+        return self.loops[int(ctx_id)]
+
+    def total_stats(self) -> SkipStats:
+        total = SkipStats()
+        for runtime in self.loops.values():
+            total.merge(runtime.stats)
+        return total
+
+    @property
+    def skip_rate(self) -> float:
+        return self.total_stats().skip_rate
+
+    # -- intrinsic table ----------------------------------------------------
+    def intrinsics(self) -> Dict[str, object]:
+        """Handlers for `repro.runtime.interpreter.Interpreter`."""
+
+        def select(interp, args):
+            return self.loop(args[0]).select(), _SELECT_CHARGE
+
+        def enter(interp, args):
+            self.loop(args[0]).enter()
+            return 0, _ENTER_CHARGE
+
+        def observe(interp, args):
+            ctx, index, value, addr = args[0], args[1], args[2], args[3]
+            rest = args[4:]
+            runtime = self.loop(ctx)
+            if runtime.rmw:
+                element = Element(int(index), value, addr, orig=rest[0], args=tuple(rest[1:]))
+            else:
+                element = Element(int(index), value, addr, args=tuple(rest))
+            return runtime.observe(element)
+
+        def fetch(interp, args):
+            return self.loop(args[0]).fetch()
+
+        def orig(interp, args):
+            return self.loop(args[0]).orig()
+
+        def arg(interp, args):
+            return self.loop(args[0]).arg(args[1])
+
+        def addr(interp, args):
+            return self.loop(args[0]).addr()
+
+        def resolve(interp, args):
+            return self.loop(args[0]).resolve(args[1])
+
+        def need2(interp, args):
+            return self.loop(args[0]).need2()
+
+        def resolve2(interp, args):
+            return self.loop(args[0]).resolve2(args[1])
+
+        def flush(interp, args):
+            return self.loop(args[0]).flush()
+
+        def loop_exit(interp, args):
+            self.loop(args[0]).exit()
+            return 0, ()
+
+        return {
+            "rskip.select": select,
+            "rskip.enter": enter,
+            "rskip.observe": observe,
+            "rskip.fetch": fetch,
+            "rskip.orig": orig,
+            "rskip.arg": arg,
+            "rskip.addr": addr,
+            "rskip.resolve": resolve,
+            "rskip.need2": need2,
+            "rskip.resolve2": resolve2,
+            "rskip.flush": flush,
+            "rskip.exit": loop_exit,
+        }

@@ -1,0 +1,53 @@
+"""Context signatures (paper section 5).
+
+A signature summarizes the run-time context of a loop so the QoS model can
+pick a good tuning parameter.  For dynamic interpolation the context is the
+histogram of recent relative slope changes; the signature is the ordering
+of the histogram bins by count — the paper's example: signature "312"
+means the 3rd bin has the largest count, then the 1st, then the 2nd.
+"""
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+DEFAULT_BINS: Tuple[float, ...] = (0.02, 0.1, 0.3, 1.0)
+
+
+def histogram(changes: Sequence[float], bins: Sequence[float] = DEFAULT_BINS) -> List[int]:
+    """Counts per bin; bin *k* holds changes in (bins[k-1], bins[k]], the
+    final implicit bin everything above the last edge."""
+    counts = [0] * (len(bins) + 1)
+    edges = list(bins)
+    for c in changes:
+        counts[bisect.bisect_left(edges, c)] += 1
+    return counts
+
+
+def make_signature(changes: Sequence[float], bins: Sequence[float] = DEFAULT_BINS) -> str:
+    """Rank the histogram bins by count (descending, ties by bin index) and
+    concatenate their 1-based indices: the paper's "312"-style string."""
+    counts = histogram(changes, bins)
+    order = sorted(range(len(counts)), key=lambda k: (-counts[k], k))
+    return "".join(str(k + 1) for k in order)
+
+
+class QoSModel:
+    """The (signature -> best tuning parameter) table built by training.
+
+    Unknown signatures keep the previous TP (the paper's stated fallback
+    policy).
+    """
+
+    def __init__(self, table: Dict[str, float] = None, default_tp: float = 0.5):
+        self.table: Dict[str, float] = dict(table or {})
+        self.default_tp = default_tp
+
+    def lookup(self, signature: str, current_tp: float) -> float:
+        return self.table.get(signature, current_tp)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __repr__(self) -> str:
+        return f"<QoSModel {len(self.table)} signatures, default TP {self.default_tp}>"

@@ -1,0 +1,146 @@
+"""Offline training (paper section 6).
+
+RSkip samples outputs from the detected loops while running the training
+inputs, then *simulates* the dynamic-interpolation algorithm over the
+samples — "without repeatedly running a real program" — sweeping the
+tuning parameter to find the best TP per context signature.  The result is
+a QoS model (signature -> TP table) per loop, plus a memoization lookup
+table for call-mode targets.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .acceptance import EPSILON
+from .config import RSkipConfig
+from .interpolation import simulate
+from .manager import Element, LoopProfile, RskipRuntime
+from .memoization import build_memo_table
+from .signature import QoSModel, make_signature
+
+
+def slope_changes_of(values: Sequence[float]) -> List[float]:
+    """Relative slope changes of a value sequence (TP-independent)."""
+    out: List[float] = []
+    prev_slope: Optional[float] = None
+    for k in range(1, len(values)):
+        slope = values[k] - values[k - 1]
+        if prev_slope is not None:
+            denom = abs(prev_slope)
+            if denom < EPSILON:
+                denom = EPSILON
+            change = abs(slope - prev_slope) / denom
+            out.append(change if change == change else float("inf"))
+        prev_slope = slope
+    return out
+
+
+@dataclass
+class TrainingReport:
+    """What training produced for one loop."""
+
+    key: str
+    executions: int
+    elements: int
+    default_tp: float
+    qos_entries: int
+    memo_bits: Optional[List[int]] = None
+    memo_accuracy: Optional[float] = None
+
+
+def enable_recording(runtime: RskipRuntime) -> None:
+    """Switch every loop runtime into trace-recording mode."""
+    for loop in runtime.loops.values():
+        loop.recording = []
+
+
+def collect_traces(runtime: RskipRuntime) -> Dict[str, List[List[Element]]]:
+    """Recorded per-execution element traces per loop key."""
+    traces: Dict[str, List[List[Element]]] = {}
+    for loop in runtime.loops.values():
+        if loop.recording is not None:
+            traces[loop.key] = loop.recording
+    return traces
+
+
+def train_interpolation(
+    traces: Sequence[Sequence[Element]],
+    config: RSkipConfig,
+) -> Tuple[QoSModel, float]:
+    """TP sweep over recorded traces; returns (QoS model, default TP).
+
+    Traces are segmented into signature windows; for each window every TP
+    in the grid is simulated and the best-TP votes are aggregated per
+    signature (majority of best-skip-rate wins).
+    """
+    window = config.window
+    grid = config.tp_grid
+    ar = config.acceptable_range
+
+    votes: Dict[str, Dict[float, float]] = {}
+    global_score: Dict[float, float] = {tp: 0.0 for tp in grid}
+
+    for trace in traces:
+        values = [e.value for e in trace]
+        for start in range(0, max(len(values) - window + 1, 1), window):
+            chunk = values[start : start + window]
+            if len(chunk) < 4:
+                continue
+            signature = make_signature(
+                slope_changes_of(chunk), config.signature_bins
+            )
+            scores = votes.setdefault(signature, {tp: 0.0 for tp in grid})
+            for tp in grid:
+                rate = simulate(chunk, tp, ar, config.max_pending).skip_rate
+                scores[tp] += rate
+                global_score[tp] += rate
+
+    table = {
+        signature: max(scores, key=lambda tp: (scores[tp], -tp))
+        for signature, scores in votes.items()
+    }
+    if any(v > 0 for v in global_score.values()):
+        default_tp = max(global_score, key=lambda tp: (global_score[tp], -tp))
+    else:
+        default_tp = config.tuning_parameter
+    return QoSModel(table, default_tp), default_tp
+
+
+def train_profiles(
+    traces: Dict[str, List[List[Element]]],
+    config: RSkipConfig,
+    memo_keys: Sequence[str] = (),
+) -> Tuple[Dict[str, LoopProfile], List[TrainingReport]]:
+    """Build a :class:`LoopProfile` per loop from recorded traces."""
+    profiles: Dict[str, LoopProfile] = {}
+    reports: List[TrainingReport] = []
+    memo_wanted = set(memo_keys)
+
+    for key, loop_traces in traces.items():
+        qos, default_tp = train_interpolation(loop_traces, config)
+        profile = LoopProfile(qos=qos, default_tp=default_tp)
+
+        memo_bits = None
+        memo_accuracy = None
+        if key in memo_wanted and config.memoization:
+            X = [list(e.args) for trace in loop_traces for e in trace if e.args]
+            y = [e.value for trace in loop_traces for e in trace if e.args]
+            if X:
+                profile.memo = build_memo_table(X, y, config.memo_address_bits)
+                memo_bits = list(profile.memo.bits)
+                memo_accuracy = profile.memo.accuracy(X, y)
+
+        profiles[key] = profile
+        reports.append(
+            TrainingReport(
+                key=key,
+                executions=len(loop_traces),
+                elements=sum(len(t) for t in loop_traces),
+                default_tp=default_tp,
+                qos_entries=len(qos),
+                memo_bits=memo_bits,
+                memo_accuracy=memo_accuracy,
+            )
+        )
+    return profiles, reports

@@ -1,0 +1,122 @@
+"""The compiler driver: one call from unprotected module to resilient
+executable.
+
+This is the library's front door for users with their own IR modules
+(workload objects go through `repro.eval` instead):
+
+>>> from repro import compile_protected
+>>> compiled = compile_protected(module, scheme="rskip")   # doctest: +SKIP
+>>> interp = compiled.interpreter(memory)                  # doctest: +SKIP
+>>> interp.run("main", args)                               # doctest: +SKIP
+
+It mirrors the paper's system overview: cleanup passes, target detection,
+the RSkip transform (or a baseline), and the run-time management hookup —
+"the system takes unreliable source code as an input and generates a
+lightweight resilient executable".
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from .core.config import RSkipConfig
+from .core.manager import LoopProfile
+from .core.rskip import RskipApplication, apply_rskip
+from .ir.module import Module
+from .ir.verifier import verify_module
+from .runtime.errors import FaultDetectedError
+from .runtime.interpreter import Interpreter
+from .runtime.memory import Memory
+from .transforms.cse import run_cse_module
+from .transforms.dce import run_dce_module
+from .transforms.licm import run_licm_module
+from .transforms.simplify import run_simplify_module
+from .transforms.swift import (
+    ALL_SYNC_POINTS,
+    DETECT_INTRINSIC,
+    apply_swift,
+    apply_swift_r,
+)
+
+SCHEMES = ("none", "swift", "swift-r", "rskip")
+
+
+def _swift_detected(interp, args):
+    raise FaultDetectedError("SWIFT detected a transient fault")
+
+
+@dataclass
+class CompiledProgram:
+    """A protected module plus everything needed to execute it."""
+
+    module: Module
+    scheme: str
+    intrinsics: Dict[str, object] = field(default_factory=dict)
+    application: Optional[RskipApplication] = None
+    optimizations: Dict[str, int] = field(default_factory=dict)
+
+    def interpreter(self, memory: Optional[Memory] = None, **kwargs) -> Interpreter:
+        """A ready-to-run interpreter with the runtime intrinsics linked."""
+        interp = Interpreter(self.module, memory=memory, **kwargs)
+        interp.register_intrinsics(self.intrinsics)
+        return interp
+
+    @property
+    def skip_stats(self):
+        if self.application is None:
+            return None
+        return self.application.runtime.total_stats()
+
+
+def compile_protected(
+    module: Module,
+    scheme: str = "rskip",
+    config: Optional[RSkipConfig] = None,
+    profiles: Optional[Dict[str, LoopProfile]] = None,
+    optimize: bool = True,
+    verify: bool = True,
+    sync_points: Iterable[str] = ALL_SYNC_POINTS,
+    ar_overrides: Optional[Dict[str, float]] = None,
+) -> CompiledProgram:
+    """Protect *module* in place and return the compiled program.
+
+    ``scheme`` is one of ``"none"`` (cleanup only), ``"swift"``
+    (duplication + detection), ``"swift-r"`` (triplication + recovery) or
+    ``"rskip"`` (prediction-based protection; pass trained *profiles* from
+    `repro.core.training` for best skip rates).
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; choose one of {SCHEMES}")
+
+    optimizations: Dict[str, int] = {}
+    if optimize:
+        optimizations["constfold"] = run_simplify_module(module)
+        optimizations["licm"] = run_licm_module(module)
+        optimizations["cse"] = run_cse_module(module)
+        optimizations["dce"] = run_dce_module(module)
+        if verify:
+            verify_module(module)
+
+    intrinsics: Dict[str, object] = {}
+    application: Optional[RskipApplication] = None
+
+    if scheme == "swift":
+        apply_swift(module, sync_points=sync_points)
+        intrinsics[DETECT_INTRINSIC] = _swift_detected
+    elif scheme == "swift-r":
+        apply_swift_r(module, sync_points=sync_points)
+    elif scheme == "rskip":
+        application = apply_rskip(
+            module, config, profiles, ar_overrides=ar_overrides
+        )
+        intrinsics.update(application.intrinsics())
+
+    if verify:
+        verify_module(module)
+    return CompiledProgram(
+        module=module,
+        scheme=scheme,
+        intrinsics=intrinsics,
+        application=application,
+        optimizations=optimizations,
+    )

@@ -1,0 +1,77 @@
+"""Section 2's cost argument: dynamic interpolation vs. approximate
+memoization vs. re-computation.
+
+The paper measures 1 : 1.84 : 4.18 for blackscholes, justifying the
+two-level predictor (two consecutive predictions can still be cheaper
+than one re-computation).  Here the three costs are derived from the same
+accounting the rest of the system uses: the charged opcodes of each
+predictor and the latency-weighted cost of the re-computed callee/body.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.costmodel import LATENCY, estimate_function_cost
+from ..core.config import RSkipConfig
+from ..core.manager import ENQUEUE_CHARGE, OBSERVE_CHARGE, VALIDATE_CHARGE
+from ..core.rskip import apply_rskip
+from ..workloads.base import Workload
+
+
+def _cycles(opcodes) -> int:
+    return sum(LATENCY[op] for op in opcodes)
+
+
+@dataclass
+class CostRatio:
+    workload: str
+    interpolation: float
+    memoization: float
+    recomputation: float
+
+    def normalized(self) -> tuple:
+        base = self.interpolation or 1.0
+        return (1.0, self.memoization / base, self.recomputation / base)
+
+    def __str__(self) -> str:
+        a, b, c = self.normalized()
+        return f"{self.workload}: {a:.2f} : {b:.2f} : {c:.2f}"
+
+
+def cost_ratio(
+    workload: Workload,
+    config: Optional[RSkipConfig] = None,
+    scale: float = 0.5,
+) -> CostRatio:
+    """Per-element cost of each validation level for one workload."""
+    config = config or RSkipConfig()
+    module = workload.build()
+    app = apply_rskip(module, config, protect=False)
+    if not app.layouts:
+        raise ValueError(f"{workload.name}: no prediction target detected")
+    layout = app.layouts[0]
+
+    # level 1: the per-element slope test plus the amortized share of the
+    # cut-time linear validation
+    interp = _cycles(OBSERVE_CHARGE) + _cycles(VALIDATE_CHARGE)
+
+    # level 2: a quantized lookup (keyed on the real argument count)
+    if layout.mode == "call":
+        n_args = layout.n_args
+    else:
+        n_args = 1
+    from ..ir.instructions import Opcode
+
+    memo_ops = []
+    for _ in range(n_args):
+        memo_ops.extend((Opcode.FSUB, Opcode.FMUL, Opcode.FPTOSI))
+    memo_ops.extend((Opcode.ADD, Opcode.SHL, Opcode.LOAD))
+    memo = interp + _cycles(memo_ops)  # second level runs after the first
+
+    # level 3: the re-computation (the dup function) plus queue management
+    recompute_fn = layout.dup if layout.dup else layout.callee_dup
+    body_cost = estimate_function_cost(module.get_function(recompute_fn), module)
+    recompute = interp + _cycles(ENQUEUE_CHARGE) + body_cost
+
+    return CostRatio(workload.name, float(interp), float(memo), float(recompute))

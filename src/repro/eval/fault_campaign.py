@@ -1,0 +1,227 @@
+"""Statistical fault injection (paper section 7.2, Figures 9a/9b).
+
+Per trial, one SEU is injected at a uniformly random dynamic instruction
+*inside the detected loops* (the paper's discipline) and the run is
+classified as Correct / SDC / Segfault / Core dump / Hang against the
+golden output.  For RSkip schemes the campaign additionally measures
+*false negatives*: runs where the detected loop's output region diverged
+from golden — a corrupted value slipped through fuzzy validation.
+"""
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import RSkipConfig
+from ..core.manager import LoopProfile
+from ..runtime.errors import (
+    CoreDumpError,
+    FaultDetectedError,
+    HangError,
+    SegfaultError,
+    TrapError,
+)
+from ..runtime.faults import FaultPlan, Region, random_plan
+from ..runtime.interpreter import Interpreter
+from ..runtime.outcomes import Outcome, classify_output, outputs_equal
+from ..workloads.base import Workload, WorkloadInput, stable_seed
+from .schemes import PreparedProgram, fault_region, prepare
+
+#: Budget multiplier over the fault-free step count before declaring Hang.
+HANG_FACTOR = 8
+
+
+@dataclass
+class CampaignResult:
+    """Outcome statistics of one (workload, scheme) campaign."""
+
+    workload: str
+    scheme: str
+    trials: int
+    tallies: Counter = field(default_factory=Counter)
+    #: detection events without recovery (SWIFT only)
+    detected: int = 0
+    #: runs whose detected-loop output diverged silently (Figure 9b)
+    false_negatives: int = 0
+    #: runs in which RSkip's exact validation flagged a mismatch (a fault
+    #: was caught and sent through the majority-vote recovery)
+    caught: int = 0
+    #: final outcome classes of the false-negative runs
+    fn_by_outcome: Counter = field(default_factory=Counter)
+    region_steps: int = 0
+
+    @property
+    def protection_rate(self) -> float:
+        """Fraction of runs with a fully correct output."""
+        return self.tallies[Outcome.CORRECT] / self.trials if self.trials else 0.0
+
+    def rate(self, outcome: Outcome) -> float:
+        return self.tallies[outcome] / self.trials if self.trials else 0.0
+
+    @property
+    def fn_rate(self) -> float:
+        return self.false_negatives / self.trials if self.trials else 0.0
+
+    def confidence_interval(self, outcome: Outcome = Outcome.CORRECT, z: float = 1.96):
+        """Wilson score interval for an outcome's rate (the paper runs
+        1000 trials; at smaller counts the interval says how much the
+        estimate can wobble)."""
+        n = self.trials
+        if n == 0:
+            return (0.0, 1.0)
+        p = self.rate(outcome)
+        denom = 1.0 + z * z / n
+        center = (p + z * z / (2 * n)) / denom
+        half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+        return (max(0.0, center - half), min(1.0, center + half))
+
+
+def _run_once(
+    prepared: PreparedProgram,
+    workload: Workload,
+    inp: WorkloadInput,
+    plan: Optional[FaultPlan],
+    region: Optional[Region],
+    max_steps: int,
+) -> Tuple[Optional[str], List[float], List[float], int, bool]:
+    """One execution; returns (trap, output, loop_output, region_steps,
+    detected)."""
+    memory = workload.fresh_memory(prepared.module, inp)
+    interp = Interpreter(
+        prepared.module,
+        memory=memory,
+        max_steps=max_steps,
+        fault_plan=plan,
+        fault_region=region,
+    )
+    interp.register_intrinsics(prepared.intrinsics)
+    trap: Optional[str] = None
+    detected = False
+    try:
+        interp.run(prepared.main, inp.args)
+    except FaultDetectedError:
+        detected = True
+    except SegfaultError:
+        trap = "segfault"
+    except HangError:
+        trap = "hang"
+    except (CoreDumpError, TrapError):
+        trap = "coredump"
+    except (OverflowError, MemoryError, RecursionError):
+        trap = "coredump"
+
+    output: List[float] = []
+    loop_output: List[float] = []
+    if trap is None:
+        output = memory.read_global(*inp.output)
+        loop_output = memory.read_global(*inp.loop_output)
+    return trap, output, loop_output, interp.region_steps, detected
+
+
+def run_campaign(
+    workload: Workload,
+    scheme: str,
+    trials: int,
+    seed: int = 0,
+    scale: float = 0.45,
+    config: Optional[RSkipConfig] = None,
+    profiles: Optional[Dict[str, LoopProfile]] = None,
+    inp: Optional[WorkloadInput] = None,
+) -> CampaignResult:
+    """Inject *trials* single faults into one workload under one scheme."""
+    rng = random.Random(stable_seed(seed, workload.name, scheme))
+    if inp is None:
+        inp = workload.test_inputs(1, seed=seed + 17, scale=scale)[0]
+
+    prepared = prepare(workload, scheme, config, profiles)
+    region = fault_region(prepared)
+
+    # golden + counting pass (fault-free)
+    trap, golden, golden_loop, region_steps, _ = _run_once(
+        prepared, workload, inp, None, region, max_steps=500_000_000
+    )
+    if trap is not None:
+        raise RuntimeError(
+            f"{workload.name}/{scheme}: fault-free run trapped with {trap}"
+        )
+    if region_steps <= 0:
+        raise RuntimeError(f"{workload.name}/{scheme}: empty fault region")
+
+    baseline_steps = _fault_free_steps(prepared, workload, inp)
+    max_steps = max(baseline_steps * HANG_FACTOR, 100_000)
+
+    result = CampaignResult(workload.name, prepared.scheme, trials)
+    result.region_steps = region_steps
+    is_rskip = prepared.application is not None
+
+    for _ in range(trials):
+        mismatches_before = 0
+        if is_rskip:
+            mismatches_before = prepared.runtime.total_stats().recompute_mismatches
+        plan = random_plan(rng, region_steps)
+        trap, output, loop_output, _, detected = _run_once(
+            prepared, workload, inp, plan, region, max_steps
+        )
+        if is_rskip:
+            after = prepared.runtime.total_stats().recompute_mismatches
+            if after > mismatches_before:
+                result.caught += 1
+        if detected:
+            result.detected += 1
+            result.tallies[Outcome.CORE_DUMP] += 1  # aborted execution
+            continue
+        if trap == "segfault":
+            result.tallies[Outcome.SEGFAULT] += 1
+            continue
+        if trap == "hang":
+            result.tallies[Outcome.HANG] += 1
+            continue
+        if trap == "coredump":
+            result.tallies[Outcome.CORE_DUMP] += 1
+            continue
+        outcome = classify_output(golden, output)
+        result.tallies[outcome] += 1
+        if is_rskip and not outputs_equal(golden_loop, loop_output):
+            result.false_negatives += 1
+            result.fn_by_outcome[outcome] += 1
+    return result
+
+
+def _fault_free_steps(
+    prepared: PreparedProgram, workload: Workload, inp: WorkloadInput
+) -> int:
+    memory = workload.fresh_memory(prepared.module, inp)
+    interp = Interpreter(prepared.module, memory=memory)
+    interp.register_intrinsics(prepared.intrinsics)
+    interp.run(prepared.main, inp.args)
+    return interp.steps
+
+
+def figure9(
+    workloads: Sequence[Workload],
+    schemes: Sequence[str] = ("UNSAFE", "SWIFT-R", "AR20", "AR50", "AR80", "AR100"),
+    trials: int = 100,
+    seed: int = 0,
+    scale: float = 0.45,
+    config: Optional[RSkipConfig] = None,
+    profile_source=None,
+) -> Dict[Tuple[str, str], CampaignResult]:
+    """The full Figure 9 campaign: every workload under every scheme.
+
+    ``profile_source(workload, ar) -> profiles`` supplies trained profiles
+    for RSkip schemes (`repro.eval.harness.Harness.profiles_for`).
+    """
+    results: Dict[Tuple[str, str], CampaignResult] = {}
+    for workload in workloads:
+        for scheme in schemes:
+            profiles = None
+            if scheme.startswith("AR") and profile_source is not None:
+                profiles = profile_source(workload, int(scheme[2:]) / 100.0)
+            results[(workload.name, scheme)] = run_campaign(
+                workload, scheme, trials, seed=seed, scale=scale,
+                config=config, profiles=profiles,
+            )
+    return results

@@ -1,0 +1,168 @@
+"""Evaluation harness: train, run and measure workloads under schemes."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import PAPER_ACCEPTABLE_RANGES, RSkipConfig
+from ..core.manager import LoopProfile, SkipStats
+from ..core.training import collect_traces, enable_recording, train_profiles
+from ..ir.verifier import verify_module
+from ..runtime.interpreter import Interpreter, RunResult
+from ..runtime.outcomes import outputs_equal
+from ..runtime.scheduler import TimingModel
+from ..workloads.base import Workload, WorkloadInput
+from .schemes import PreparedProgram, prepare, rskip_label
+
+
+@dataclass
+class RunRecord:
+    """One (workload, scheme, input) execution with all measurements."""
+
+    workload: str
+    scheme: str
+    steps: int
+    cycles: int
+    ipc: float
+    output: List[float]
+    correct: Optional[bool] = None
+    skip_rate: Optional[float] = None
+    stats: Optional[SkipStats] = None
+
+    def normalized(self, baseline: "RunRecord") -> Dict[str, float]:
+        return {
+            "time": self.cycles / baseline.cycles if baseline.cycles else 0.0,
+            "instructions": self.steps / baseline.steps if baseline.steps else 0.0,
+            "ipc": self.ipc / baseline.ipc if baseline.ipc else 0.0,
+        }
+
+
+class Harness:
+    """Runs one workload through training and measured executions.
+
+    Mirrors the paper's protocol: one-time compilation, an automated
+    offline training session on training inputs, then measurement on
+    disjoint test inputs.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[RSkipConfig] = None,
+        scale: float = 1.0,
+        timing: bool = True,
+        verify: bool = False,
+        train_count: int = 5,
+        seed: int = 1,
+    ):
+        self.workload = workload
+        self.config = config or RSkipConfig()
+        self.scale = scale
+        self.timing = timing
+        self.verify = verify
+        self.train_count = train_count
+        self.seed = seed
+        self._profiles_by_ar: Dict[float, Dict[str, LoopProfile]] = {}
+        self._traces = None
+        self._memo_keys: List[str] = []
+
+    # -- training -------------------------------------------------------------
+    def record_traces(self):
+        """Run the training inputs once, recording loop-output traces."""
+        prepared = prepare(self.workload, rskip_label(self.config.acceptable_range),
+                           self.config)
+        enable_recording(prepared.application.runtime)
+        for inp in self.workload.training_inputs(self.train_count, self.seed, self.scale):
+            self._execute(prepared, inp, timing=False)
+        self._traces = collect_traces(prepared.application.runtime)
+        self._memo_keys = [
+            layout.key for layout in prepared.application.layouts
+            if layout.mode == "call"
+        ]
+        return self._traces
+
+    def profiles_for(self, acceptable_range: float) -> Dict[str, LoopProfile]:
+        """Trained profiles for one AR (traces recorded on demand)."""
+        cached = self._profiles_by_ar.get(acceptable_range)
+        if cached is not None:
+            return cached
+        if self._traces is None:
+            self.record_traces()
+        config = self.config.with_ar(acceptable_range)
+        profiles, _reports = train_profiles(self._traces, config, self._memo_keys)
+        self._profiles_by_ar[acceptable_range] = profiles
+        return profiles
+
+    # -- execution -------------------------------------------------------------
+    def prepare_scheme(self, scheme: str) -> PreparedProgram:
+        profiles = None
+        if scheme.startswith("AR"):
+            profiles = self.profiles_for(int(scheme[2:]) / 100.0)
+        prepared = prepare(self.workload, scheme, self.config, profiles)
+        if self.verify:
+            verify_module(prepared.module)
+        return prepared
+
+    def _execute(
+        self,
+        prepared: PreparedProgram,
+        inp: WorkloadInput,
+        timing: Optional[bool] = None,
+    ) -> Tuple[RunResult, List[float]]:
+        module = prepared.module
+        memory = self.workload.fresh_memory(module, inp)
+        use_timing = self.timing if timing is None else timing
+        tm = TimingModel() if use_timing else None
+        interp = Interpreter(module, memory=memory, timing=tm)
+        interp.register_intrinsics(prepared.intrinsics)
+        result = interp.run(prepared.main, inp.args)
+        output = memory.read_global(*inp.output)
+        return result, output
+
+    def run_scheme(
+        self,
+        scheme: str,
+        inp: WorkloadInput,
+        golden: Optional[List[float]] = None,
+        prepared: Optional[PreparedProgram] = None,
+    ) -> RunRecord:
+        if prepared is None:
+            prepared = self.prepare_scheme(scheme)
+        result, output = self._execute(prepared, inp)
+        stats = None
+        skip = None
+        if prepared.runtime is not None:
+            stats = prepared.runtime.total_stats()
+            skip = stats.skip_rate
+        return RunRecord(
+            workload=self.workload.name,
+            scheme=prepared.scheme,
+            steps=result.steps,
+            cycles=result.cycles,
+            ipc=result.ipc,
+            output=output,
+            correct=None if golden is None else outputs_equal(golden, output),
+            skip_rate=skip,
+            stats=stats,
+        )
+
+    def run_all(
+        self,
+        schemes: Sequence[str],
+        inp: WorkloadInput,
+    ) -> Dict[str, RunRecord]:
+        """Run every scheme on one input; UNSAFE is always run first and
+        used as both the golden output and the normalization baseline."""
+        records: Dict[str, RunRecord] = {}
+        unsafe = self.run_scheme("UNSAFE", inp)
+        unsafe.correct = True
+        records["UNSAFE"] = unsafe
+        for scheme in schemes:
+            if scheme == "UNSAFE":
+                continue
+            records[scheme] = self.run_scheme(scheme, inp, golden=unsafe.output)
+        return records
+
+
+def default_ars() -> Tuple[float, ...]:
+    return PAPER_ACCEPTABLE_RANGES

@@ -1,0 +1,166 @@
+"""Performance experiments: Figures 7, 8a and 8b."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import RSkipConfig
+from ..workloads.base import Workload
+from .harness import Harness
+
+PERF_SCHEMES = ("SWIFT-R", "AR20", "AR50", "AR80", "AR100")
+
+
+@dataclass
+class SchemeAverages:
+    scheme: str
+    skip_rate: Optional[float]
+    norm_time: float
+    norm_instructions: float
+    norm_ipc: float
+
+
+@dataclass
+class Figure7Result:
+    """Per-workload and average rows of Figures 7a-7d."""
+
+    #: rows[workload][scheme] -> dict(skip, time, instructions, ipc, correct)
+    rows: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    schemes: Tuple[str, ...] = PERF_SCHEMES
+
+    def averages(self) -> List[SchemeAverages]:
+        out = []
+        for scheme in self.schemes:
+            cells = [r[scheme] for r in self.rows.values() if scheme in r]
+            if not cells:
+                continue
+            skips = [c["skip"] for c in cells if c.get("skip") is not None]
+            out.append(
+                SchemeAverages(
+                    scheme=scheme,
+                    skip_rate=sum(skips) / len(skips) if skips else None,
+                    norm_time=sum(c["time"] for c in cells) / len(cells),
+                    norm_instructions=sum(c["instructions"] for c in cells) / len(cells),
+                    norm_ipc=sum(c["ipc"] for c in cells) / len(cells),
+                )
+            )
+        return out
+
+
+def figure7(
+    workloads: Sequence[Workload],
+    schemes: Sequence[str] = PERF_SCHEMES,
+    scale: float = 0.6,
+    test_count: int = 1,
+    seed: int = 2,
+    config: Optional[RSkipConfig] = None,
+) -> Figure7Result:
+    """Skip rate, normalized execution time, dynamic instructions and IPC
+    for every benchmark under every scheme (Figures 7a-7d)."""
+    result = Figure7Result(schemes=tuple(schemes))
+    for workload in workloads:
+        harness = Harness(workload, config=config, scale=scale, seed=seed)
+        acc: Dict[str, Dict[str, List[float]]] = {}
+        for inp in workload.test_inputs(test_count, seed=seed, scale=scale):
+            records = harness.run_all(schemes, inp)
+            base = records["UNSAFE"]
+            for scheme in schemes:
+                rec = records[scheme]
+                norm = rec.normalized(base)
+                cell = acc.setdefault(scheme, {"time": [], "instructions": [], "ipc": [], "skip": [], "correct": []})
+                cell["time"].append(norm["time"])
+                cell["instructions"].append(norm["instructions"])
+                cell["ipc"].append(norm["ipc"])
+                cell["correct"].append(1.0 if rec.correct else 0.0)
+                if rec.skip_rate is not None:
+                    cell["skip"].append(rec.skip_rate)
+        result.rows[workload.name] = {
+            scheme: {
+                "time": _mean(cell["time"]),
+                "instructions": _mean(cell["instructions"]),
+                "ipc": _mean(cell["ipc"]),
+                "skip": _mean(cell["skip"]) if cell["skip"] else None,
+                "correct": _mean(cell["correct"]),
+            }
+            for scheme, cell in acc.items()
+        }
+    return result
+
+
+def _mean(xs: Sequence[float]) -> float:
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+@dataclass
+class Figure8aRow:
+    scheme: str
+    interp_only_time: float
+    interp_only_skip: float
+    full_time: float
+    full_skip: float
+
+
+def figure8a(
+    workload: Workload,
+    ars: Sequence[int] = (20, 50, 80, 100),
+    scale: float = 0.6,
+    seed: int = 2,
+) -> List[Figure8aRow]:
+    """blackscholes ablation: dynamic interpolation alone vs. with the
+    approximate-memoization fallback (Figure 8a)."""
+    inp = workload.test_inputs(1, seed=seed, scale=scale)[0]
+    rows = []
+    base_cfg = RSkipConfig()
+    harness_full = Harness(workload, config=base_cfg, scale=scale, seed=seed)
+    harness_solo = Harness(
+        workload,
+        config=RSkipConfig(memoization=False),
+        scale=scale,
+        seed=seed,
+    )
+    for ar in ars:
+        scheme = f"AR{ar}"
+        full = harness_full.run_all([scheme], inp)
+        solo = harness_solo.run_all([scheme], inp)
+        rows.append(
+            Figure8aRow(
+                scheme=scheme,
+                interp_only_time=solo[scheme].normalized(solo["UNSAFE"])["time"],
+                interp_only_skip=solo[scheme].skip_rate or 0.0,
+                full_time=full[scheme].normalized(full["UNSAFE"])["time"],
+                full_skip=full[scheme].skip_rate or 0.0,
+            )
+        )
+    return rows
+
+
+@dataclass
+class Figure8bRow:
+    input_id: int
+    swift_r_time: float
+    rskip_time: float
+    skip_rate: float
+
+
+def figure8b(
+    workload: Workload,
+    inputs: int = 20,
+    scale: float = 0.6,
+    seed: int = 2,
+) -> List[Figure8bRow]:
+    """lud input-diversity study: per-test-input normalized time and skip
+    rate at AR20, against SWIFT-R (Figure 8b)."""
+    harness = Harness(workload, scale=scale, seed=seed)
+    rows = []
+    for i, inp in enumerate(workload.test_inputs(inputs, seed=seed, scale=scale), 1):
+        records = harness.run_all(["SWIFT-R", "AR20"], inp)
+        base = records["UNSAFE"]
+        rows.append(
+            Figure8bRow(
+                input_id=i,
+                swift_r_time=records["SWIFT-R"].normalized(base)["time"],
+                rskip_time=records["AR20"].normalized(base)["time"],
+                skip_rate=records["AR20"].skip_rate or 0.0,
+            )
+        )
+    return rows

@@ -1,0 +1,199 @@
+"""Plain-text rendering of the experiment results (the benches print
+these; EXPERIMENTS.md records them)."""
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..runtime.outcomes import Outcome
+from .fault_campaign import CampaignResult
+from .motivation import MotivationRow
+from .perf import Figure7Result, Figure8aRow, Figure8bRow
+from .table1 import Table1Row
+from .tradeoff import TradeoffRow
+
+
+def _fmt(value, width: int = 7, pct: bool = False) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    if pct:
+        return f"{value:{width}.1%}"
+    return f"{value:{width}.2f}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def render_figure7(result: Figure7Result, metric: str, pct: bool = False) -> str:
+    """One of Figures 7a-7d as a text table (*metric* in 'skip', 'time',
+    'instructions', 'ipc')."""
+    headers = ["benchmark"] + list(result.schemes)
+    rows = []
+    for name, cells in result.rows.items():
+        row = [name]
+        for scheme in result.schemes:
+            cell = cells.get(scheme, {})
+            row.append(_fmt(cell.get(metric), pct=pct).strip())
+        rows.append(row)
+    avg_row = ["average"]
+    for avg in result.averages():
+        value = {
+            "skip": avg.skip_rate,
+            "time": avg.norm_time,
+            "instructions": avg.norm_instructions,
+            "ipc": avg.norm_ipc,
+        }[metric]
+        avg_row.append(_fmt(value, pct=pct).strip())
+    rows.append(avg_row)
+    return render_table(headers, rows)
+
+
+def render_figure8a(rows: Sequence[Figure8aRow]) -> str:
+    headers = ["scheme", "interp time", "interp skip", "full time", "full skip"]
+    body = [
+        [
+            r.scheme,
+            f"{r.interp_only_time:.2f}x",
+            f"{r.interp_only_skip:.1%}",
+            f"{r.full_time:.2f}x",
+            f"{r.full_skip:.1%}",
+        ]
+        for r in rows
+    ]
+    return render_table(headers, body)
+
+
+def render_figure8b(rows: Sequence[Figure8bRow]) -> str:
+    headers = ["input", "SWIFT-R time", "RSkip(AR20) time", "skip rate"]
+    body = [
+        [str(r.input_id), f"{r.swift_r_time:.2f}x", f"{r.rskip_time:.2f}x", f"{r.skip_rate:.1%}"]
+        for r in rows
+    ]
+    n = len(rows)
+    if n:
+        body.append(
+            [
+                "average",
+                f"{sum(r.swift_r_time for r in rows)/n:.2f}x",
+                f"{sum(r.rskip_time for r in rows)/n:.2f}x",
+                f"{sum(r.skip_rate for r in rows)/n:.1%}",
+            ]
+        )
+    return render_table(headers, body)
+
+
+def render_figure9a(
+    results: Dict[Tuple[str, str], CampaignResult],
+    schemes: Sequence[str],
+) -> str:
+    headers = ["benchmark", "scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang"]
+    body = []
+    workload_names = sorted({k[0] for k in results})
+    for name in workload_names:
+        for scheme in schemes:
+            campaign = results.get((name, scheme))
+            if campaign is None:
+                continue
+            body.append(
+                [
+                    name,
+                    scheme,
+                    f"{campaign.rate(Outcome.CORRECT):.1%}",
+                    f"{campaign.rate(Outcome.SDC):.1%}",
+                    f"{campaign.rate(Outcome.SEGFAULT):.1%}",
+                    f"{campaign.rate(Outcome.CORE_DUMP):.1%}",
+                    f"{campaign.rate(Outcome.HANG):.1%}",
+                ]
+            )
+    # averages per scheme
+    for scheme in schemes:
+        group = [c for (n, s), c in results.items() if s == scheme]
+        if not group:
+            continue
+        k = len(group)
+        body.append(
+            [
+                "average",
+                scheme,
+                f"{sum(c.rate(Outcome.CORRECT) for c in group)/k:.1%}",
+                f"{sum(c.rate(Outcome.SDC) for c in group)/k:.1%}",
+                f"{sum(c.rate(Outcome.SEGFAULT) for c in group)/k:.1%}",
+                f"{sum(c.rate(Outcome.CORE_DUMP) for c in group)/k:.1%}",
+                f"{sum(c.rate(Outcome.HANG) for c in group)/k:.1%}",
+            ]
+        )
+    return render_table(headers, body)
+
+
+def render_figure9b(
+    results: Dict[Tuple[str, str], CampaignResult],
+    schemes: Sequence[str] = ("AR20", "AR50", "AR80", "AR100"),
+) -> str:
+    headers = ["benchmark", "scheme", "false negatives", "FN->Correct",
+               "FN->SDC", "caught"]
+    body = []
+    workload_names = sorted({k[0] for k in results})
+    for name in workload_names:
+        for scheme in schemes:
+            campaign = results.get((name, scheme))
+            if campaign is None:
+                continue
+            body.append(
+                [
+                    name,
+                    scheme,
+                    f"{campaign.fn_rate:.1%}",
+                    f"{campaign.fn_by_outcome[Outcome.CORRECT]/campaign.trials:.1%}",
+                    f"{campaign.fn_by_outcome[Outcome.SDC]/campaign.trials:.1%}",
+                    f"{campaign.caught/campaign.trials:.1%}",
+                ]
+            )
+    for scheme in schemes:
+        group = [c for (n, s), c in results.items() if s == scheme]
+        if not group:
+            continue
+        k = len(group)
+        body.append(
+            [
+                "average",
+                scheme,
+                f"{sum(c.fn_rate for c in group)/k:.1%}",
+                f"{sum(c.fn_by_outcome[Outcome.CORRECT]/c.trials for c in group)/k:.1%}",
+                f"{sum(c.fn_by_outcome[Outcome.SDC]/c.trials for c in group)/k:.1%}",
+                f"{sum(c.caught/c.trials for c in group)/k:.1%}",
+            ]
+        )
+    return render_table(headers, body)
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    headers = ["benchmark", "domain", "computation type of prediction target", "location", "input"]
+    body = [
+        [r.benchmark, r.domain, r.computation_type, r.location, r.input_description]
+        for r in rows
+    ]
+    return render_table(headers, body)
+
+
+def render_figure2(rows: Sequence[MotivationRow]) -> str:
+    headers = ["benchmark", "Trend", "Top 10", "loop share"]
+    body = [
+        [r.workload, f"{r.trend_coverage:.1%}", f"{r.topk_coverage:.1%}", f"{r.loop_share:.1%}"]
+        for r in rows
+    ]
+    return render_table(headers, body)
+
+
+def render_tradeoff(rows: Sequence[TradeoffRow]) -> str:
+    headers = ["scheme", "protection rate", "slowdown"]
+    body = [
+        [r.scheme, f"{r.protection_rate:.2%}", f"{r.slowdown:.2f}x"] for r in rows
+    ]
+    return render_table(headers, body)

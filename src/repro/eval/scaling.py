@@ -1,0 +1,68 @@
+"""Problem-size sensitivity study.
+
+The paper evaluates at production sizes (1024x1024 matrices, 64K options);
+this reproduction runs scaled-down problems on an interpreted substrate.
+This study quantifies what that costs: for a workload, it sweeps the
+scale knob and reports how the skip rate and the normalized overhead
+move.  EXPERIMENTS.md's "lud is scale-bound" claim comes from here —
+dynamic interpolation amortizes its two endpoint re-computations per
+phase, so longer loops skip more.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.config import RSkipConfig
+from ..workloads.base import Workload
+from .harness import Harness
+
+
+@dataclass
+class ScalingRow:
+    scale: float
+    elements: int
+    skip_rate: float
+    norm_instructions: float
+    norm_time: Optional[float]
+
+
+def scaling_study(
+    workload: Workload,
+    scales: Sequence[float] = (0.4, 0.7, 1.0, 1.4),
+    scheme: str = "AR20",
+    seed: int = 2,
+    timing: bool = False,
+    config: Optional[RSkipConfig] = None,
+) -> List[ScalingRow]:
+    """Skip rate and overhead of one RSkip scheme across problem sizes."""
+    rows: List[ScalingRow] = []
+    for scale in scales:
+        harness = Harness(workload, config=config, scale=scale, timing=timing)
+        inp = workload.test_inputs(1, seed=seed, scale=scale)[0]
+        records = harness.run_all([scheme], inp)
+        base = records["UNSAFE"]
+        rec = records[scheme]
+        norm = rec.normalized(base)
+        rows.append(
+            ScalingRow(
+                scale=scale,
+                elements=rec.stats.elements if rec.stats else 0,
+                skip_rate=rec.skip_rate or 0.0,
+                norm_instructions=norm["instructions"],
+                norm_time=norm["time"] if timing else None,
+            )
+        )
+    return rows
+
+
+def render_scaling(workload_name: str, rows: Sequence[ScalingRow]) -> str:
+    from .reporting import render_table
+
+    headers = ["scale", "loop elements", "skip rate", "norm instructions"]
+    body = [
+        [f"{r.scale:.1f}", str(r.elements), f"{r.skip_rate:.1%}",
+         f"{r.norm_instructions:.2f}x"]
+        for r in rows
+    ]
+    return f"{workload_name} scaling:\n" + render_table(headers, body)

@@ -1,0 +1,120 @@
+"""Protection schemes under evaluation.
+
+The evaluation compares (Figure 7/9): ``UNSAFE`` (no protection),
+``SWIFT`` (duplication, detection only — extra, not in the paper's
+figures), ``SWIFT-R`` (the baseline: triplication + voting recovery) and
+``RSkip`` at AR20/AR50/AR80/AR100.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.patterns import TargetLoop, detect_target_loops
+from ..core.config import RSkipConfig
+from ..core.manager import LoopProfile, RskipRuntime
+from ..core.rskip import RskipApplication, apply_rskip
+from ..ir.module import Module
+from ..runtime.errors import FaultDetectedError
+from ..runtime.faults import Region
+from ..transforms.swift import DETECT_INTRINSIC, apply_swift, apply_swift_r
+from ..workloads.base import Workload
+
+UNSAFE = "UNSAFE"
+SWIFT = "SWIFT"
+SWIFT_R = "SWIFT-R"
+
+
+def rskip_label(acceptable_range: float) -> str:
+    return f"AR{int(round(acceptable_range * 100))}"
+
+#: The scheme order of the paper's figures.
+PAPER_SCHEMES = (UNSAFE, SWIFT_R, "AR20", "AR50", "AR80", "AR100")
+
+
+def _swift_detected(interp, args):
+    raise FaultDetectedError("SWIFT detected a transient fault")
+
+
+@dataclass
+class PreparedProgram:
+    """A workload module compiled under one protection scheme."""
+
+    scheme: str
+    module: Module
+    intrinsics: Dict[str, object] = field(default_factory=dict)
+    application: Optional[RskipApplication] = None
+    #: target loops of the *original* module (same block labels — builds
+    #: are deterministic), for fault-region construction
+    original_targets: List[TargetLoop] = field(default_factory=list)
+    main: str = "main"
+
+    @property
+    def runtime(self) -> Optional[RskipRuntime]:
+        return self.application.runtime if self.application else None
+
+
+def prepare(
+    workload: Workload,
+    scheme: str,
+    config: Optional[RSkipConfig] = None,
+    profiles: Optional[Dict[str, LoopProfile]] = None,
+) -> PreparedProgram:
+    """Build the workload's module and apply the requested scheme.
+
+    For RSkip schemes, pass the scheme as ``"AR20"``-style label or supply
+    *config* directly.
+    """
+    module = workload.build()
+    original_targets = detect_target_loops(module.get_function(workload.main), module)
+
+    if scheme == UNSAFE:
+        return PreparedProgram(scheme, module, {}, None, original_targets, workload.main)
+
+    if scheme == SWIFT:
+        apply_swift(module)
+        return PreparedProgram(
+            scheme, module, {DETECT_INTRINSIC: _swift_detected}, None,
+            original_targets, workload.main,
+        )
+
+    if scheme == SWIFT_R:
+        apply_swift_r(module)
+        return PreparedProgram(scheme, module, {}, None, original_targets, workload.main)
+
+    if scheme.startswith("AR"):
+        ar = int(scheme[2:]) / 100.0
+        config = (config or RSkipConfig()).with_ar(ar)
+    elif config is None:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    app = apply_rskip(module, config, profiles)
+    return PreparedProgram(
+        rskip_label(config.acceptable_range), module, app.intrinsics(), app,
+        original_targets, workload.main,
+    )
+
+
+def fault_region(prepared: PreparedProgram) -> Region:
+    """The paper's injection discipline: faults land only inside the
+    detected loops (expanded through transform provenance) and the
+    functions implementing their computation."""
+    loop_labels = set()
+    funcs = set()
+    for target in prepared.original_targets:
+        loop_labels |= target.loop.blocks
+        if target.callee is not None:
+            funcs.add(target.callee)
+
+    app = prepared.application
+    if app is not None:
+        for layout in app.layouts:
+            funcs.update(layout.region_funcs)
+
+    blocks = set()
+    main_func = prepared.module.get_function(prepared.main)
+    provenance = main_func.attrs.get("provenance", {})
+    for label in main_func.blocks:
+        if provenance.get(label, label) in loop_labels:
+            blocks.add((prepared.main, label))
+    return Region(funcs=funcs, blocks=blocks)

@@ -1,0 +1,83 @@
+"""The acceptable-range continuum.
+
+The paper evaluates four points (AR20/50/80/100) and argues their
+rationality in section 7.3.  This study sweeps AR continuously to expose
+the whole tradeoff curve — where the skip rate saturates, where the
+protection rate starts paying for it — so a user can pick an operating
+point instead of one of four presets.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.config import RSkipConfig
+from ..workloads.base import Workload
+from .fault_campaign import run_campaign
+from .harness import Harness
+
+
+@dataclass
+class SweepPoint:
+    acceptable_range: float
+    skip_rate: float
+    norm_instructions: float
+    protection_rate: Optional[float] = None
+    fn_rate: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        return f"AR{int(round(self.acceptable_range * 100))}"
+
+
+def ar_sweep(
+    workload: Workload,
+    ars: Sequence[float] = (0.05, 0.1, 0.2, 0.35, 0.5, 0.8, 1.0, 1.5, 2.0),
+    scale: float = 0.5,
+    trials: int = 0,
+    sfi_scale: float = 0.35,
+    seed: int = 2,
+) -> List[SweepPoint]:
+    """Skip rate and overhead (and protection with ``trials > 0``) across a
+    fine AR grid for one workload."""
+    harness = Harness(workload, scale=scale, timing=False, seed=seed)
+    inp = workload.test_inputs(1, seed=seed, scale=scale)[0]
+    points: List[SweepPoint] = []
+    for ar in ars:
+        profiles = harness.profiles_for(ar)
+        scheme = f"AR{int(round(ar * 100))}"
+        from .schemes import prepare
+
+        prepared = prepare(workload, scheme, RSkipConfig(), profiles)
+        base = harness.run_scheme("UNSAFE", inp)
+        rec = harness.run_scheme(scheme, inp, golden=base.output, prepared=prepared)
+        point = SweepPoint(
+            acceptable_range=ar,
+            skip_rate=rec.skip_rate or 0.0,
+            norm_instructions=rec.steps / base.steps,
+        )
+        if trials > 0:
+            campaign = run_campaign(
+                workload, scheme, trials, scale=sfi_scale, profiles=profiles
+            )
+            point.protection_rate = campaign.protection_rate
+            point.fn_rate = campaign.fn_rate
+        points.append(point)
+    return points
+
+
+def render_sweep(workload_name: str, points: Sequence[SweepPoint]) -> str:
+    from .reporting import render_table
+
+    with_sfi = any(p.protection_rate is not None for p in points)
+    headers = ["AR", "skip rate", "norm instructions"]
+    if with_sfi:
+        headers += ["protection", "false negatives"]
+    body = []
+    for p in points:
+        row = [p.label, f"{p.skip_rate:.1%}", f"{p.norm_instructions:.2f}x"]
+        if with_sfi:
+            row.append("-" if p.protection_rate is None else f"{p.protection_rate:.1%}")
+            row.append("-" if p.fn_rate is None else f"{p.fn_rate:.1%}")
+        body.append(row)
+    return f"{workload_name} acceptable-range sweep:\n" + render_table(headers, body)

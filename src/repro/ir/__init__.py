@@ -1,0 +1,32 @@
+"""repro.ir — the IR substrate: types, values, instructions, functions,
+modules, a builder, a textual printer/parser and a verifier."""
+from .types import F64, I64, PTR, Type, VOID, parse_type
+from .values import Const, GlobalAddr, Reg, Value, f64, i64
+from .instructions import (
+    CmpPred,
+    FLOAT_BINOPS,
+    FLOAT_UNOPS,
+    INT_BINOPS,
+    Instr,
+    Opcode,
+    SYNC_OPCODES,
+    TERMINATORS,
+)
+from .basicblock import BasicBlock
+from .function import Function
+from .module import GlobalVar, Module
+from .builder import IRBuilder
+from .printer import format_function, format_instr, format_module, format_value
+from .parser import ParseError, parse_module
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "F64", "I64", "PTR", "VOID", "Type", "parse_type",
+    "Const", "GlobalAddr", "Reg", "Value", "f64", "i64",
+    "CmpPred", "Instr", "Opcode",
+    "FLOAT_BINOPS", "FLOAT_UNOPS", "INT_BINOPS", "SYNC_OPCODES", "TERMINATORS",
+    "BasicBlock", "Function", "GlobalVar", "Module", "IRBuilder",
+    "format_function", "format_instr", "format_module", "format_value",
+    "ParseError", "parse_module",
+    "VerificationError", "verify_function", "verify_module",
+]

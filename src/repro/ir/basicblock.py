@@ -1,0 +1,52 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .instructions import Instr, Opcode
+
+
+class BasicBlock:
+    """A labeled sequence of instructions.
+
+    The final instruction must be a terminator (``br``, ``cbr`` or ``ret``)
+    once the function is complete; the verifier enforces this.
+    """
+
+    __slots__ = ("label", "instrs")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instrs: List[Instr] = []
+
+    def append(self, instr: Instr) -> Instr:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> List[str]:
+        """Labels of successor blocks (empty for ``ret`` / unterminated)."""
+        term = self.terminator
+        if term is None or term.op is Opcode.RET:
+            return []
+        return list(term.labels)
+
+    def body(self) -> List[Instr]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instrs[:-1]
+        return list(self.instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self.instrs)} instrs)>"

@@ -1,0 +1,310 @@
+"""Convenient construction of IR functions.
+
+``IRBuilder`` keeps an insertion point (a basic block) and offers one method
+per opcode, each returning the destination register.  Structured helpers
+(:meth:`IRBuilder.loop`, :meth:`IRBuilder.if_then_else`) build the common
+loop and conditional shapes of the paper's benchmarks.
+"""
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+from .basicblock import BasicBlock
+from .function import Function
+from .instructions import CmpPred, Instr, Opcode
+from .types import F64, I64, PTR, Type, VOID
+from .values import Const, GlobalAddr, Reg, Value
+
+Operand = Union[Value, int, float]
+
+
+class IRBuilder:
+    """Builds instructions into a function at a movable insertion point."""
+
+    def __init__(self, func: Function, block: Optional[BasicBlock] = None):
+        self.func = func
+        if block is None:
+            block = func.add_block("entry") if not func.blocks else func.entry
+        self.block = block
+
+    # -- positioning -----------------------------------------------------
+    def at_end(self, block: BasicBlock) -> "IRBuilder":
+        self.block = block
+        return self
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        return self.func.add_block(self.func.new_label(hint))
+
+    # -- operand coercion -------------------------------------------------
+    @staticmethod
+    def _coerce(value: Operand, ty: Type) -> Value:
+        if isinstance(value, Value):
+            return value
+        if ty.is_float:
+            return Const(float(value), F64)
+        return Const(int(value), ty)
+
+    def _value(self, value: Operand) -> Value:
+        """Coerce a bare Python number to a constant (int -> i64)."""
+        if isinstance(value, Value):
+            return value
+        if isinstance(value, bool):
+            return Const(int(value), I64)
+        if isinstance(value, int):
+            return Const(value, I64)
+        return Const(float(value), F64)
+
+    def _emit(self, instr: Instr) -> Optional[Reg]:
+        self.block.append(instr)
+        return instr.dest
+
+    def _binop(self, op: Opcode, a: Operand, b: Operand, ty: Type, hint: str) -> Reg:
+        av, bv = self._coerce(a, ty), self._coerce(b, ty)
+        dest = self.func.new_reg(ty, hint)
+        self._emit(Instr(op, dest=dest, args=(av, bv)))
+        return dest
+
+    def _unop(self, op: Opcode, a: Operand, ty: Type, hint: str) -> Reg:
+        av = self._coerce(a, ty)
+        dest = self.func.new_reg(ty, hint)
+        self._emit(Instr(op, dest=dest, args=(av,)))
+        return dest
+
+    # -- data movement ----------------------------------------------------
+    def mov(self, value: Operand, dest: Optional[Reg] = None, hint: str = "v") -> Reg:
+        val = self._value(value)
+        if dest is None:
+            dest = self.func.new_reg(val.ty, hint)
+        self._emit(Instr(Opcode.MOV, dest=dest, args=(val,)))
+        return dest
+
+    # -- integer arithmetic -------------------------------------------------
+    def add(self, a: Operand, b: Operand, hint: str = "add") -> Reg:
+        return self._binop(Opcode.ADD, a, b, I64, hint)
+
+    def sub(self, a: Operand, b: Operand, hint: str = "sub") -> Reg:
+        return self._binop(Opcode.SUB, a, b, I64, hint)
+
+    def mul(self, a: Operand, b: Operand, hint: str = "mul") -> Reg:
+        return self._binop(Opcode.MUL, a, b, I64, hint)
+
+    def sdiv(self, a: Operand, b: Operand, hint: str = "div") -> Reg:
+        return self._binop(Opcode.SDIV, a, b, I64, hint)
+
+    def srem(self, a: Operand, b: Operand, hint: str = "rem") -> Reg:
+        return self._binop(Opcode.SREM, a, b, I64, hint)
+
+    def and_(self, a: Operand, b: Operand, hint: str = "and") -> Reg:
+        return self._binop(Opcode.AND, a, b, I64, hint)
+
+    def or_(self, a: Operand, b: Operand, hint: str = "or") -> Reg:
+        return self._binop(Opcode.OR, a, b, I64, hint)
+
+    def xor(self, a: Operand, b: Operand, hint: str = "xor") -> Reg:
+        return self._binop(Opcode.XOR, a, b, I64, hint)
+
+    def shl(self, a: Operand, b: Operand, hint: str = "shl") -> Reg:
+        return self._binop(Opcode.SHL, a, b, I64, hint)
+
+    def lshr(self, a: Operand, b: Operand, hint: str = "shr") -> Reg:
+        return self._binop(Opcode.LSHR, a, b, I64, hint)
+
+    # -- pointer arithmetic (ADD/MUL on PTR produce PTR) -------------------
+    def padd(self, base: Operand, offset: Operand, hint: str = "addr") -> Reg:
+        """base + offset -> ptr; the idiom for address computation."""
+        bv = self._value(base)
+        ov = self._value(offset)
+        dest = self.func.new_reg(PTR, hint)
+        self._emit(Instr(Opcode.ADD, dest=dest, args=(bv, ov)))
+        return dest
+
+    # -- float arithmetic ---------------------------------------------------
+    def fadd(self, a: Operand, b: Operand, hint: str = "fadd") -> Reg:
+        return self._binop(Opcode.FADD, a, b, F64, hint)
+
+    def fsub(self, a: Operand, b: Operand, hint: str = "fsub") -> Reg:
+        return self._binop(Opcode.FSUB, a, b, F64, hint)
+
+    def fmul(self, a: Operand, b: Operand, hint: str = "fmul") -> Reg:
+        return self._binop(Opcode.FMUL, a, b, F64, hint)
+
+    def fdiv(self, a: Operand, b: Operand, hint: str = "fdiv") -> Reg:
+        return self._binop(Opcode.FDIV, a, b, F64, hint)
+
+    def fneg(self, a: Operand, hint: str = "fneg") -> Reg:
+        return self._unop(Opcode.FNEG, a, F64, hint)
+
+    def fabs(self, a: Operand, hint: str = "fabs") -> Reg:
+        return self._unop(Opcode.FABS, a, F64, hint)
+
+    def sqrt(self, a: Operand, hint: str = "sqrt") -> Reg:
+        return self._unop(Opcode.SQRT, a, F64, hint)
+
+    def exp(self, a: Operand, hint: str = "exp") -> Reg:
+        return self._unop(Opcode.EXP, a, F64, hint)
+
+    def log(self, a: Operand, hint: str = "log") -> Reg:
+        return self._unop(Opcode.LOG, a, F64, hint)
+
+    def sin(self, a: Operand, hint: str = "sin") -> Reg:
+        return self._unop(Opcode.SIN, a, F64, hint)
+
+    def cos(self, a: Operand, hint: str = "cos") -> Reg:
+        return self._unop(Opcode.COS, a, F64, hint)
+
+    def floor(self, a: Operand, hint: str = "floor") -> Reg:
+        return self._unop(Opcode.FLOOR, a, F64, hint)
+
+    # -- conversions --------------------------------------------------------
+    def sitofp(self, a: Operand, hint: str = "tofp") -> Reg:
+        av = self._coerce(a, I64)
+        dest = self.func.new_reg(F64, hint)
+        self._emit(Instr(Opcode.SITOFP, dest=dest, args=(av,)))
+        return dest
+
+    def fptosi(self, a: Operand, hint: str = "tosi") -> Reg:
+        av = self._coerce(a, F64)
+        dest = self.func.new_reg(I64, hint)
+        self._emit(Instr(Opcode.FPTOSI, dest=dest, args=(av,)))
+        return dest
+
+    # -- comparisons ----------------------------------------------------------
+    def icmp(self, pred: CmpPred, a: Operand, b: Operand, hint: str = "cmp") -> Reg:
+        av, bv = self._value(a), self._value(b)
+        dest = self.func.new_reg(I64, hint)
+        self._emit(Instr(Opcode.ICMP, dest=dest, args=(av, bv), pred=pred))
+        return dest
+
+    def fcmp(self, pred: CmpPred, a: Operand, b: Operand, hint: str = "cmp") -> Reg:
+        av, bv = self._coerce(a, F64), self._coerce(b, F64)
+        dest = self.func.new_reg(I64, hint)
+        self._emit(Instr(Opcode.FCMP, dest=dest, args=(av, bv), pred=pred))
+        return dest
+
+    def select(self, cond: Operand, a: Operand, b: Operand, hint: str = "sel") -> Reg:
+        cv = self._value(cond)
+        av, bv = self._value(a), self._value(b)
+        dest = self.func.new_reg(av.ty, hint)
+        self._emit(Instr(Opcode.SELECT, dest=dest, args=(cv, av, bv)))
+        return dest
+
+    # -- memory ------------------------------------------------------------
+    def load(self, addr: Operand, ty: Type = F64, hint: str = "ld") -> Reg:
+        av = self._value(addr)
+        dest = self.func.new_reg(ty, hint)
+        self._emit(Instr(Opcode.LOAD, dest=dest, args=(av,)))
+        return dest
+
+    def store(self, value: Operand, addr: Operand) -> None:
+        self._emit(Instr(Opcode.STORE, args=(self._value(value), self._value(addr))))
+
+    def alloc(self, size: Operand, hint: str = "buf") -> Reg:
+        sv = self._value(size)
+        dest = self.func.new_reg(PTR, hint)
+        self._emit(Instr(Opcode.ALLOC, dest=dest, args=(sv,)))
+        return dest
+
+    def global_addr(self, name: str) -> GlobalAddr:
+        return GlobalAddr(name)
+
+    # -- control flow --------------------------------------------------------
+    def br(self, target: Union[str, BasicBlock]) -> None:
+        label = target.label if isinstance(target, BasicBlock) else target
+        self._emit(Instr(Opcode.BR, labels=(label,)))
+
+    def cbr(
+        self,
+        cond: Operand,
+        if_true: Union[str, BasicBlock],
+        if_false: Union[str, BasicBlock],
+    ) -> None:
+        tl = if_true.label if isinstance(if_true, BasicBlock) else if_true
+        fl = if_false.label if isinstance(if_false, BasicBlock) else if_false
+        self._emit(Instr(Opcode.CBR, args=(self._value(cond),), labels=(tl, fl)))
+
+    def ret(self, value: Optional[Operand] = None) -> None:
+        args = () if value is None else (self._value(value),)
+        self._emit(Instr(Opcode.RET, args=args))
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[Operand] = (),
+        ret_ty: Type = F64,
+        hint: str = "call",
+    ) -> Optional[Reg]:
+        vals = tuple(self._value(a) for a in args)
+        dest = None if ret_ty is VOID else self.func.new_reg(ret_ty, hint)
+        self._emit(Instr(Opcode.CALL, dest=dest, args=vals, callee=callee))
+        return dest
+
+    def intrin(
+        self,
+        name: str,
+        args: Sequence[Operand] = (),
+        ret_ty: Type = I64,
+        hint: str = "rt",
+    ) -> Optional[Reg]:
+        vals = tuple(self._value(a) for a in args)
+        dest = None if ret_ty is VOID else self.func.new_reg(ret_ty, hint)
+        self._emit(Instr(Opcode.INTRIN, dest=dest, args=vals, callee=name))
+        return dest
+
+    # -- structured helpers -----------------------------------------------
+    @contextlib.contextmanager
+    def loop(
+        self,
+        start: Operand,
+        end: Operand,
+        step: Operand = 1,
+        hint: str = "loop",
+    ) -> Iterator[Reg]:
+        """Build a counted loop ``for (i = start; i < end; i += step)``.
+
+        Yields the induction register; the builder is positioned in the loop
+        body inside the ``with`` block and at the loop exit afterwards.
+        """
+        head = self.new_block(f"{hint}.head")
+        body = self.new_block(f"{hint}.body")
+        latch = self.new_block(f"{hint}.latch")
+        exit_bb = self.new_block(f"{hint}.exit")
+
+        idx = self.mov(self._value(start), hint=f"{hint}.i")
+        self.br(head)
+
+        self.at_end(head)
+        cond = self.icmp(CmpPred.LT, idx, self._value(end), hint=f"{hint}.cond")
+        self.cbr(cond, body, exit_bb)
+
+        self.at_end(body)
+        yield idx
+        # fall through from wherever the body ended into the latch
+        self.br(latch)
+        self.at_end(latch)
+        bumped = self.add(idx, self._value(step), hint=f"{hint}.next")
+        self.mov(bumped, dest=idx)
+        self.br(head)
+        self.at_end(exit_bb)
+
+    def if_then_else(
+        self,
+        cond: Operand,
+        then_fn: Callable[["IRBuilder"], None],
+        else_fn: Optional[Callable[["IRBuilder"], None]] = None,
+        hint: str = "if",
+    ) -> None:
+        """Build an if/else diamond; both callbacks emit into this builder."""
+        then_bb = self.new_block(f"{hint}.then")
+        merge_bb = self.new_block(f"{hint}.end")
+        else_bb = self.new_block(f"{hint}.else") if else_fn is not None else merge_bb
+
+        self.cbr(cond, then_bb, else_bb)
+        self.at_end(then_bb)
+        then_fn(self)
+        self.br(merge_bb)
+        if else_fn is not None:
+            self.at_end(else_bb)
+            else_fn(self)
+            self.br(merge_bb)
+        self.at_end(merge_bb)

@@ -1,0 +1,93 @@
+"""IR functions: parameter list, register namespace and CFG of basic blocks."""
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .basicblock import BasicBlock
+from .instructions import Instr
+from .types import Type
+from .values import Reg
+
+
+class Function:
+    """A function: ordered blocks, the first being the entry block.
+
+    Registers live in a per-function namespace; :meth:`new_reg` mints fresh
+    names so transforms can clone computation without collisions.
+    """
+
+    def __init__(self, name: str, params: List[Reg], ret_type: Type):
+        self.name = name
+        self.params = list(params)
+        self.ret_type = ret_type
+        self.blocks: Dict[str, BasicBlock] = {}
+        self._block_order: List[str] = []
+        self._reg_counter = 0
+        self._label_counter = 0
+        #: free-form annotations set by analyses/transforms (e.g. the RSkip
+        #: pattern detector marks outlined loop bodies here).
+        self.attrs: Dict[str, object] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_block(self, label: Optional[str] = None) -> BasicBlock:
+        if label is None:
+            label = self.new_label("bb")
+        if label in self.blocks:
+            raise ValueError(f"duplicate block label {label!r} in @{self.name}")
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        self._block_order.append(label)
+        return block
+
+    def new_reg(self, ty: Type, hint: str = "t") -> Reg:
+        """Mint a fresh register with a unique name derived from *hint*."""
+        self._reg_counter += 1
+        return Reg(f"{hint}.{self._reg_counter}", ty)
+
+    def new_label(self, hint: str = "bb") -> str:
+        self._label_counter += 1
+        label = f"{hint}.{self._label_counter}"
+        while label in self.blocks:
+            self._label_counter += 1
+            label = f"{hint}.{self._label_counter}"
+        return label
+
+    # -- access ----------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        if not self._block_order:
+            raise ValueError(f"function @{self.name} has no blocks")
+        return self.blocks[self._block_order[0]]
+
+    def block_order(self) -> List[str]:
+        return list(self._block_order)
+
+    def reorder_blocks(self, order: List[str]) -> None:
+        """Set block order; must be a permutation of the current labels."""
+        if sorted(order) != sorted(self._block_order):
+            raise ValueError("reorder_blocks requires a permutation of labels")
+        self._block_order = list(order)
+
+    def remove_block(self, label: str) -> None:
+        del self.blocks[label]
+        self._block_order.remove(label)
+
+    def instructions(self) -> Iterator[Instr]:
+        """All instructions in block order."""
+        for label in self._block_order:
+            yield from self.blocks[label].instrs
+
+    def defined_regs(self) -> Dict[str, Reg]:
+        """All registers defined anywhere (params included)."""
+        regs = {p.name: p for p in self.params}
+        for instr in self.instructions():
+            if instr.dest is not None:
+                regs[instr.dest.name] = instr.dest
+        return regs
+
+    def size(self) -> int:
+        """Static instruction count."""
+        return sum(len(b) for b in self.blocks.values())
+
+    def __repr__(self) -> str:
+        return f"<Function @{self.name} ({len(self.blocks)} blocks, {self.size()} instrs)>"

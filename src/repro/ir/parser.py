@@ -1,0 +1,257 @@
+"""Parser for the textual IR form produced by :mod:`repro.ir.printer`."""
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .function import Function
+from .instructions import CmpPred, Instr, Opcode
+from .module import Module
+from .types import Type, parse_type
+from .values import Const, GlobalAddr, Reg, Value
+
+
+class ParseError(ValueError):
+    """Raised on malformed textual IR; carries the offending line number."""
+
+    def __init__(self, message: str, lineno: int):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_RE_GLOBAL = re.compile(
+    r"^global\s+@(?P<name>[\w.]+)\s+(?P<size>\d+)\s+(?P<ty>\w+)"
+    r"(?:\s*=\s*\[(?P<init>.*)\])?$"
+)
+_RE_FUNC = re.compile(
+    r"^func\s+@(?P<name>[\w.]+)\((?P<params>[^)]*)\)\s*->\s*(?P<ret>\w+)\s*\{$"
+)
+_RE_LABEL = re.compile(r"^(?P<label>[\w.]+):$")
+_RE_CALLISH = re.compile(
+    r"^(?:%(?P<dest>[\w.]+)\s*=\s*)?(?P<kind>call|intrin)\s+@?(?P<callee>[\w.]+)"
+    r"\((?P<args>[^)]*)\)(?:\s*:\s*(?P<ty>\w+))?$"
+)
+
+_CMP_PREDS = {p.value: p for p in CmpPred}
+_OPCODES = {o.value: o for o in Opcode}
+
+_INT_RESULT = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SDIV, Opcode.SREM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.LSHR,
+}
+_FLOAT_RESULT = {
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG,
+    Opcode.FABS, Opcode.SQRT, Opcode.EXP, Opcode.LOG, Opcode.SIN,
+    Opcode.COS, Opcode.FLOOR, Opcode.SITOFP,
+}
+
+
+class _FunctionParser:
+    def __init__(self, func: Function):
+        self.func = func
+        self.regs: Dict[str, Reg] = {p.name: p for p in func.params}
+
+    def value(self, text: str, lineno: int) -> Value:
+        text = text.strip()
+        if text.startswith("%"):
+            name = text[1:]
+            if name not in self.regs:
+                raise ParseError(f"use of undefined register %{name}", lineno)
+            return self.regs[name]
+        if text.startswith("@"):
+            return GlobalAddr(text[1:])
+        if ":" in text:
+            raw, _, tyname = text.rpartition(":")
+            ty = parse_type(tyname)
+            if ty.is_float:
+                return Const(float(raw), ty)
+            return Const(int(raw), ty)
+        raise ParseError(f"cannot parse operand {text!r}", lineno)
+
+    def dest_reg(self, name: str, ty: Type, lineno: int) -> Reg:
+        existing = self.regs.get(name)
+        if existing is not None:
+            if existing.ty is not ty:
+                raise ParseError(
+                    f"register %{name} redefined with type {ty}, was {existing.ty}",
+                    lineno,
+                )
+            return existing
+        reg = Reg(name, ty)
+        self.regs[name] = reg
+        return reg
+
+    def parse_instr(self, line: str, lineno: int) -> Instr:
+        call_match = _RE_CALLISH.match(line)
+        if call_match is not None:
+            return self._parse_call(call_match, lineno)
+
+        dest_name: Optional[str] = None
+        rest = line
+        if "=" in line and line.startswith("%"):
+            lhs, _, rest = line.partition("=")
+            dest_name = lhs.strip()[1:]
+            rest = rest.strip()
+
+        parts = rest.split(None, 1)
+        opname = parts[0]
+        operand_text = parts[1] if len(parts) > 1 else ""
+        if opname not in _OPCODES:
+            raise ParseError(f"unknown opcode {opname!r}", lineno)
+        op = _OPCODES[opname]
+
+        if op is Opcode.BR:
+            return Instr(Opcode.BR, labels=(operand_text.strip(),))
+        if op is Opcode.CBR:
+            cond_txt, l1, l2 = [p.strip() for p in operand_text.split(",")]
+            return Instr(Opcode.CBR, args=(self.value(cond_txt, lineno),), labels=(l1, l2))
+        if op is Opcode.RET:
+            if operand_text.strip():
+                return Instr(Opcode.RET, args=(self.value(operand_text, lineno),))
+            return Instr(Opcode.RET)
+
+        pred: Optional[CmpPred] = None
+        if op in (Opcode.ICMP, Opcode.FCMP):
+            predname, _, operand_text = operand_text.partition(" ")
+            if predname not in _CMP_PREDS:
+                raise ParseError(f"unknown compare predicate {predname!r}", lineno)
+            pred = _CMP_PREDS[predname]
+
+        result_ty: Optional[Type] = None
+        if op is Opcode.LOAD and ":" in operand_text:
+            # 'load %addr : f64' — split off the result annotation
+            operand_text, _, tyname = operand_text.rpartition(":")
+            maybe_ty = tyname.strip()
+            # distinguish 'load 5:ptr' (const operand) from annotation by
+            # requiring surrounding spaces in the printed form
+            if operand_text.rstrip().endswith(" ") or " : " in line:
+                result_ty = parse_type(maybe_ty)
+            else:
+                operand_text = f"{operand_text}:{tyname}"
+
+        args = tuple(
+            self.value(p, lineno)
+            for p in _split_operands(operand_text)
+        )
+
+        dest: Optional[Reg] = None
+        if dest_name is not None:
+            dest = self.dest_reg(dest_name, self._result_type(op, args, result_ty, lineno), lineno)
+        return Instr(op, dest=dest, args=args, pred=pred)
+
+    def _parse_call(self, match: "re.Match[str]", lineno: int) -> Instr:
+        kind = match.group("kind")
+        callee = match.group("callee")
+        args = tuple(
+            self.value(p, lineno) for p in _split_operands(match.group("args"))
+        )
+        dest = None
+        if match.group("dest") is not None:
+            tyname = match.group("ty")
+            if tyname is None:
+                raise ParseError("call with destination needs a result type", lineno)
+            dest = self.dest_reg(match.group("dest"), parse_type(tyname), lineno)
+        op = Opcode.CALL if kind == "call" else Opcode.INTRIN
+        return Instr(op, dest=dest, args=args, callee=callee)
+
+    def _result_type(
+        self,
+        op: Opcode,
+        args: Tuple[Value, ...],
+        annotated: Optional[Type],
+        lineno: int,
+    ) -> Type:
+        if annotated is not None:
+            return annotated
+        if op in _FLOAT_RESULT:
+            return Type.F64
+        if op in (Opcode.ICMP, Opcode.FCMP, Opcode.FPTOSI):
+            return Type.I64
+        if op is Opcode.ALLOC:
+            return Type.PTR
+        if op is Opcode.LOAD:
+            return Type.F64
+        if op in (Opcode.MOV, Opcode.SELECT):
+            src = args[-1]
+            return src.ty
+        if op in _INT_RESULT:
+            # pointer arithmetic keeps PTR type
+            if any(a.ty is Type.PTR for a in args):
+                return Type.PTR
+            return Type.I64
+        raise ParseError(f"cannot infer result type for {op}", lineno)
+
+
+def _split_operands(text: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [p.strip() for p in text.split(",")]
+
+
+def parse_module(source: str) -> Module:
+    """Parse the textual form back into a :class:`Module`."""
+    module = Module()
+    lines = source.splitlines()
+    func: Optional[Function] = None
+    fparser: Optional[_FunctionParser] = None
+    current_label: Optional[str] = None
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("module "):
+            module.name = line.split(None, 1)[1].strip()
+            continue
+
+        gmatch = _RE_GLOBAL.match(line)
+        if gmatch is not None and func is None:
+            init = None
+            if gmatch.group("init") is not None:
+                init = [float(v) for v in _split_operands(gmatch.group("init"))]
+            module.add_global(
+                gmatch.group("name"),
+                int(gmatch.group("size")),
+                parse_type(gmatch.group("ty")),
+                init,
+            )
+            continue
+
+        fmatch = _RE_FUNC.match(line)
+        if fmatch is not None:
+            params = []
+            ptext = fmatch.group("params").strip()
+            if ptext:
+                for p in ptext.split(","):
+                    pname, _, ptyname = p.strip().partition(":")
+                    params.append(Reg(pname.strip()[1:], parse_type(ptyname.strip())))
+            func = Function(fmatch.group("name"), params, parse_type(fmatch.group("ret")))
+            fparser = _FunctionParser(func)
+            current_label = None
+            continue
+
+        if line == "}":
+            if func is None:
+                raise ParseError("unmatched '}'", lineno)
+            module.add_function(func)
+            func, fparser, current_label = None, None, None
+            continue
+
+        if func is None or fparser is None:
+            raise ParseError(f"statement outside function: {line!r}", lineno)
+
+        lmatch = _RE_LABEL.match(line)
+        if lmatch is not None:
+            current_label = lmatch.group("label")
+            func.add_block(current_label)
+            continue
+
+        if current_label is None:
+            raise ParseError("instruction before any block label", lineno)
+        func.blocks[current_label].append(fparser.parse_instr(line, lineno))
+
+    if func is not None:
+        raise ParseError("unterminated function (missing '}')", len(lines))
+    return module

@@ -1,0 +1,90 @@
+"""Textual form of the IR.
+
+The format round-trips through :mod:`repro.ir.parser`:
+
+.. code-block:: text
+
+    module dot
+
+    global @a 64 f64
+    global @out 1 f64
+
+    func @dot(%a: ptr, %b: ptr, %n: i64) -> f64 {
+    entry:
+      %sum = mov 0.0:f64
+      br head
+    head:
+      ...
+    }
+"""
+from __future__ import annotations
+
+from typing import List
+
+from .function import Function
+from .instructions import Instr, Opcode
+from .module import Module
+from .values import Const, GlobalAddr, Reg, Value
+
+
+def format_value(value: Value) -> str:
+    if isinstance(value, Reg):
+        return f"%{value.name}"
+    if isinstance(value, GlobalAddr):
+        return f"@{value.name}"
+    if isinstance(value, Const):
+        if value.ty.is_float:
+            return f"{value.value!r}:f64"
+        return f"{value.value}:{value.ty}"
+    raise TypeError(f"unprintable value {value!r}")
+
+
+def format_instr(instr: Instr) -> str:
+    op = instr.op
+    args = ", ".join(format_value(a) for a in instr.args)
+    prefix = f"%{instr.dest.name} = " if instr.dest is not None else ""
+
+    if op is Opcode.BR:
+        return f"br {instr.labels[0]}"
+    if op is Opcode.CBR:
+        return f"cbr {args}, {instr.labels[0]}, {instr.labels[1]}"
+    if op is Opcode.RET:
+        return f"ret {args}" if instr.args else "ret"
+    if op in (Opcode.ICMP, Opcode.FCMP):
+        return f"{prefix}{op} {instr.pred} {args}"
+    if op is Opcode.LOAD:
+        return f"{prefix}load {args} : {instr.dest.ty}"
+    if op is Opcode.CALL:
+        ann = f" : {instr.dest.ty}" if instr.dest is not None else ""
+        return f"{prefix}call @{instr.callee}({args}){ann}"
+    if op is Opcode.INTRIN:
+        ann = f" : {instr.dest.ty}" if instr.dest is not None else ""
+        return f"{prefix}intrin {instr.callee}({args}){ann}"
+    return f"{prefix}{op} {args}"
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(f"%{p.name}: {p.ty}" for p in func.params)
+    lines: List[str] = [f"func @{func.name}({params}) -> {func.ret_type} {{"]
+    for label in func.block_order():
+        lines.append(f"{label}:")
+        for instr in func.blocks[label].instrs:
+            lines.append(f"  {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    parts: List[str] = [f"module {module.name}", ""]
+    for gvar in module.globals.values():
+        line = f"global @{gvar.name} {gvar.size} {gvar.elem_ty}"
+        if gvar.init is not None:
+            vals = ", ".join(repr(v) for v in gvar.init)
+            line += f" = [{vals}]"
+        parts.append(line)
+    if module.globals:
+        parts.append("")
+    for func in module.functions.values():
+        parts.append(format_function(func))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

@@ -1,0 +1,52 @@
+"""Value types for the repro IR.
+
+The IR is deliberately small: 64-bit integers, 64-bit floats and pointers.
+Pointers are integer addresses into the flat runtime memory (`repro.runtime.
+memory.Memory`); keeping them a distinct type lets the verifier and the
+transforms treat address computation differently from data computation,
+which is what RSkip relies on (addresses are never fuzzily validated).
+"""
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    """Scalar types of IR values."""
+
+    I64 = "i64"
+    F64 = "f64"
+    PTR = "ptr"
+    VOID = "void"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_int(self) -> bool:
+        """True for integer-like types (I64 and PTR share integer storage)."""
+        return self in (Type.I64, Type.PTR)
+
+    @property
+    def is_float(self) -> bool:
+        return self is Type.F64
+
+    @property
+    def is_pointer(self) -> bool:
+        return self is Type.PTR
+
+
+I64 = Type.I64
+F64 = Type.F64
+PTR = Type.PTR
+VOID = Type.VOID
+
+_BY_NAME = {t.value: t for t in Type}
+
+
+def parse_type(name: str) -> Type:
+    """Parse a type name as printed by :mod:`repro.ir.printer`."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown IR type {name!r}") from None

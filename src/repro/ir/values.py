@@ -1,0 +1,116 @@
+"""IR values: virtual registers and constants.
+
+The IR is a register machine (not SSA): a virtual register may be assigned
+more than once, which keeps loop-carried values simple (no phi nodes) and
+makes the duplication transforms plain register-renaming clones.
+"""
+from __future__ import annotations
+
+from .types import Type
+
+
+class Value:
+    """Base class for anything an instruction can read."""
+
+    __slots__ = ("ty",)
+
+    ty: Type
+
+    @property
+    def is_reg(self) -> bool:
+        return isinstance(self, Reg)
+
+    @property
+    def is_const(self) -> bool:
+        return isinstance(self, Const)
+
+
+class Reg(Value):
+    """A virtual register, unique by name within a function.
+
+    Create registers through :meth:`repro.ir.function.Function.new_reg` (or
+    the builder) so names stay unique; the constructor is public only for
+    the parser.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, ty: Type):
+        if ty is Type.VOID:
+            raise ValueError("registers cannot have void type")
+        self.name = name
+        self.ty = ty
+
+    def __repr__(self) -> str:
+        return f"%{self.name}:{self.ty}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Reg) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("reg", self.name))
+
+
+class Const(Value):
+    """An immediate constant of integer or float type."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, ty: Type):
+        if ty is Type.VOID:
+            raise ValueError("constants cannot have void type")
+        if ty.is_int:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeError(f"integer constant requires int, got {value!r}")
+        else:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise TypeError(f"float constant requires number, got {value!r}")
+            value = float(value)
+        self.value = value
+        self.ty = ty
+
+    def __repr__(self) -> str:
+        return f"{self.value}:{self.ty}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Const)
+            and other.ty is self.ty
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("const", self.ty, self.value))
+
+
+class GlobalAddr(Value):
+    """The address of a named module-level array (always PTR-typed).
+
+    The concrete address is resolved when the module is loaded into a
+    :class:`repro.runtime.memory.Memory`.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ty = Type.PTR
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GlobalAddr) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("global", self.name))
+
+
+def i64(value: int) -> Const:
+    """Shorthand for an I64 constant."""
+    return Const(int(value), Type.I64)
+
+
+def f64(value: float) -> Const:
+    """Shorthand for an F64 constant."""
+    return Const(float(value), Type.F64)

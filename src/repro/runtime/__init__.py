@@ -1,0 +1,46 @@
+"""repro.runtime — execution substrate: flat memory, the IR interpreter,
+the superscalar timing model and the SEU fault injector."""
+from .errors import (
+    CoreDumpError,
+    FaultDetectedError,
+    HangError,
+    SegfaultError,
+    TrapError,
+)
+from .memory import DEFAULT_SIZE, Memory
+from .outcomes import Outcome, classify_output, outputs_equal
+from .energy import ENERGY, EnergyEstimate, LEAKAGE_PER_CYCLE, estimate_energy
+from .profiling import Profile
+from .tracer import ReferenceInterpreter, Trace, TraceEvent, trace_run
+from .scheduler import TimingModel
+from .faults import (
+    DEFAULT_KIND_WEIGHTS,
+    FaultPlan,
+    Region,
+    flip_float,
+    flip_int,
+    flip_value,
+    random_plan,
+)
+from .interpreter import (
+    DEFAULT_MAX_STEPS,
+    Interpreter,
+    IntrinsicFn,
+    MAX_CALL_DEPTH,
+    OPCODES,
+    RunResult,
+    run_program,
+)
+
+__all__ = [
+    "CoreDumpError", "FaultDetectedError", "HangError", "SegfaultError", "TrapError",
+    "DEFAULT_SIZE", "Memory",
+    "Outcome", "classify_output", "outputs_equal",
+    "ENERGY", "EnergyEstimate", "LEAKAGE_PER_CYCLE", "estimate_energy",
+    "Profile", "TimingModel",
+    "ReferenceInterpreter", "Trace", "TraceEvent", "trace_run",
+    "DEFAULT_KIND_WEIGHTS", "FaultPlan", "Region",
+    "flip_float", "flip_int", "flip_value", "random_plan",
+    "DEFAULT_MAX_STEPS", "Interpreter", "IntrinsicFn", "MAX_CALL_DEPTH",
+    "OPCODES", "RunResult", "run_program",
+]

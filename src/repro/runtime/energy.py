@@ -1,0 +1,94 @@
+"""First-order energy accounting.
+
+The paper motivates software-only protection partly by energy: redundant
+multithreading "generally suffers from high energy consumption" because
+every duplicated instruction costs energy whether or not the core can hide
+its latency.  The same logic says instruction counts, not IPC, drive a
+protection scheme's energy overhead — SWIFT-R's 3.5x instructions cost
+~3.5x dynamic energy even though its wall-clock overhead is only 2.3x,
+while RSkip's skipped re-computations save energy one-for-one.
+
+The model is deliberately first-order: a per-opcode energy table (scaled
+to an ALU op = 1.0), dynamic counts in, picojoule-equivalents out, plus a
+static leakage term proportional to cycles when a timing model ran.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..ir.instructions import Opcode
+
+#: Dynamic energy per operation, normalized to one ALU op.  Ratios follow
+#: the usual energy-per-op folklore: memory access is an order of
+#: magnitude above arithmetic; transcendentals are iterative.
+ENERGY: Dict[Opcode, float] = {
+    Opcode.MOV: 0.3,
+    Opcode.ADD: 1.0,
+    Opcode.SUB: 1.0,
+    Opcode.MUL: 3.0,
+    Opcode.SDIV: 12.0,
+    Opcode.SREM: 12.0,
+    Opcode.AND: 0.6,
+    Opcode.OR: 0.6,
+    Opcode.XOR: 0.6,
+    Opcode.SHL: 0.8,
+    Opcode.LSHR: 0.8,
+    Opcode.FADD: 2.0,
+    Opcode.FSUB: 2.0,
+    Opcode.FMUL: 4.0,
+    Opcode.FDIV: 14.0,
+    Opcode.FNEG: 0.5,
+    Opcode.FABS: 0.5,
+    Opcode.SQRT: 15.0,
+    Opcode.EXP: 25.0,
+    Opcode.LOG: 25.0,
+    Opcode.SIN: 25.0,
+    Opcode.COS: 25.0,
+    Opcode.FLOOR: 2.0,
+    Opcode.SITOFP: 2.0,
+    Opcode.FPTOSI: 2.0,
+    Opcode.ICMP: 1.0,
+    Opcode.FCMP: 2.0,
+    Opcode.SELECT: 1.0,
+    Opcode.LOAD: 10.0,
+    Opcode.STORE: 10.0,
+    Opcode.ALLOC: 2.0,
+    Opcode.BR: 1.0,
+    Opcode.CBR: 1.5,
+    Opcode.CALL: 3.0,
+    Opcode.RET: 1.5,
+    Opcode.INTRIN: 3.0,
+}
+
+#: Static (leakage) energy per cycle, in the same ALU-op units.
+LEAKAGE_PER_CYCLE = 0.5
+
+
+@dataclass
+class EnergyEstimate:
+    dynamic: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.static
+
+    def normalized(self, baseline: "EnergyEstimate") -> float:
+        return self.total / baseline.total if baseline.total else 0.0
+
+
+def estimate_energy(
+    counts: Mapping[Opcode, int],
+    cycles: int = 0,
+    energy_table: Optional[Mapping[Opcode, float]] = None,
+) -> EnergyEstimate:
+    """Energy of an execution from its per-opcode dynamic counts.
+
+    *counts* is :attr:`repro.runtime.interpreter.RunResult.counts`; pass
+    the run's ``cycles`` to include leakage (zero when no timing model
+    ran — the comparison is then dynamic-energy only).
+    """
+    table = energy_table if energy_table is not None else ENERGY
+    dynamic = sum(table.get(op, 1.0) * n for op, n in counts.items())
+    return EnergyEstimate(dynamic=dynamic, static=LEAKAGE_PER_CYCLE * cycles)

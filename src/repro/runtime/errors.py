@@ -1,0 +1,37 @@
+"""Runtime trap hierarchy.
+
+These map one-to-one onto the outcome classes of the paper's fault-injection
+study (section 7.2): illegal memory accesses become *Segfault*, abnormal
+terminations (arithmetic traps, corrupted control flow, stack overflow)
+become *Core dump*, and exceeding the step budget becomes *Hang*.
+"""
+from __future__ import annotations
+
+
+class TrapError(Exception):
+    """Base class of all runtime traps."""
+
+
+class SegfaultError(TrapError):
+    """Illegal memory access (out-of-bounds or non-integer address)."""
+
+    def __init__(self, address, message: str = ""):
+        super().__init__(message or f"segmentation fault at address {address!r}")
+        self.address = address
+
+
+class CoreDumpError(TrapError):
+    """System crash / abnormal termination (arithmetic trap, bad call, ...)."""
+
+
+class HangError(TrapError):
+    """The program did not terminate within its step budget."""
+
+    def __init__(self, steps: int):
+        super().__init__(f"program exceeded step budget ({steps} dynamic instructions)")
+        self.steps = steps
+
+
+class FaultDetectedError(TrapError):
+    """A protection scheme detected an uncorrectable fault (detection-only
+    schemes like SWIFT raise this instead of recovering)."""

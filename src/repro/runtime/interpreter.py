@@ -1,0 +1,550 @@
+"""IR interpreter.
+
+Executes a module function-by-function while maintaining the three pieces
+of state every experiment needs:
+
+* **dynamic instruction counts** per opcode (Figure 7c's metric — exact);
+* an optional **timing model** (`repro.runtime.scheduler.TimingModel`) fed
+  with true dataflow dependences, producing cycles and IPC (Figures 7b/7d);
+* **fault-injection hooks** implementing the SEU model of
+  `repro.runtime.faults` (Figure 9).
+
+Intrinsics (``intrin`` instructions) dispatch to Python callables registered
+with :meth:`Interpreter.register_intrinsic`; each returns its result plus a
+list of opcodes to *charge*, so predictor bookkeeping shows up in both the
+instruction counts and the cycle model (DESIGN.md: "predictor cost
+charging").
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import CmpPred, Opcode
+from ..ir.module import Module
+from ..ir.values import Const, GlobalAddr, Reg
+from .errors import CoreDumpError, HangError
+from .faults import FaultPlan, Region, flip_value
+from .memory import Memory
+from .profiling import Profile
+from .scheduler import TimingModel
+
+OPCODES: List[Opcode] = list(Opcode)
+_CODE: Dict[Opcode, int] = {op: i for i, op in enumerate(OPCODES)}
+
+# frequently used opcode indices, hoisted for the dispatch chain
+_MOV = _CODE[Opcode.MOV]
+_ADD = _CODE[Opcode.ADD]
+_SUB = _CODE[Opcode.SUB]
+_MUL = _CODE[Opcode.MUL]
+_SDIV = _CODE[Opcode.SDIV]
+_SREM = _CODE[Opcode.SREM]
+_AND = _CODE[Opcode.AND]
+_OR = _CODE[Opcode.OR]
+_XOR = _CODE[Opcode.XOR]
+_SHL = _CODE[Opcode.SHL]
+_LSHR = _CODE[Opcode.LSHR]
+_FADD = _CODE[Opcode.FADD]
+_FSUB = _CODE[Opcode.FSUB]
+_FMUL = _CODE[Opcode.FMUL]
+_FDIV = _CODE[Opcode.FDIV]
+_FNEG = _CODE[Opcode.FNEG]
+_FABS = _CODE[Opcode.FABS]
+_SQRT = _CODE[Opcode.SQRT]
+_EXP = _CODE[Opcode.EXP]
+_LOG = _CODE[Opcode.LOG]
+_SIN = _CODE[Opcode.SIN]
+_COS = _CODE[Opcode.COS]
+_FLOOR = _CODE[Opcode.FLOOR]
+_SITOFP = _CODE[Opcode.SITOFP]
+_FPTOSI = _CODE[Opcode.FPTOSI]
+_ICMP = _CODE[Opcode.ICMP]
+_FCMP = _CODE[Opcode.FCMP]
+_SELECT = _CODE[Opcode.SELECT]
+_LOAD = _CODE[Opcode.LOAD]
+_STORE = _CODE[Opcode.STORE]
+_ALLOC = _CODE[Opcode.ALLOC]
+_BR = _CODE[Opcode.BR]
+_CBR = _CODE[Opcode.CBR]
+_CALL = _CODE[Opcode.CALL]
+_RET = _CODE[Opcode.RET]
+_INTRIN = _CODE[Opcode.INTRIN]
+
+_PRED = {
+    CmpPred.EQ: 0,
+    CmpPred.NE: 1,
+    CmpPred.LT: 2,
+    CmpPred.LE: 3,
+    CmpPred.GT: 4,
+    CmpPred.GE: 5,
+}
+
+_HUGE_INT = 1 << 128
+_INT_MASK64 = (1 << 64) - 1
+
+DEFAULT_MAX_STEPS = 200_000_000
+MAX_CALL_DEPTH = 64
+#: Physical register file modelled by the SEU injector: flips landing on
+#: slots that hold no live program value are architecturally masked.
+REGISTER_FILE_SIZE = 64
+
+#: Intrinsic signature: (interp, args) -> (result, charge_opcodes)
+IntrinsicFn = Callable[["Interpreter", Tuple], Tuple[object, Sequence[Opcode]]]
+
+
+@dataclass
+class RunResult:
+    """Everything a single program execution produced."""
+
+    value: object
+    steps: int
+    counts: Dict[Opcode, int]
+    cycles: int = 0
+    ipc: float = 0.0
+    region_steps: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return self.steps
+
+
+class Interpreter:
+    """One execution context over a module.
+
+    Create a fresh interpreter after transforming the module — decoded
+    instruction caches are built lazily per function and are not
+    invalidated.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        memory: Optional[Memory] = None,
+        timing: Optional[TimingModel] = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_region: Optional[Region] = None,
+        profile: Optional["Profile"] = None,
+    ):
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        if not self.memory.globals and module.globals:
+            self.memory.load_globals(module)
+        self.timing = timing
+        self.max_steps = max_steps
+        self.steps = 0
+        self.counts: List[int] = [0] * len(OPCODES)
+        self.intrinsics: Dict[str, IntrinsicFn] = {}
+        self._dcache: Dict[str, Tuple[str, Dict[str, list]]] = {}
+
+        self.fault_plan = fault_plan
+        self.fault_region = fault_region
+        self.region_steps = 0
+        self._fault_pending = fault_plan is not None
+        self._invert_next_cbr = False
+        self._corrupt_next_mem: Optional[int] = None
+        #: active register frames, callee last — the SEU injector picks a
+        #: victim across the whole stack, modelling one shared physical
+        #: register file (stale caller values soak up many upsets)
+        self._frames: List[Dict[str, object]] = []
+        self.profile = profile
+        self._prof_stack: List[List[int]] = []
+        #: optional per-block execution counts ((func, label) -> visits);
+        #: assign a dict to enable (used by the vulnerability analysis)
+        self.block_counts: Optional[Dict[Tuple[str, str], int]] = None
+
+    # -- public API -----------------------------------------------------------
+    def register_intrinsic(self, name: str, fn: IntrinsicFn) -> None:
+        self.intrinsics[name] = fn
+
+    def register_intrinsics(self, table: Dict[str, IntrinsicFn]) -> None:
+        self.intrinsics.update(table)
+
+    def run(self, func_name: str, args: Sequence = ()) -> RunResult:
+        func = self.module.get_function(func_name)
+        if len(args) != len(func.params):
+            raise TypeError(
+                f"@{func_name} expects {len(func.params)} arguments, got {len(args)}"
+            )
+        times = [0] * len(args)
+        value, _ = self._run_function(func, list(args), times, depth=0)
+        tm = self.timing
+        return RunResult(
+            value=value,
+            steps=self.steps,
+            counts=self.count_dict(),
+            cycles=tm.cycles if tm else 0,
+            ipc=tm.ipc if tm else 0.0,
+            region_steps=self.region_steps,
+        )
+
+    def count_dict(self) -> Dict[Opcode, int]:
+        return {op: self.counts[i] for i, op in enumerate(OPCODES) if self.counts[i]}
+
+    # -- decoding -------------------------------------------------------------
+    def _decode(self, func: Function) -> Tuple[str, Dict[str, list]]:
+        cached = self._dcache.get(func.name)
+        if cached is not None:
+            return cached
+        region = self.fault_region
+        blocks: Dict[str, list] = {}
+        for label in func.block_order():
+            in_region = True if region is None else region.contains(func.name, label)
+            decoded = []
+            for idx, instr in enumerate(func.blocks[label].instrs):
+                ops = []
+                for a in instr.args:
+                    if isinstance(a, Reg):
+                        ops.append((True, a.name))
+                    elif isinstance(a, GlobalAddr):
+                        ops.append((False, self.memory.global_addr(a.name)))
+                    else:
+                        assert isinstance(a, Const)
+                        ops.append((False, a.value))
+                code = _CODE[instr.op]
+                dest = instr.dest.name if instr.dest is not None else None
+                if instr.op is Opcode.BR:
+                    extra = instr.labels[0]
+                elif instr.op is Opcode.CBR:
+                    extra = ((func.name, label, idx), instr.labels[0], instr.labels[1])
+                elif instr.op in (Opcode.CALL, Opcode.INTRIN):
+                    extra = instr.callee
+                elif instr.op in (Opcode.ICMP, Opcode.FCMP):
+                    extra = _PRED[instr.pred]
+                else:
+                    extra = None
+                decoded.append((code, dest, tuple(ops), extra, in_region))
+            blocks[label] = decoded
+        entry = func.block_order()[0]
+        self._dcache[func.name] = (entry, blocks)
+        return entry, blocks
+
+    # -- fault machinery ---------------------------------------------------
+    def _inject(self, regs: Dict[str, object]) -> None:
+        plan = self.fault_plan
+        self._fault_pending = False
+        if plan.kind == "branch":
+            self._invert_next_cbr = True
+            return
+        if plan.kind == "addr":
+            self._corrupt_next_mem = plan.bit
+            return
+        slots = []
+        for frame in self._frames:
+            slots.extend((frame, name) for name in sorted(frame))
+        if not slots:
+            slots = [(regs, name) for name in sorted(regs)]
+        if not slots:
+            return
+        # the SEU lands somewhere in a fixed-size physical register file;
+        # slots not currently holding live program values absorb the flip
+        # (architectural masking — the dominant effect in the paper's
+        # UNSAFE runs)
+        nfile = max(REGISTER_FILE_SIZE, len(slots))
+        k = int(plan.pick * nfile)
+        if k >= len(slots):
+            return
+        frame, name = slots[k]
+        frame[name] = flip_value(frame[name], plan.bit)
+
+    # -- execution -----------------------------------------------------------
+    def _run_function(
+        self,
+        func: Function,
+        args: List,
+        arg_times: List[int],
+        depth: int,
+    ) -> Tuple[object, int]:
+        if depth > MAX_CALL_DEPTH:
+            raise CoreDumpError(f"call depth exceeded in @{func.name}")
+        entry, blocks = self._decode(func)
+
+        regs: Dict[str, object] = {}
+        times: Dict[str, int] = {}
+        tm = self.timing
+        for p, a, t in zip(func.params, args, arg_times):
+            regs[p.name] = a
+            if tm:
+                times[p.name] = t
+
+        self._frames.append(regs)
+        if self.profile is None:
+            try:
+                return self._exec(func, entry, blocks, regs, times, depth)
+            finally:
+                self._frames.pop()
+
+        child_steps = [0]
+        self._prof_stack.append(child_steps)
+        start = self.steps
+        try:
+            return self._exec(func, entry, blocks, regs, times, depth)
+        finally:
+            self._frames.pop()
+            self._prof_stack.pop()
+            total = self.steps - start
+            self.profile.record(func.name, total, total - child_steps[0])
+            if self._prof_stack:
+                self._prof_stack[-1][0] += total
+
+    def _exec(
+        self,
+        func: Function,
+        entry: str,
+        blocks: Dict[str, list],
+        regs: Dict[str, object],
+        times: Dict[str, int],
+        depth: int,
+    ) -> Tuple[object, int]:
+        tm = self.timing
+        memory = self.memory
+        counts = self.counts
+        max_steps = self.max_steps
+        label = entry
+        block_counts = self.block_counts
+        fname = func.name
+
+        while True:
+            if block_counts is not None:
+                key = (fname, label)
+                block_counts[key] = block_counts.get(key, 0) + 1
+            for code, dest, ops, extra, in_region in blocks[label]:
+                self.steps += 1
+                if self.steps > max_steps:
+                    raise HangError(self.steps)
+                counts[code] += 1
+                if in_region:
+                    self.region_steps += 1
+                    if self._fault_pending and self.region_steps - 1 == self.fault_plan.step:
+                        self._inject(regs)
+
+                # ---- operand fetch ------------------------------------------
+                n = len(ops)
+                if n > 0:
+                    k, v = ops[0]
+                    a = regs[v] if k else v
+                    if n > 1:
+                        k, v = ops[1]
+                        b = regs[v] if k else v
+
+                # ---- dispatch -----------------------------------------------
+                if code == _LOAD:
+                    if self._corrupt_next_mem is not None:
+                        a = self._corrupt_addr(a)
+                    val = memory.load(a)
+                    regs[dest] = val
+                    if tm:
+                        times[dest] = tm.load(a, times.get(ops[0][1], 0) if ops[0][0] else 0)
+                    continue
+                if code == _FMUL:
+                    regs[dest] = a * b
+                elif code == _FADD:
+                    regs[dest] = a + b
+                elif code == _FSUB:
+                    regs[dest] = a - b
+                elif code == _ADD:
+                    regs[dest] = a + b
+                elif code == _MOV:
+                    regs[dest] = a
+                elif code == _MUL:
+                    r = a * b
+                    if isinstance(r, int) and (r > _HUGE_INT or r < -_HUGE_INT):
+                        r &= _INT_MASK64
+                    regs[dest] = r
+                elif code == _SUB:
+                    regs[dest] = a - b
+                elif code == _ICMP or code == _FCMP:
+                    if extra == 2:
+                        r = a < b
+                    elif extra == 0:
+                        r = a == b
+                    elif extra == 4:
+                        r = a > b
+                    elif extra == 3:
+                        r = a <= b
+                    elif extra == 5:
+                        r = a >= b
+                    else:
+                        r = a != b
+                    regs[dest] = 1 if r else 0
+                elif code == _CBR:
+                    taken = a != 0 and a == a  # NaN condition falls through
+                    if self._invert_next_cbr:
+                        taken = not taken
+                        self._invert_next_cbr = False
+                    if tm:
+                        tm.branch(extra[0], taken, times.get(ops[0][1], 0) if ops[0][0] else 0)
+                    label = extra[1] if taken else extra[2]
+                    break
+                elif code == _BR:
+                    if tm:
+                        tm.op(Opcode.BR, 0)
+                    label = extra
+                    break
+                elif code == _STORE:
+                    if self._corrupt_next_mem is not None:
+                        b = self._corrupt_addr(b)
+                    memory.store(b, a)
+                    if tm:
+                        ready = 0
+                        if ops[0][0]:
+                            ready = times.get(ops[0][1], 0)
+                        if ops[1][0]:
+                            t2 = times.get(ops[1][1], 0)
+                            if t2 > ready:
+                                ready = t2
+                        tm.store(b, ready)
+                    continue
+                elif code == _RET:
+                    if tm:
+                        tm.op(Opcode.RET, 0)
+                    if n:
+                        rt = 0
+                        if tm and ops[0][0]:
+                            rt = times.get(ops[0][1], 0)
+                        return a, rt
+                    return None, 0
+                elif code == _CALL:
+                    callee = self.module.functions.get(extra)
+                    if callee is None:
+                        raise CoreDumpError(f"call to unknown function @{extra}")
+                    vals, vts = [], []
+                    for k, v in ops:
+                        vals.append(regs[v] if k else v)
+                        vts.append(times.get(v, 0) if (tm and k) else 0)
+                    if tm:
+                        tm.op(Opcode.CALL, max(vts) if vts else 0)
+                    rv, rt = self._run_function(callee, vals, vts, depth + 1)
+                    if dest is not None:
+                        regs[dest] = rv
+                        if tm:
+                            times[dest] = rt
+                    continue
+                elif code == _INTRIN:
+                    fn = self.intrinsics.get(extra)
+                    if fn is None:
+                        raise CoreDumpError(f"unknown intrinsic {extra!r}")
+                    vals = tuple(regs[v] if k else v for k, v in ops)
+                    rv, charge = fn(self, vals)
+                    for op in charge:
+                        counts[_CODE[op]] += 1
+                    self.steps += len(charge)
+                    if tm:
+                        ready = 0
+                        for k, v in ops:
+                            if k:
+                                t2 = times.get(v, 0)
+                                if t2 > ready:
+                                    ready = t2
+                        t_end = tm.charge(charge, ready)
+                        tm.op(Opcode.INTRIN, ready)
+                        if dest is not None:
+                            times[dest] = t_end
+                    if dest is not None:
+                        regs[dest] = rv
+                    continue
+                elif code == _SDIV:
+                    try:
+                        q = abs(a) // abs(b)
+                        regs[dest] = q if (a >= 0) == (b >= 0) else -q
+                    except ZeroDivisionError:
+                        raise CoreDumpError("integer division by zero") from None
+                elif code == _SREM:
+                    try:
+                        regs[dest] = a - b * (abs(a) // abs(b)) * (1 if (a >= 0) == (b >= 0) else -1)
+                    except ZeroDivisionError:
+                        raise CoreDumpError("integer remainder by zero") from None
+                elif code == _FDIV:
+                    try:
+                        regs[dest] = a / b
+                    except ZeroDivisionError:
+                        regs[dest] = math.nan if a == 0 else math.copysign(math.inf, a)
+                elif code == _FNEG:
+                    regs[dest] = -a
+                elif code == _FABS:
+                    regs[dest] = abs(a)
+                elif code == _SQRT:
+                    regs[dest] = math.sqrt(a) if a >= 0 else math.nan
+                elif code == _EXP:
+                    try:
+                        regs[dest] = math.exp(a)
+                    except OverflowError:
+                        regs[dest] = math.inf
+                elif code == _LOG:
+                    try:
+                        regs[dest] = math.log(a)
+                    except ValueError:
+                        regs[dest] = math.nan
+                elif code == _SIN:
+                    regs[dest] = math.sin(a) if math.isfinite(a) else math.nan
+                elif code == _COS:
+                    regs[dest] = math.cos(a) if math.isfinite(a) else math.nan
+                elif code == _FLOOR:
+                    regs[dest] = math.floor(a) if math.isfinite(a) else a
+                elif code == _SITOFP:
+                    regs[dest] = float(a)
+                elif code == _FPTOSI:
+                    try:
+                        regs[dest] = int(a)
+                    except (ValueError, OverflowError):
+                        raise CoreDumpError("float-to-int conversion trap") from None
+                elif code == _SELECT:
+                    k, v = ops[2]
+                    c = regs[v] if k else v
+                    regs[dest] = b if (a != 0 and a == a) else c
+                elif code == _AND:
+                    regs[dest] = int(a) & int(b)
+                elif code == _OR:
+                    regs[dest] = int(a) | int(b)
+                elif code == _XOR:
+                    regs[dest] = int(a) ^ int(b)
+                elif code == _SHL:
+                    regs[dest] = int(a) << (int(b) & 63)
+                elif code == _LSHR:
+                    regs[dest] = (int(a) & _INT_MASK64) >> (int(b) & 63)
+                elif code == _ALLOC:
+                    regs[dest] = memory.allocate(int(a))
+                else:  # pragma: no cover - all opcodes handled above
+                    raise CoreDumpError(f"unimplemented opcode index {code}")
+
+                # ---- timing for the plain register-register ops -------------
+                if tm and dest is not None:
+                    ready = 0
+                    for k, v in ops:
+                        if k:
+                            t2 = times.get(v, 0)
+                            if t2 > ready:
+                                ready = t2
+                    times[dest] = tm.op(OPCODES[code], ready)
+            else:
+                raise CoreDumpError(
+                    f"block {label} of @{func.name} fell through without terminator"
+                )
+
+    def _corrupt_addr(self, addr):
+        bit = self._corrupt_next_mem
+        self._corrupt_next_mem = None
+        if isinstance(addr, int):
+            return addr ^ (1 << (bit % 24))
+        return addr
+
+
+def run_program(
+    module: Module,
+    func_name: str = "main",
+    args: Sequence = (),
+    memory: Optional[Memory] = None,
+    timing: bool = False,
+    width: int = 4,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    intrinsics: Optional[Dict[str, IntrinsicFn]] = None,
+) -> RunResult:
+    """One-shot convenience wrapper: build an interpreter, run, return result."""
+    tm = TimingModel(width=width) if timing else None
+    interp = Interpreter(module, memory=memory, timing=tm, max_steps=max_steps)
+    if intrinsics:
+        interp.register_intrinsics(intrinsics)
+    return interp.run(func_name, args)

@@ -1,0 +1,91 @@
+"""Flat runtime memory.
+
+One linear array of numeric cells.  Address 0 is reserved (a null guard),
+globals are laid out at load time and ``alloc`` bumps a pointer — there is
+no free, matching the arena-style allocation of the benchmark programs.
+
+Per the paper's assumption memory is ECC-protected: the fault injector
+never flips bits in memory cells at rest, only in register state.
+"""
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..ir.module import Module
+from .errors import SegfaultError
+
+DEFAULT_SIZE = 1 << 16
+
+
+class Memory:
+    """Bounds-checked flat memory with global layout and bump allocation."""
+
+    def __init__(self, size: int = DEFAULT_SIZE):
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.size = size
+        self.cells = [0.0] * size
+        self.globals: Dict[str, int] = {}
+        self._brk = 8  # skip the null guard region
+
+    # -- layout -----------------------------------------------------------
+    def load_globals(self, module: Module) -> None:
+        """Lay out and initialize the module's globals."""
+        for gvar in module.globals.values():
+            base = self.allocate(gvar.size)
+            self.globals[gvar.name] = base
+            if gvar.init is not None:
+                for i, v in enumerate(gvar.init):
+                    self.cells[base + i] = v
+
+    def allocate(self, size: int) -> int:
+        if size <= 0:
+            raise SegfaultError(self._brk, f"allocation of non-positive size {size}")
+        base = self._brk
+        self._brk += int(size)
+        if self._brk > self.size:
+            raise SegfaultError(base, "out of memory")
+        return base
+
+    def global_addr(self, name: str) -> int:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise SegfaultError(None, f"unknown global @{name}") from None
+
+    # -- access -------------------------------------------------------------
+    def load(self, addr) -> float:
+        idx = self._check(addr)
+        return self.cells[idx]
+
+    def store(self, addr, value) -> None:
+        idx = self._check(addr)
+        self.cells[idx] = value
+
+    def _check(self, addr) -> int:
+        if isinstance(addr, float):
+            if not addr.is_integer():
+                raise SegfaultError(addr, f"non-integer address {addr!r}")
+            addr = int(addr)
+        if not isinstance(addr, int):
+            raise SegfaultError(addr, f"invalid address {addr!r}")
+        if addr < 8 or addr >= self.size:
+            raise SegfaultError(addr)
+        return addr
+
+    # -- convenience for harnesses ------------------------------------------
+    def write_array(self, base: int, values: Sequence[float]) -> None:
+        if base < 8 or base + len(values) > self.size:
+            raise SegfaultError(base, "array write out of bounds")
+        self.cells[base : base + len(values)] = list(values)
+
+    def read_array(self, base: int, count: int) -> list:
+        if base < 8 or base + count > self.size:
+            raise SegfaultError(base, "array read out of bounds")
+        return self.cells[base : base + count]
+
+    def write_global(self, name: str, values: Sequence[float], offset: int = 0) -> None:
+        self.write_array(self.global_addr(name) + offset, values)
+
+    def read_global(self, name: str, count: int, offset: int = 0) -> list:
+        return self.read_array(self.global_addr(name) + offset, count)

@@ -1,0 +1,44 @@
+"""Outcome classes of the fault-injection study (paper section 7.2)."""
+from __future__ import annotations
+
+import enum
+import math
+from typing import Sequence
+
+
+class Outcome(enum.Enum):
+    """Five-way classification of a fault-injection run.
+
+    The paper "considers even small output errors as bad quality and only
+    100% of output quality as Correct" — :func:`classify_output` therefore
+    uses exact equality (up to bitwise float identity) against the golden
+    output.
+    """
+
+    CORRECT = "Correct"
+    SDC = "SDC"
+    SEGFAULT = "Segfault"
+    CORE_DUMP = "Core dump"
+    HANG = "Hang"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def outputs_equal(golden: Sequence[float], observed: Sequence[float]) -> bool:
+    """Exact output comparison (NaNs compare equal to NaNs positionally)."""
+    if len(golden) != len(observed):
+        return False
+    for g, o in zip(golden, observed):
+        if g == o:
+            continue
+        if isinstance(g, float) and isinstance(o, float):
+            if math.isnan(g) and math.isnan(o):
+                continue
+        return False
+    return True
+
+
+def classify_output(golden: Sequence[float], observed: Sequence[float]) -> Outcome:
+    """Correct vs silent data corruption for a run that terminated cleanly."""
+    return Outcome.CORRECT if outputs_equal(golden, observed) else Outcome.SDC

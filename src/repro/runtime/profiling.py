@@ -1,0 +1,48 @@
+"""Per-function execution profiling.
+
+Attaches to the interpreter (``Interpreter(..., profile=Profile())``) and
+attributes dynamic instructions to functions — inclusive (with callees)
+and exclusive (self only) — plus call counts.  The evaluation uses it to
+verify where the protection overhead actually lands (e.g. how many
+instructions the outlined ``body.dup`` re-computations consume).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Profile:
+    """Aggregated per-function counters."""
+
+    inclusive: Dict[str, int] = field(default_factory=dict)
+    exclusive: Dict[str, int] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, name: str, total: int, self_steps: int) -> None:
+        self.inclusive[name] = self.inclusive.get(name, 0) + total
+        self.exclusive[name] = self.exclusive.get(name, 0) + self_steps
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def share(self, name: str) -> float:
+        """Exclusive share of all executed instructions."""
+        total = sum(self.exclusive.values())
+        return self.exclusive.get(name, 0) / total if total else 0.0
+
+    def top(self, n: int = 10) -> List[tuple]:
+        """(name, exclusive, inclusive, calls) rows, hottest first."""
+        return sorted(
+            (
+                (name, self.exclusive.get(name, 0), self.inclusive.get(name, 0),
+                 self.calls.get(name, 0))
+                for name in self.inclusive
+            ),
+            key=lambda row: -row[1],
+        )[:n]
+
+    def render(self, n: int = 10) -> str:
+        lines = [f"{'function':32s} {'self':>10s} {'total':>10s} {'calls':>8s}"]
+        for name, self_steps, total, calls in self.top(n):
+            lines.append(f"{name:32s} {self_steps:>10d} {total:>10d} {calls:>8d}")
+        return "\n".join(lines)

@@ -1,0 +1,299 @@
+"""A reference interpreter with execution tracing.
+
+Two jobs:
+
+* **differential testing** — an independent, deliberately simple
+  evaluator whose results the fast interpreter must match (the test suite
+  runs both over the same programs);
+* **debugging** — it records a bounded trace of executed instructions
+  (function, block, instruction text, produced value), so a misbehaving
+  transform can be diffed against the original program up to the first
+  divergence.
+
+It shares :class:`repro.runtime.memory.Memory` and the intrinsic
+convention with the fast interpreter but none of its code.
+"""
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.function import Function
+from ..ir.instructions import CmpPred, Instr, Opcode
+from ..ir.module import Module
+from ..ir.printer import format_instr
+from ..ir.values import Const, GlobalAddr, Reg, Value
+from .errors import CoreDumpError, HangError
+from .memory import Memory
+
+
+@dataclass
+class TraceEvent:
+    step: int
+    function: str
+    block: str
+    text: str
+    value: object = None
+
+    def __str__(self) -> str:
+        suffix = "" if self.value is None else f"   ; = {self.value!r}"
+        return f"{self.step:>8}  @{self.function}/{self.block}: {self.text}{suffix}"
+
+
+@dataclass
+class Trace:
+    events: List[TraceEvent] = field(default_factory=list)
+    limit: int = 10_000
+    truncated: bool = False
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.limit:
+            self.truncated = True
+            return
+        self.events.append(event)
+
+    def render(self, last: Optional[int] = None) -> str:
+        events = self.events if last is None else self.events[-last:]
+        lines = [str(e) for e in events]
+        if self.truncated:
+            lines.append(f"... trace truncated at {self.limit} events")
+        return "\n".join(lines)
+
+    def first_divergence(self, other: "Trace") -> Optional[int]:
+        """Index of the first differing event, or None if one trace is a
+        prefix of the other."""
+        for k, (a, b) in enumerate(zip(self.events, other.events)):
+            same_value = a.value == b.value or (
+                isinstance(a.value, float)
+                and isinstance(b.value, float)
+                and math.isnan(a.value)
+                and math.isnan(b.value)
+            )
+            if a.text != b.text or not same_value:
+                return k
+        return None
+
+
+_CMP = {
+    CmpPred.EQ: lambda a, b: a == b,
+    CmpPred.NE: lambda a, b: a != b,
+    CmpPred.LT: lambda a, b: a < b,
+    CmpPred.LE: lambda a, b: a <= b,
+    CmpPred.GT: lambda a, b: a > b,
+    CmpPred.GE: lambda a, b: a >= b,
+}
+
+
+class ReferenceInterpreter:
+    """Straight-line, dictionary-dispatch evaluation of the IR.
+
+    No decoding, no timing, no fault hooks — each instruction is handled
+    by reading the Instr object directly.  Intentionally boring.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        memory: Optional[Memory] = None,
+        max_steps: int = 50_000_000,
+        trace: Optional[Trace] = None,
+        trace_functions: Optional[Sequence[str]] = None,
+    ):
+        self.module = module
+        self.memory = memory if memory is not None else Memory()
+        if not self.memory.globals and module.globals:
+            self.memory.load_globals(module)
+        self.max_steps = max_steps
+        self.steps = 0
+        self.trace = trace
+        self.trace_functions = set(trace_functions) if trace_functions else None
+        self.intrinsics: Dict[str, object] = {}
+
+    def register_intrinsics(self, table) -> None:
+        self.intrinsics.update(table)
+
+    # -- evaluation ------------------------------------------------------
+    def _value(self, value: Value, regs: Dict[str, object]):
+        if isinstance(value, Reg):
+            return regs[value.name]
+        if isinstance(value, GlobalAddr):
+            return self.memory.global_addr(value.name)
+        assert isinstance(value, Const)
+        return value.value
+
+    def run(self, func_name: str, args: Sequence = ()):
+        func = self.module.get_function(func_name)
+        return self._call(func, list(args), depth=0)
+
+    def _call(self, func: Function, args, depth: int):
+        if depth > 64:
+            raise CoreDumpError("call depth exceeded")
+        regs = {p.name: a for p, a in zip(func.params, args)}
+        label = func.block_order()[0]
+        trace_this = self.trace is not None and (
+            self.trace_functions is None or func.name in self.trace_functions
+        )
+
+        while True:
+            block = func.blocks[label]
+            jumped = False
+            for instr in block.instrs:
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise HangError(self.steps)
+                result = self._eval(instr, regs, func, depth)
+                if trace_this:
+                    value = regs.get(instr.dest.name) if instr.dest else None
+                    self.trace.append(
+                        TraceEvent(self.steps, func.name, label,
+                                   format_instr(instr), value)
+                    )
+                if result is not None:
+                    kind, payload = result
+                    if kind == "jump":
+                        label = payload
+                        jumped = True
+                        break
+                    return payload
+            if not jumped:
+                raise CoreDumpError(f"block {label} fell through")
+
+    def _eval(self, instr: Instr, regs, func: Function, depth: int):
+        op = instr.op
+        mem = self.memory
+        val = lambda v: self._value(v, regs)  # noqa: E731
+
+        if op is Opcode.MOV:
+            regs[instr.dest.name] = val(instr.args[0])
+        elif op is Opcode.LOAD:
+            regs[instr.dest.name] = mem.load(val(instr.args[0]))
+        elif op is Opcode.STORE:
+            mem.store(val(instr.args[1]), val(instr.args[0]))
+        elif op in (Opcode.ADD, Opcode.FADD):
+            regs[instr.dest.name] = val(instr.args[0]) + val(instr.args[1])
+        elif op in (Opcode.SUB, Opcode.FSUB):
+            regs[instr.dest.name] = val(instr.args[0]) - val(instr.args[1])
+        elif op in (Opcode.MUL, Opcode.FMUL):
+            regs[instr.dest.name] = val(instr.args[0]) * val(instr.args[1])
+        elif op is Opcode.SDIV:
+            a, b = val(instr.args[0]), val(instr.args[1])
+            if b == 0:
+                raise CoreDumpError("integer division by zero")
+            q = abs(a) // abs(b)
+            regs[instr.dest.name] = q if (a >= 0) == (b >= 0) else -q
+        elif op is Opcode.SREM:
+            a, b = val(instr.args[0]), val(instr.args[1])
+            if b == 0:
+                raise CoreDumpError("integer remainder by zero")
+            q = abs(a) // abs(b)
+            q = q if (a >= 0) == (b >= 0) else -q
+            regs[instr.dest.name] = a - b * q
+        elif op is Opcode.FDIV:
+            a, b = val(instr.args[0]), val(instr.args[1])
+            if b == 0:
+                regs[instr.dest.name] = math.nan if a == 0 else math.copysign(math.inf, a)
+            else:
+                regs[instr.dest.name] = a / b
+        elif op is Opcode.FNEG:
+            regs[instr.dest.name] = -val(instr.args[0])
+        elif op is Opcode.FABS:
+            regs[instr.dest.name] = abs(val(instr.args[0]))
+        elif op is Opcode.SQRT:
+            a = val(instr.args[0])
+            regs[instr.dest.name] = math.sqrt(a) if a >= 0 else math.nan
+        elif op is Opcode.EXP:
+            try:
+                regs[instr.dest.name] = math.exp(val(instr.args[0]))
+            except OverflowError:
+                regs[instr.dest.name] = math.inf
+        elif op is Opcode.LOG:
+            a = val(instr.args[0])
+            try:
+                regs[instr.dest.name] = math.log(a)
+            except ValueError:
+                regs[instr.dest.name] = math.nan
+        elif op is Opcode.SIN:
+            a = val(instr.args[0])
+            regs[instr.dest.name] = math.sin(a) if math.isfinite(a) else math.nan
+        elif op is Opcode.COS:
+            a = val(instr.args[0])
+            regs[instr.dest.name] = math.cos(a) if math.isfinite(a) else math.nan
+        elif op is Opcode.FLOOR:
+            a = val(instr.args[0])
+            regs[instr.dest.name] = math.floor(a) if math.isfinite(a) else a
+        elif op is Opcode.SITOFP:
+            regs[instr.dest.name] = float(val(instr.args[0]))
+        elif op is Opcode.FPTOSI:
+            try:
+                regs[instr.dest.name] = int(val(instr.args[0]))
+            except (ValueError, OverflowError):
+                raise CoreDumpError("float-to-int conversion trap") from None
+        elif op in (Opcode.ICMP, Opcode.FCMP):
+            a, b = val(instr.args[0]), val(instr.args[1])
+            regs[instr.dest.name] = 1 if _CMP[instr.pred](a, b) else 0
+        elif op is Opcode.SELECT:
+            c = val(instr.args[0])
+            taken = c != 0 and c == c
+            regs[instr.dest.name] = val(instr.args[1]) if taken else val(instr.args[2])
+        elif op is Opcode.AND:
+            regs[instr.dest.name] = int(val(instr.args[0])) & int(val(instr.args[1]))
+        elif op is Opcode.OR:
+            regs[instr.dest.name] = int(val(instr.args[0])) | int(val(instr.args[1]))
+        elif op is Opcode.XOR:
+            regs[instr.dest.name] = int(val(instr.args[0])) ^ int(val(instr.args[1]))
+        elif op is Opcode.SHL:
+            regs[instr.dest.name] = int(val(instr.args[0])) << (int(val(instr.args[1])) & 63)
+        elif op is Opcode.LSHR:
+            regs[instr.dest.name] = (int(val(instr.args[0])) & ((1 << 64) - 1)) >> (
+                int(val(instr.args[1])) & 63
+            )
+        elif op is Opcode.ALLOC:
+            regs[instr.dest.name] = mem.allocate(int(val(instr.args[0])))
+        elif op is Opcode.BR:
+            return ("jump", instr.labels[0])
+        elif op is Opcode.CBR:
+            c = val(instr.args[0])
+            taken = c != 0 and c == c
+            return ("jump", instr.labels[0] if taken else instr.labels[1])
+        elif op is Opcode.RET:
+            return ("ret", val(instr.args[0]) if instr.args else None)
+        elif op is Opcode.CALL:
+            callee = self.module.functions.get(instr.callee)
+            if callee is None:
+                raise CoreDumpError(f"call to unknown function @{instr.callee}")
+            result = self._call(callee, [val(a) for a in instr.args], depth + 1)
+            if instr.dest is not None:
+                regs[instr.dest.name] = result
+        elif op is Opcode.INTRIN:
+            fn = self.intrinsics.get(instr.callee)
+            if fn is None:
+                raise CoreDumpError(f"unknown intrinsic {instr.callee!r}")
+            result, charge = fn(self, tuple(val(a) for a in instr.args))
+            self.steps += len(charge)
+            if instr.dest is not None:
+                regs[instr.dest.name] = result
+        else:  # pragma: no cover - exhaustive
+            raise CoreDumpError(f"unhandled opcode {op}")
+        return None
+
+
+def trace_run(
+    module: Module,
+    func_name: str,
+    args: Sequence,
+    memory: Optional[Memory] = None,
+    limit: int = 10_000,
+    intrinsics=None,
+    functions: Optional[Sequence[str]] = None,
+):
+    """Run under the reference interpreter with tracing; returns
+    ``(trace, return_value)``."""
+    trace = Trace(limit=limit)
+    interp = ReferenceInterpreter(
+        module, memory=memory, trace=trace, trace_functions=functions
+    )
+    if intrinsics:
+        interp.register_intrinsics(intrinsics)
+    value = interp.run(func_name, args)
+    return trace, value

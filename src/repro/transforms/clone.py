@@ -1,0 +1,60 @@
+"""Function cloning and register renaming utilities.
+
+Both protection transforms are built on cloning: SWIFT/SWIFT-R clone the
+instruction stream into shadow registers inside a function, and RSkip
+clones the outlined loop body into the redundant-copy function
+(``*.dup``).
+"""
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir.values import Reg
+
+
+def clone_function(func: Function, new_name: str) -> Function:
+    """Deep-copy *func* under a new name (labels and register names kept)."""
+    new = Function(new_name, [Reg(p.name, p.ty) for p in func.params], func.ret_type)
+    for label in func.block_order():
+        block = new.add_block(label)
+        for instr in func.blocks[label].instrs:
+            block.append(instr.copy())
+    new._reg_counter = func._reg_counter
+    new._label_counter = func._label_counter
+    new.attrs = dict(func.attrs)
+    return new
+
+
+def rename_all_registers(func: Function, suffix: str) -> Dict[str, Reg]:
+    """Rename every register (including params) by appending *suffix*.
+
+    Returns the old-name -> new-register map.  Used to make the duplicated
+    instruction stream textually distinct from the master stream.
+    """
+    mapping: Dict[str, Reg] = {}
+
+    def mapped(reg: Reg) -> Reg:
+        out = mapping.get(reg.name)
+        if out is None:
+            out = Reg(reg.name + suffix, reg.ty)
+            mapping[reg.name] = out
+        return out
+
+    func.params = [mapped(p) for p in func.params]
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if instr.dest is not None:
+                instr.dest = mapped(instr.dest)
+            instr.replace_uses(lambda v: mapped(v) if isinstance(v, Reg) else v)
+    return mapping
+
+
+def duplicate_into_module(module: Module, func_name: str, new_name: str) -> Function:
+    """Clone @func_name into the module as @new_name with renamed registers."""
+    source = module.get_function(func_name)
+    dup = clone_function(source, new_name)
+    rename_all_registers(dup, ".d")
+    module.add_function(dup)
+    return dup

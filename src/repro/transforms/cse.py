@@ -1,0 +1,112 @@
+"""Local common-subexpression elimination (block-scoped value numbering).
+
+Within a basic block, a pure instruction whose (opcode, predicate,
+operand-values) key was already computed — and whose operands have not
+been redefined since — is replaced by a ``mov`` from the earlier result.
+Loads are also numbered but any store invalidates all load numbers
+(no alias analysis; a store may clobber anything).
+
+Besides shrinking code, CSE matters to the RSkip pipeline: the pattern
+detector's read-modify-write recognition keys on address *expressions*,
+and value numbering canonicalizes duplicate address computations onto one
+register.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import Opcode
+from ..ir.module import Module
+from ..ir.values import Const, GlobalAddr, Reg, Value
+
+_PURE = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL,
+        Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.LSHR,
+        Opcode.FADD, Opcode.FSUB, Opcode.FMUL,
+        Opcode.FNEG, Opcode.FABS, Opcode.SITOFP, Opcode.FPTOSI,
+        Opcode.ICMP, Opcode.FCMP, Opcode.SELECT,
+    }
+)
+
+_COMMUTATIVE = frozenset(
+    {Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+     Opcode.FADD, Opcode.FMUL}
+)
+
+
+def _value_key(value: Value, numbering: Dict[str, int], fresh: List[int]):
+    if isinstance(value, Const):
+        return ("c", value.ty, value.value)
+    if isinstance(value, GlobalAddr):
+        return ("g", value.name)
+    assert isinstance(value, Reg)
+    number = numbering.get(value.name)
+    if number is None:
+        fresh[0] += 1
+        number = fresh[0]
+        numbering[value.name] = number
+    return ("v", number)
+
+
+def run_cse_block(func: Function, label: str) -> int:
+    """Value-number one block; returns the number of instructions replaced."""
+    block = func.blocks[label]
+    numbering: Dict[str, int] = {}
+    fresh = [0]
+    expr_to_reg: Dict[Tuple, Tuple[Reg, int]] = {}
+    keys_by_source: Dict[str, List[Tuple]] = {}
+    load_exprs: List[Tuple] = []
+    replaced = 0
+
+    for instr in block.instrs:
+        if instr.op is Opcode.STORE or instr.op in (Opcode.CALL, Opcode.INTRIN, Opcode.ALLOC):
+            # stores clobber memory; calls may too
+            for key in load_exprs:
+                expr_to_reg.pop(key, None)
+            load_exprs.clear()
+
+        key: Optional[Tuple] = None
+        if instr.dest is not None and (instr.op in _PURE or instr.op is Opcode.LOAD):
+            operand_keys = [_value_key(a, numbering, fresh) for a in instr.args]
+            if instr.op in _COMMUTATIVE:
+                operand_keys.sort()
+            key = (instr.op, instr.pred, tuple(operand_keys))
+
+            hit = expr_to_reg.get(key)
+            if hit is not None:
+                source, number = hit
+                instr.op = Opcode.MOV
+                instr.args = (source,)
+                instr.pred = None
+                numbering[instr.dest.name] = number
+                replaced += 1
+                continue
+
+        if instr.dest is not None:
+            dest_name = instr.dest.name
+            # redefining a register invalidates any table entry whose
+            # *source* it is — later hits would read the new value
+            for stale in keys_by_source.pop(dest_name, ()):
+                expr_to_reg.pop(stale, None)
+            fresh[0] += 1
+            number = fresh[0]
+            numbering[dest_name] = number
+            if key is not None:
+                expr_to_reg[key] = (instr.dest, number)
+                keys_by_source.setdefault(dest_name, []).append(key)
+                if instr.op is Opcode.LOAD:
+                    load_exprs.append(key)
+            # operand redefinitions are handled implicitly: renumbering
+            # changes the operand keys of later instructions, so stale
+            # entries keyed on old numbers can never be looked up again.
+    return replaced
+
+
+def run_cse(func: Function) -> int:
+    return sum(run_cse_block(func, label) for label in func.block_order())
+
+
+def run_cse_module(module: Module) -> int:
+    return sum(run_cse(func) for func in module.functions.values())

@@ -1,0 +1,34 @@
+"""Dead-code elimination.
+
+Iteratively removes side-effect-free instructions whose destination is dead
+(never read before being overwritten or the function ends).  Run after
+outlining/duplication to clean up computation left behind by a move.
+"""
+from __future__ import annotations
+
+from ..analysis.cfg import CFG
+from ..analysis.liveness import Liveness
+from ..ir.function import Function
+from ..ir.module import Module
+
+
+def run_dce(func: Function) -> int:
+    """Remove dead definitions; returns the number of instructions deleted."""
+    removed = 0
+    while True:
+        live = Liveness(func, CFG(func))
+        dead = live.dead_defs()
+        if not dead:
+            return removed
+        # delete from back to front so indices stay valid
+        for label, idx in sorted(dead, key=lambda s: (s[0], -s[1])):
+            block = func.blocks[label]
+            instr = block.instrs[idx]
+            if instr.is_terminator:
+                continue
+            del block.instrs[idx]
+            removed += 1
+
+
+def run_dce_module(module: Module) -> int:
+    return sum(run_dce(func) for func in module.functions.values())

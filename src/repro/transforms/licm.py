@@ -1,0 +1,118 @@
+"""Loop-invariant code motion.
+
+Hoists pure computations whose operands are loop-invariant into the loop
+preheader.  Conservative in exactly the ways a register-machine IR needs:
+
+* only side-effect-free, non-trapping ops are hoisted (no loads — memory
+  may be written inside the loop; no divides — they can trap on values
+  that the loop would never have produced);
+* the destination must have a *single* definition inside the loop and no
+  definition elsewhere, so hoisting cannot change any reaching value;
+* the instruction's block must dominate every latch (it executes on every
+  iteration), otherwise speculation could change behaviour of later uses.
+
+Runs before the protection transforms in the RSkip pipeline so the
+duplicated/outlined code is as lean as the original compiler would emit.
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..analysis.cfg import CFG
+from ..analysis.defuse import compute_chains
+from ..analysis.dominators import compute_idom, dominates
+from ..analysis.loops import Loop, find_loops
+from ..ir.function import Function
+from ..ir.instructions import Opcode
+from ..ir.module import Module
+
+#: Pure, non-trapping opcodes eligible for hoisting.
+_HOISTABLE = frozenset(
+    {
+        Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL,
+        Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.LSHR,
+        Opcode.FADD, Opcode.FSUB, Opcode.FMUL,
+        Opcode.FNEG, Opcode.FABS, Opcode.SITOFP,
+        Opcode.ICMP, Opcode.FCMP, Opcode.SELECT,
+    }
+)
+
+
+def _single_preheader(func: Function, loop: Loop, cfg: CFG) -> Optional[str]:
+    preds = [p for p in cfg.preds.get(loop.header, ()) if p not in loop.blocks]
+    if len(preds) != 1:
+        return None
+    pred = preds[0]
+    # the preheader must branch only to the header (an unconditional edge),
+    # otherwise hoisted code would execute on an unrelated path
+    if func.blocks[pred].successors() != [loop.header]:
+        return None
+    return pred
+
+
+def hoist_loop(func: Function, loop: Loop, cfg: CFG, idom) -> int:
+    """Hoist invariant instructions out of one loop; returns the count."""
+    preheader = _single_preheader(func, loop, cfg)
+    if preheader is None:
+        return 0
+
+    chains = compute_chains(func)
+
+    def defined_in_loop(name: str) -> List[Tuple[str, int]]:
+        return [s for s in chains.def_sites(name) if s[0] in loop.blocks]
+
+    hoisted = 0
+    invariant: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for label in sorted(loop.blocks):
+            block = func.blocks[label]
+            for idx, instr in enumerate(list(block.instrs)):
+                if instr.op not in _HOISTABLE or instr.dest is None:
+                    continue
+                dest = instr.dest.name
+                if dest in invariant:
+                    continue
+                sites = chains.def_sites(dest)
+                in_loop = defined_in_loop(dest)
+                if len(sites) != 1 or len(in_loop) != 1:
+                    continue  # multiple defs: the value genuinely varies
+                if not all(
+                    dominates(idom, label, latch) for latch in loop.latches
+                ):
+                    continue  # conditionally executed
+                operands_ok = True
+                for reg in instr.uses():
+                    if reg.name in invariant:
+                        continue
+                    if defined_in_loop(reg.name):
+                        operands_ok = False
+                        break
+                if not operands_ok:
+                    continue
+
+                # hoist: move before the preheader's terminator
+                block.instrs.remove(instr)
+                pre_block = func.blocks[preheader]
+                pre_block.instrs.insert(len(pre_block.instrs) - 1, instr)
+                invariant.add(dest)
+                chains = compute_chains(func)
+                hoisted += 1
+                changed = True
+    return hoisted
+
+
+def run_licm(func: Function) -> int:
+    """Hoist invariants out of every loop, innermost first."""
+    cfg = CFG(func)
+    loops = find_loops(func, cfg)
+    idom = compute_idom(cfg)
+    total = 0
+    for loop in sorted(loops, key=lambda l: -l.depth):
+        total += hoist_loop(func, loop, cfg, idom)
+    return total
+
+
+def run_licm_module(module: Module) -> int:
+    return sum(run_licm(func) for func in module.functions.values())

@@ -1,0 +1,39 @@
+"""A tiny pass manager: named module passes with optional verification
+between them — the spine of the RSkip "fully automatic compilation system"."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+
+ModulePass = Callable[[Module], object]
+
+
+@dataclass
+class PassRecord:
+    name: str
+    result: object
+
+
+class PassManager:
+    """Runs module passes in order; verifies after each when ``verify``."""
+
+    def __init__(self, verify: bool = True):
+        self.verify = verify
+        self._passes: List[tuple] = []
+        self.history: List[PassRecord] = []
+
+    def add(self, name: str, fn: ModulePass) -> "PassManager":
+        self._passes.append((name, fn))
+        return self
+
+    def run(self, module: Module) -> Module:
+        self.history.clear()
+        for name, fn in self._passes:
+            result = fn(module)
+            self.history.append(PassRecord(name, result))
+            if self.verify:
+                verify_module(module)
+        return module

@@ -1,0 +1,354 @@
+"""SWIFT and SWIFT-R instruction-duplication transforms.
+
+SWIFT [Reis et al., CGO'05] duplicates the computation into shadow
+registers and compares master vs. shadow at synchronization points (loads,
+stores, branches, calls, returns); a mismatch means a transient fault.
+SWIFT-R [Reis et al., 2007] triplicates instead and recovers by majority
+vote, giving full protection (detection + recovery).
+
+Faithful details mirrored here:
+
+* memory is ECC-protected, so loads execute **once** and the loaded value
+  is copied into the shadows; stores execute once after validating both the
+  value and the address;
+* every synchronization point validates each distinct register operand:
+  one compare + one (well-predicted) branch on the fault-free path —
+  this is precisely the "recurring synchronization points" cost the paper
+  blames for SWIFT-R's loop overhead;
+* calls validate their arguments, execute once, and fan the return value
+  out to the shadows.
+
+``exclude_labels`` supports RSkip's hybrid protection: blocks inserted by
+the prediction machinery are left untouched, and any value they define
+that protected code consumes gets boundary shadow copies.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import CmpPred, Instr, Opcode
+from ..ir.module import Module
+from ..ir.types import Type
+from ..ir.values import Const, Reg, Value
+
+#: Opcodes whose whole instruction is replicated into the shadow streams.
+_REPLICATED = frozenset(
+    {
+        Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SDIV, Opcode.SREM,
+        Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.LSHR,
+        Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+        Opcode.FNEG, Opcode.FABS, Opcode.SQRT, Opcode.EXP, Opcode.LOG,
+        Opcode.SIN, Opcode.COS, Opcode.FLOOR,
+        Opcode.SITOFP, Opcode.FPTOSI, Opcode.ICMP, Opcode.FCMP, Opcode.SELECT,
+    }
+)
+
+DETECT_INTRINSIC = "swift.detected"
+
+#: Synchronization-point categories at which operands are validated.
+#: SWIFT validates at stores and control flow at minimum; validating load
+#: addresses and call boundaries narrows the vulnerability windows further
+#: at extra cost (the placement ablation bench sweeps these).
+ALL_SYNC_POINTS = frozenset({"load", "store", "branch", "call", "ret"})
+
+
+@dataclass
+class ProtectionReport:
+    """What a transform did to one function."""
+
+    func_name: str
+    replicated: int = 0
+    sync_checks: int = 0
+    boundary_copies: int = 0
+    lazy_materializations: int = 0
+
+
+def _shadow(reg: Reg, k: int) -> Reg:
+    return Reg(f"{reg.name}.sw{k}", reg.ty)
+
+
+class _Rewriter:
+    """Rewrites one function; produces a fresh function object."""
+
+    def __init__(
+        self,
+        func: Function,
+        copies: int,
+        exclude: FrozenSet[str],
+        sync_points: FrozenSet[str] = ALL_SYNC_POINTS,
+    ):
+        if copies not in (1, 2):
+            raise ValueError("copies must be 1 (SWIFT) or 2 (SWIFT-R)")
+        unknown = set(sync_points) - ALL_SYNC_POINTS
+        if unknown:
+            raise ValueError(f"unknown sync-point categories: {sorted(unknown)}")
+        self.src = func
+        self.copies = copies
+        self.exclude = exclude
+        self.sync_points = frozenset(sync_points)
+        self.out = Function(func.name, [Reg(p.name, p.ty) for p in func.params], func.ret_type)
+        self.out.attrs = dict(func.attrs)
+        self.provenance: Dict[str, str] = dict(func.attrs.get("provenance", {}))
+        self.report = ProtectionReport(func.name)
+        self.has_shadow: Set[str] = set()
+        self._cur: Optional[BasicBlock] = None
+        self._cur_origin = ""
+        self._split_n = 0
+        self._fix_n = 0
+        self._detect_label: Optional[str] = None
+        # registers read inside protected blocks (for boundary copies)
+        self.protected_uses: Set[str] = set()
+        for label in func.block_order():
+            if label in exclude:
+                continue
+            for instr in func.blocks[label].instrs:
+                for reg in instr.uses():
+                    self.protected_uses.add(reg.name)
+
+    # -- emission helpers ------------------------------------------------
+    def _start(self, label: str, origin: str) -> None:
+        self._cur = self.out.add_block(label)
+        self._cur_origin = origin
+        if label != origin:
+            self.provenance[label] = self.provenance.get(origin, origin)
+
+    def _emit(self, instr: Instr) -> None:
+        self._cur.append(instr)
+
+    def _split(self) -> str:
+        """End the current block later via an explicit branch; returns the
+        label of the continuation block (not yet started)."""
+        self._split_n += 1
+        return f"{self._cur_origin}.sr{self._split_n}"
+
+    def _shadow_use(self, value: Value, k: int) -> Value:
+        if not isinstance(value, Reg):
+            return value
+        if value.name not in self.has_shadow:
+            # lazy materialization: copy the master into fresh shadows
+            self.report.lazy_materializations += 1
+            self._copy_to_shadows(value)
+        return _shadow(value, k)
+
+    def _copy_to_shadows(self, reg: Reg) -> None:
+        for k in range(1, self.copies + 1):
+            self._emit(Instr(Opcode.MOV, dest=_shadow(reg, k), args=(reg,)))
+        self.has_shadow.add(reg.name)
+
+    # -- validation ---------------------------------------------------------
+    def _detect_block(self) -> str:
+        if self._detect_label is None:
+            label = "swift.detect"
+            block = self.out.add_block(label)
+            block.append(Instr(Opcode.INTRIN, callee=DETECT_INTRINSIC))
+            if self.src.ret_type is Type.VOID:
+                block.append(Instr(Opcode.RET))
+            elif self.src.ret_type.is_float:
+                block.append(Instr(Opcode.RET, args=(Const(0.0, Type.F64),)))
+            else:
+                block.append(Instr(Opcode.RET, args=(Const(0, self.src.ret_type),)))
+            self._detect_label = label
+        return self._detect_label
+
+    def _validate(self, regs: Iterable[Reg]) -> None:
+        """Emit the sync-point check for each distinct register operand."""
+        seen: Set[str] = set()
+        for reg in regs:
+            if reg.name in seen:
+                continue
+            seen.add(reg.name)
+            self.report.sync_checks += 1
+            if reg.name not in self.has_shadow:
+                # no independent shadow exists: nothing to compare against
+                self.report.lazy_materializations += 1
+                self._copy_to_shadows(reg)
+                continue
+            cmp_op = Opcode.FCMP if reg.ty.is_float else Opcode.ICMP
+            eq1 = self.out.new_reg(Type.I64, "chk")
+            self._emit(Instr(cmp_op, dest=eq1, args=(reg, _shadow(reg, 1)), pred=CmpPred.EQ))
+            cont = self._split()
+
+            if self.copies == 1:
+                self._emit(Instr(Opcode.CBR, args=(eq1,), labels=(cont, self._detect_block())))
+                self._start(cont, self._cur_origin)
+                continue
+
+            self._fix_n += 1
+            fix = f"{self._cur_origin}.fix{self._fix_n}"
+            fix_master = f"{fix}.m"
+            fix_shadow = f"{fix}.s"
+            self._emit(Instr(Opcode.CBR, args=(eq1,), labels=(cont, fix)))
+
+            saved, saved_origin = self._cur, self._cur_origin
+            self._start(fix, self._cur_origin)
+            eq2 = self.out.new_reg(Type.I64, "chk")
+            self._emit(
+                Instr(cmp_op, dest=eq2, args=(_shadow(reg, 1), _shadow(reg, 2)), pred=CmpPred.EQ)
+            )
+            self._emit(Instr(Opcode.CBR, args=(eq2,), labels=(fix_master, fix_shadow)))
+
+            self._start(fix_master, saved_origin)
+            # the shadows agree: the master copy took the hit
+            self._emit(Instr(Opcode.MOV, dest=reg, args=(_shadow(reg, 1),)))
+            self._emit(Instr(Opcode.BR, labels=(cont,)))
+
+            self._start(fix_shadow, saved_origin)
+            # a shadow took the hit: refresh both from the master
+            self._emit(Instr(Opcode.MOV, dest=_shadow(reg, 1), args=(reg,)))
+            self._emit(Instr(Opcode.MOV, dest=_shadow(reg, 2), args=(reg,)))
+            self._emit(Instr(Opcode.BR, labels=(cont,)))
+
+            self._start(cont, saved_origin)
+
+    # -- instruction rewriting ------------------------------------------------
+    def _rewrite_protected(self, instr: Instr) -> None:
+        op = instr.op
+        if op in _REPLICATED and instr.dest is not None:
+            self._emit(instr.copy())
+            for k in range(1, self.copies + 1):
+                shadow_args = tuple(self._shadow_use(a, k) for a in instr.args)
+                self._emit(
+                    Instr(op, dest=_shadow(instr.dest, k), args=shadow_args,
+                          pred=instr.pred)
+                )
+            self.has_shadow.add(instr.dest.name)
+            self.report.replicated += 1
+            return
+
+        if op is Opcode.LOAD:
+            if "load" in self.sync_points:
+                self._validate(instr.uses())
+            self._emit(instr.copy())
+            self._copy_to_shadows(instr.dest)
+            return
+
+        if op is Opcode.STORE:
+            if "store" in self.sync_points:
+                self._validate(instr.uses())
+            self._emit(instr.copy())
+            return
+
+        if op is Opcode.CBR:
+            if "branch" in self.sync_points:
+                self._validate(instr.uses())
+            self._emit(instr.copy())
+            return
+
+        if op is Opcode.RET:
+            if "ret" in self.sync_points:
+                self._validate(instr.uses())
+            self._emit(instr.copy())
+            return
+
+        if op is Opcode.CALL:
+            if "call" in self.sync_points:
+                self._validate(instr.uses())
+            self._emit(instr.copy())
+            if instr.dest is not None:
+                self._copy_to_shadows(instr.dest)
+            return
+
+        if op in (Opcode.ALLOC, Opcode.INTRIN):
+            if op is Opcode.ALLOC and "call" in self.sync_points:
+                self._validate(instr.uses())
+            self._emit(instr.copy())
+            if instr.dest is not None:
+                self._copy_to_shadows(instr.dest)
+            return
+
+        # BR and anything else passes through
+        self._emit(instr.copy())
+
+    def _rewrite_excluded(self, instr: Instr) -> None:
+        self._emit(instr.copy())
+        if instr.dest is not None and instr.dest.name in self.protected_uses:
+            self._copy_to_shadows(instr.dest)
+            self.report.boundary_copies += self.copies
+
+    # -- driver ------------------------------------------------------------
+    def run(self) -> Tuple[Function, ProtectionReport]:
+        first = True
+        for label in self.src.block_order():
+            block = self.src.blocks[label]
+            self._start(label, label)
+            if first:
+                for p in self.out.params:
+                    if p.name in self.protected_uses:
+                        self._copy_to_shadows(p)
+                        self.report.boundary_copies += self.copies
+                first = False
+            if label in self.exclude:
+                for instr in block.instrs:
+                    self._rewrite_excluded(instr)
+            else:
+                for instr in block.instrs:
+                    self._rewrite_protected(instr)
+        self.out.attrs["provenance"] = self.provenance
+        self.out.attrs["protected"] = "swift" if self.copies == 1 else "swift-r"
+        self.out._reg_counter = max(self.out._reg_counter, self.src._reg_counter)
+        return self.out, self.report
+
+
+def protect_function(
+    func: Function,
+    copies: int,
+    exclude_labels: Iterable[str] = (),
+    sync_points: Iterable[str] = ALL_SYNC_POINTS,
+) -> Tuple[Function, ProtectionReport]:
+    """Return a protected clone of *func* (the original is untouched)."""
+    if func.attrs.get("protected"):
+        raise ValueError(f"@{func.name} is already protected")
+    rewriter = _Rewriter(func, copies, frozenset(exclude_labels),
+                         frozenset(sync_points))
+    return rewriter.run()
+
+
+def apply_swift(
+    module: Module,
+    only: Optional[Sequence[str]] = None,
+    exclude_funcs: Iterable[str] = (),
+    exclude_blocks: Optional[Dict[str, Set[str]]] = None,
+    sync_points: Iterable[str] = ALL_SYNC_POINTS,
+) -> List[ProtectionReport]:
+    """Apply SWIFT (duplication, detection-only) in place to the module."""
+    return _apply(module, 1, only, exclude_funcs, exclude_blocks, sync_points)
+
+
+def apply_swift_r(
+    module: Module,
+    only: Optional[Sequence[str]] = None,
+    exclude_funcs: Iterable[str] = (),
+    exclude_blocks: Optional[Dict[str, Set[str]]] = None,
+    sync_points: Iterable[str] = ALL_SYNC_POINTS,
+) -> List[ProtectionReport]:
+    """Apply SWIFT-R (triplication + majority-vote recovery) in place."""
+    return _apply(module, 2, only, exclude_funcs, exclude_blocks, sync_points)
+
+
+def _apply(
+    module: Module,
+    copies: int,
+    only: Optional[Sequence[str]],
+    exclude_funcs: Iterable[str],
+    exclude_blocks: Optional[Dict[str, Set[str]]],
+    sync_points: Iterable[str] = ALL_SYNC_POINTS,
+) -> List[ProtectionReport]:
+    skip = set(exclude_funcs)
+    blocks = exclude_blocks or {}
+    reports = []
+    names = list(only) if only is not None else list(module.functions)
+    for name in names:
+        if name in skip:
+            continue
+        func = module.functions[name]
+        if func.attrs.get("protected"):
+            continue
+        new_func, report = protect_function(
+            func, copies, blocks.get(name, ()), sync_points
+        )
+        module.functions[name] = new_func
+        reports.append(report)
+    return reports

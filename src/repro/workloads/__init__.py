@@ -1,0 +1,45 @@
+"""repro.workloads — the nine benchmarks of Table 1, rebuilt as IR
+programs, plus their input generators."""
+from typing import Dict, List
+
+from .base import Workload, WorkloadInput, stable_seed
+from .conv1d import Conv1D
+from .conv2d import Conv2D
+from .sgemm import Sgemm
+from .kde import Kde
+from .neuralnet import BackProp, ForwardProp
+from .blackscholes import BlackScholes
+from .lud import Lud
+from .yolite import Yolite
+
+#: Paper order (Table 1 / Figure 9).
+ALL_WORKLOADS: List[Workload] = [
+    Conv1D(),
+    Conv2D(),
+    Sgemm(),
+    Kde(),
+    ForwardProp(),
+    BackProp(),
+    BlackScholes(),
+    Lud(),
+    Yolite(),
+]
+
+WORKLOADS: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+__all__ = [
+    "Workload", "WorkloadInput", "stable_seed",
+    "Conv1D", "Conv2D", "Sgemm", "Kde", "ForwardProp", "BackProp",
+    "BlackScholes", "Lud", "Yolite",
+    "ALL_WORKLOADS", "WORKLOADS", "get_workload",
+]

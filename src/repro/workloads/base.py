@@ -1,0 +1,89 @@
+"""Workload abstraction.
+
+Each of the nine paper benchmarks (Table 1) is a :class:`Workload`: it
+builds a fresh IR module, generates training/test inputs (randomly, with
+no intersection — the paper's discipline), and describes where the
+program's output and the detected loop's output live in memory.
+"""
+from __future__ import annotations
+
+import abc
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ir.module import Module
+from ..runtime.memory import Memory
+
+
+def stable_seed(*parts) -> int:
+    """Deterministic seed from mixed parts.
+
+    Python's built-in string hashing is salted per process; experiments
+    must reproduce across runs, so seeds are derived from CRC32 instead.
+    """
+    text = "\x1f".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+
+
+@dataclass
+class WorkloadInput:
+    """One concrete input: arrays to place in memory plus main() arguments."""
+
+    arrays: Dict[str, List[float]]
+    args: List
+    #: (global name, cell count) of the program's final output
+    output: Tuple[str, int]
+    #: (global name, cell count) of the detected loop's output region —
+    #: used to measure false negatives (Figure 9b)
+    loop_output: Tuple[str, int]
+
+    def apply(self, memory: Memory) -> None:
+        for name, values in self.arrays.items():
+            memory.write_global(name, values)
+
+
+class Workload(abc.ABC):
+    """A benchmark program: module factory + input generator + metadata."""
+
+    #: short name (Table 1 row)
+    name: str = ""
+    #: application domain (Table 1)
+    domain: str = ""
+    description: str = ""
+    #: entry function
+    main: str = "main"
+    #: memory cells needed
+    memory_size: int = 1 << 16
+
+    @abc.abstractmethod
+    def build(self) -> Module:
+        """A fresh, unprotected module."""
+
+    @abc.abstractmethod
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        """Generate one input; *scale* shrinks/grows the problem size."""
+
+    # -- convenience ------------------------------------------------------
+    def training_inputs(self, count: int = 3, seed: int = 1, scale: float = 1.0) -> List[WorkloadInput]:
+        rng = random.Random(stable_seed(seed, self.name, "train"))
+        return [self.make_input(rng, scale) for _ in range(count)]
+
+    def test_inputs(self, count: int = 3, seed: int = 2, scale: float = 1.0) -> List[WorkloadInput]:
+        # a disjoint stream: training and test inputs never coincide
+        rng = random.Random(stable_seed(seed, self.name, "test"))
+        return [self.make_input(rng, scale) for _ in range(count)]
+
+    def fresh_memory(self, module: Module, inp: WorkloadInput) -> Memory:
+        memory = Memory(self.memory_size)
+        memory.load_globals(module)
+        inp.apply(memory)
+        return memory
+
+    @staticmethod
+    def _dim(base: int, scale: float, minimum: int = 4) -> int:
+        return max(int(round(base * scale)), minimum)
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name}>"

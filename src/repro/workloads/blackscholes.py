@@ -1,0 +1,116 @@
+"""blackscholes — European option pricing (PARSEC).
+
+Table 1: the prediction target is *a function call*
+(``BlkSchlsEqEuroNoDiv``), detected inside the outer runs loop.  This is
+the one benchmark where approximate memoization applies: option parameters
+cluster around popular values, so the quantized lookup table hits almost
+always, while the price series has no spatial trend (interpolation alone
+performs poorly — Figure 8a).
+
+The cumulative-normal helper is inlined into the pricing function so the
+whole expensive computation is a single callee that RSkip can leave
+unprotected under prediction.
+"""
+from __future__ import annotations
+
+import random
+
+from ..ir import CmpPred, F64, I64, IRBuilder, Function, Module, Reg, verify_module
+from .base import Workload, WorkloadInput
+from .inputs import clustered_values
+
+OPT_CAP = 2048
+
+_INV_SQRT_2PI = 0.3989422804014327
+_A1, _A2, _A3, _A4, _A5 = (
+    0.319381530, -0.356563782, 1.781477937, -1.821255978, 1.330274429,
+)
+
+
+def _emit_cndf(b: IRBuilder, x: Reg) -> Reg:
+    """Inline the Abramowitz-Stegun cumulative normal approximation."""
+    ax = b.fabs(x)
+    k = b.fdiv(1.0, b.fadd(1.0, b.fmul(0.2316419, ax)))
+    poly = b.mov(_A5, hint="poly")
+    for coeff in (_A4, _A3, _A2, _A1):
+        poly = b.fadd(coeff, b.fmul(k, poly))
+    poly = b.fmul(k, poly)
+    pdf = b.fmul(_INV_SQRT_2PI, b.exp(b.fneg(b.fmul(0.5, b.fmul(ax, ax)))))
+    cnd_pos = b.fsub(1.0, b.fmul(pdf, poly))
+    nonneg = b.fcmp(CmpPred.GE, x, 0.0)
+    return b.select(nonneg, cnd_pos, b.fsub(1.0, cnd_pos))
+
+
+class BlackScholes(Workload):
+    name = "blackscholes"
+    domain = "Finance"
+    description = "Stock price prediction model"
+
+    def build(self) -> Module:
+        module = Module("blackscholes")
+        for g in ("sp", "xs", "rs", "vs", "ts", "ot"):
+            module.add_global(g, OPT_CAP)
+        module.add_global("prices", OPT_CAP)
+
+        # the expensive user function (the prediction target's callee)
+        prot = Function(
+            "BlkSchlsEqEuroNoDiv",
+            [Reg("s", F64), Reg("x", F64), Reg("r", F64),
+             Reg("v", F64), Reg("t", F64), Reg("otype", F64)],
+            F64,
+        )
+        module.add_function(prot)
+        pb = IRBuilder(prot)
+        s, x, r, v, t, otype = prot.params
+        sqrt_t = pb.sqrt(t)
+        vol_sqrt_t = pb.fmul(v, sqrt_t)
+        d1 = pb.fdiv(
+            pb.fadd(pb.log(pb.fdiv(s, x)),
+                    pb.fmul(pb.fadd(r, pb.fmul(0.5, pb.fmul(v, v))), t)),
+            vol_sqrt_t,
+        )
+        d2 = pb.fsub(d1, vol_sqrt_t)
+        nd1 = _emit_cndf(pb, d1)
+        nd2 = _emit_cndf(pb, d2)
+        fut = pb.fmul(x, pb.exp(pb.fneg(pb.fmul(r, t))))
+        call_price = pb.fsub(pb.fmul(s, nd1), pb.fmul(fut, nd2))
+        put_price = pb.fsub(
+            pb.fmul(fut, pb.fsub(1.0, nd2)), pb.fmul(s, pb.fsub(1.0, nd1))
+        )
+        is_put = pb.fcmp(CmpPred.GT, otype, 0.5)
+        pb.ret(pb.select(is_put, put_price, call_price))
+
+        func = Function("main", [Reg("n", I64), Reg("runs", I64)], F64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        ptrs = {g: b.mov(b.global_addr(g), hint=g[0] + "p")
+                for g in ("sp", "xs", "rs", "vs", "ts", "ot", "prices")}
+        n, runs = func.params
+
+        with b.loop(0, runs, hint="run"):
+            with b.loop(0, n, hint="opt") as i:  # the detected loop
+                args = [b.load(b.padd(ptrs[g], i)) for g in
+                        ("sp", "xs", "rs", "vs", "ts", "ot")]
+                price = b.call("BlkSchlsEqEuroNoDiv", args)
+                b.store(price, b.padd(ptrs["prices"], i))
+        b.ret(0.0)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        n = min(self._dim(300, scale, 24), OPT_CAP)
+        spots = clustered_values(rng, n, (38.0, 44.0, 56.0, 70.0), 0.003)
+        strikes = clustered_values(rng, n, (40.0, 52.0, 66.0), 0.002)
+        rates = clustered_values(rng, n, (0.025, 0.05), 0.0)
+        vols = clustered_values(rng, n, (0.25, 0.4), 0.003)
+        times = clustered_values(rng, n, (0.5, 1.0, 2.0), 0.0)
+        otypes = [float(rng.random() < 0.4) for _ in range(n)]
+        return WorkloadInput(
+            arrays={
+                "sp": spots, "xs": strikes, "rs": rates,
+                "vs": vols, "ts": times, "ot": otypes,
+            },
+            args=[n, 2],
+            output=("prices", n),
+            loop_output=("prices", n),
+        )

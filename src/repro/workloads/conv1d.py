@@ -1,0 +1,63 @@
+"""conv1d — 1-D convolution (signal processing / machine learning).
+
+Table 1: prediction target is *a reduction loop*, detected *inside a outer
+loop* (a frame loop wraps the convolution).
+"""
+from __future__ import annotations
+
+import random
+
+from ..ir import F64, I64, IRBuilder, Function, Module, Reg, verify_module
+from .base import Workload, WorkloadInput
+from .inputs import smooth_series
+
+X_CAP = 4096
+K_CAP = 64
+
+
+class Conv1D(Workload):
+    name = "conv1d"
+    domain = "Signal processing, Machine learning"
+    description = "1D convolution"
+
+    def build(self) -> Module:
+        module = Module("conv1d")
+        module.add_global("x", X_CAP)
+        module.add_global("krn", K_CAP)
+        module.add_global("out", X_CAP)
+
+        func = Function(
+            "main", [Reg("n", I64), Reg("m", I64), Reg("frames", I64)], F64
+        )
+        module.add_function(func)
+        b = IRBuilder(func)
+        xp = b.mov(b.global_addr("x"), hint="xp")
+        kp = b.mov(b.global_addr("krn"), hint="kp")
+        op = b.mov(b.global_addr("out"), hint="op")
+        n, m, frames = func.params
+
+        with b.loop(0, frames, hint="frame"):
+            with b.loop(0, n, hint="conv") as i:  # the detected loop
+                acc = b.mov(0.0, hint="acc")
+                with b.loop(0, m, hint="red") as j:
+                    xv = b.load(b.padd(xp, b.add(i, j)))
+                    kv = b.load(b.padd(kp, j))
+                    b.mov(b.fadd(acc, b.fmul(xv, kv)), dest=acc)
+                b.store(acc, b.padd(op, i))
+        b.ret(0.0)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        n = min(self._dim(220, scale, 16), X_CAP - K_CAP)
+        m = min(self._dim(14, scale, 4), K_CAP)
+        signal = smooth_series(rng, n + m, base=2.0, amplitude=1.0,
+                               noise_rel=0.02, period=48.0)
+        kernel = smooth_series(rng, m, base=0.3, amplitude=0.2,
+                               noise_rel=0.05, period=float(m))
+        return WorkloadInput(
+            arrays={"x": signal, "krn": kernel},
+            args=[n, m, 2],
+            output=("out", n),
+            loop_output=("out", n),
+        )

@@ -1,0 +1,86 @@
+"""conv2d — 2-D convolution with a data-dependent conditional.
+
+Table 1: *nested reduction loops with conditional statement*, detected
+inside the outer row loop.  The conditional (skip near-zero taps, a sparse
+convolution) is the data-dependent control flow that makes SWIFT-R's
+validation particularly expensive here (paper section 7.1).
+"""
+from __future__ import annotations
+
+import random
+
+from ..ir import CmpPred, F64, I64, IRBuilder, Function, Module, Reg, verify_module
+from .base import Workload, WorkloadInput
+from .inputs import smooth_grid, smooth_series
+
+IMG_CAP = 48 * 48
+KRN_CAP = 9 * 9
+OUT_CAP = 48 * 48
+
+
+class Conv2D(Workload):
+    name = "conv2d"
+    domain = "Signal processing, Machine learning"
+    description = "2D convolution"
+
+    def build(self) -> Module:
+        module = Module("conv2d")
+        module.add_global("img", IMG_CAP)
+        module.add_global("krn", KRN_CAP)
+        module.add_global("out", OUT_CAP)
+
+        # main(h, w, k, thresh)
+        func = Function(
+            "main",
+            [Reg("h", I64), Reg("w", I64), Reg("k", I64), Reg("thresh", F64)],
+            F64,
+        )
+        module.add_function(func)
+        b = IRBuilder(func)
+        ip = b.mov(b.global_addr("img"), hint="ip")
+        kp = b.mov(b.global_addr("krn"), hint="kp")
+        op = b.mov(b.global_addr("out"), hint="op")
+        h, w, k, thresh = func.params
+        oh = b.sub(h, b.sub(k, 1))
+        ow = b.sub(w, b.sub(k, 1))
+
+        with b.loop(0, oh, hint="row") as y:  # the outer loop
+            with b.loop(0, ow, hint="col") as x:  # the detected loop
+                acc = b.mov(0.0, hint="acc")
+                with b.loop(0, k, hint="ky") as ky:
+                    with b.loop(0, k, hint="kx") as kx:
+                        iy = b.add(y, ky)
+                        ix = b.add(x, kx)
+                        pix = b.load(b.padd(ip, b.add(b.mul(iy, w), ix)))
+                        tap = b.load(b.padd(kp, b.add(b.mul(ky, k), kx)))
+                        # sparse convolution: skip near-zero kernel taps.
+                        # The branch pattern cycles with the kernel, so it
+                        # is data-dependent and poorly predicted — the
+                        # control flow that hurts SWIFT-R in this benchmark
+                        # — while the accumulated output stays smooth.
+                        big = b.fcmp(CmpPred.GT, b.fabs(tap), thresh)
+
+                        def add_tap(bb, acc=acc, pix=pix, tap=tap):
+                            bb.mov(bb.fadd(acc, bb.fmul(pix, tap)), dest=acc)
+
+                        b.if_then_else(big, add_tap)
+                addr = b.padd(op, b.add(b.mul(y, ow), x))
+                b.store(acc, addr)
+        b.ret(0.0)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        side = min(self._dim(22, scale, 8), 48)
+        k = 5 if side >= 10 else 3
+        image = smooth_grid(rng, side, side, base=1.0, amplitude=0.7,
+                            noise_rel=0.015, period=18.0)
+        kernel = smooth_series(rng, k * k, base=0.18, amplitude=0.14,
+                               noise_rel=0.05, period=2.6)
+        out_n = (side - k + 1) * (side - k + 1)
+        return WorkloadInput(
+            arrays={"img": image, "krn": kernel},
+            args=[side, side, k, 0.18],
+            output=("out", out_n),
+            loop_output=("out", out_n),
+        )

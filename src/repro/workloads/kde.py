@@ -1,0 +1,85 @@
+"""kde — kernel density estimation (machine learning).
+
+Table 1: *nested reduction loops* (samples x dimensions), detected inside
+the outer repetition loop.  Gaussian kernel over D-dimensional points,
+evaluated along a sorted grid so consecutive densities share a trend.
+"""
+from __future__ import annotations
+
+import math
+import random
+
+from ..ir import F64, I64, IRBuilder, Function, Module, Reg, verify_module
+from .base import Workload, WorkloadInput
+from .inputs import smooth_series
+
+GRID_CAP = 256
+SAMP_CAP = 256
+DIM_CAP = 4
+
+
+class Kde(Workload):
+    name = "kde"
+    domain = "Machine learning"
+    description = "Kernel Density Estimation"
+
+    def build(self) -> Module:
+        module = Module("kde")
+        module.add_global("grid", GRID_CAP * DIM_CAP)
+        module.add_global("samp", SAMP_CAP * DIM_CAP)
+        module.add_global("out", GRID_CAP)
+
+        # main(g, s, d, inv2h2, norm, reps)
+        func = Function(
+            "main",
+            [
+                Reg("g", I64), Reg("s", I64), Reg("d", I64),
+                Reg("inv2h2", F64), Reg("norm", F64), Reg("reps", I64),
+            ],
+            F64,
+        )
+        module.add_function(func)
+        b = IRBuilder(func)
+        gp = b.mov(b.global_addr("grid"), hint="gp")
+        sp = b.mov(b.global_addr("samp"), hint="sp")
+        op = b.mov(b.global_addr("out"), hint="op")
+        g, s, d, inv2h2, norm, reps = func.params
+
+        with b.loop(0, reps, hint="rep"):
+            with b.loop(0, g, hint="grid") as gi:  # the detected loop
+                acc = b.mov(0.0, hint="acc")
+                with b.loop(0, s, hint="samp") as si:
+                    dist2 = b.mov(0.0, hint="dist2")
+                    with b.loop(0, d, hint="dim") as di:
+                        gv = b.load(b.padd(gp, b.add(b.mul(gi, d), di)))
+                        sv = b.load(b.padd(sp, b.add(b.mul(si, d), di)))
+                        diff = b.fsub(gv, sv)
+                        b.mov(b.fadd(dist2, b.fmul(diff, diff)), dest=dist2)
+                    kern = b.exp(b.fneg(b.fmul(dist2, inv2h2)))
+                    b.mov(b.fadd(acc, kern), dest=acc)
+                b.store(b.fmul(acc, norm), b.padd(op, gi))
+        b.ret(0.0)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        g = min(self._dim(56, scale, 12), GRID_CAP)
+        s = min(self._dim(20, scale, 6), SAMP_CAP)
+        d = 2
+        h = 0.9
+        # grid points walk smoothly through the space; samples cluster
+        grid = []
+        base = smooth_series(rng, g, base=0.0, amplitude=1.1, noise_rel=0.01, period=g / 1.2)
+        for k in range(g):
+            grid.extend([base[k], base[k] * 0.5 + 0.3])
+        samp = []
+        for _ in range(s):
+            cx = rng.gauss(0.0, 1.2)
+            samp.extend([cx, cx * 0.5 + rng.gauss(0.3, 0.4)])
+        norm = 1.0 / (s * (2 * math.pi) ** (d / 2) * h**d)
+        return WorkloadInput(
+            arrays={"grid": grid, "samp": samp},
+            args=[g, s, d, 1.0 / (2 * h * h), norm, 2],
+            output=("out", g),
+            loop_output=("out", g),
+        )

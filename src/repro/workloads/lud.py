@@ -1,0 +1,72 @@
+"""lud — in-place LU decomposition (Rodinia).
+
+Table 1: *a reduction loop with a varying trip count*, detected inside the
+outer elimination loop.  This is Figure 4b's pattern: the update
+``a[j*size+i] = sum`` reads and overwrites the same cell
+(read-modify-write), exercising RSkip's temporary-space handling for
+re-computation.
+
+The left-looking factorization has two detected loops per elimination
+step: the U-row update and the L-column update (Figure 4b shows the
+latter).
+"""
+from __future__ import annotations
+
+import random
+
+from ..ir import F64, I64, IRBuilder, Function, Module, Reg, verify_module
+from .base import Workload, WorkloadInput
+from .inputs import diagonally_dominant_matrix
+
+N_CAP = 40
+
+
+class Lud(Workload):
+    name = "lud"
+    domain = "Linear algebra"
+    description = "LU decomposition"
+
+    def build(self) -> Module:
+        module = Module("lud")
+        module.add_global("a", N_CAP * N_CAP)
+
+        func = Function("main", [Reg("n", I64)], F64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        ap = b.mov(b.global_addr("a"), hint="ap")
+        n = func.params[0]
+
+        with b.loop(0, n, hint="elim") as i:
+            # U row i:  a[i][j] -= sum_{k<i} a[i][k] * a[k][j]   for j >= i
+            with b.loop(i, n, hint="urow") as j:  # detected loop 1
+                addr = b.padd(ap, b.add(b.mul(i, n), j))
+                s = b.load(addr, hint="usum")
+                with b.loop(0, i, hint="ured") as k:
+                    lv = b.load(b.padd(ap, b.add(b.mul(i, n), k)))
+                    uv = b.load(b.padd(ap, b.add(b.mul(k, n), j)))
+                    b.mov(b.fsub(s, b.fmul(lv, uv)), dest=s)
+                b.store(s, addr)
+            # L column i:  a[j][i] = (a[j][i] - sum_{k<i} a[j][k]*a[k][i]) / a[i][i]
+            ip1 = b.add(i, 1)
+            with b.loop(ip1, n, hint="lcol") as j:  # detected loop 2 (Fig 4b)
+                addr = b.padd(ap, b.add(b.mul(j, n), i))
+                s = b.load(addr, hint="lsum")
+                with b.loop(0, i, hint="lred") as k:
+                    lv = b.load(b.padd(ap, b.add(b.mul(j, n), k)))
+                    uv = b.load(b.padd(ap, b.add(b.mul(k, n), i)))
+                    b.mov(b.fsub(s, b.fmul(lv, uv)), dest=s)
+                diag = b.load(b.padd(ap, b.add(b.mul(i, n), i)))
+                b.store(b.fdiv(s, diag), addr)
+        b.ret(0.0)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        n = min(self._dim(22, scale, 8), N_CAP)
+        matrix = diagonally_dominant_matrix(rng, n, noise_rel=0.04)
+        return WorkloadInput(
+            arrays={"a": matrix},
+            args=[n],
+            output=("a", n * n),
+            loop_output=("a", n * n),
+        )

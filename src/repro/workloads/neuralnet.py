@@ -1,0 +1,114 @@
+"""forwardprop / backprop — fully connected neural-network layers (Rodinia
+backprop).
+
+Table 1: both are *a reduction loop* at the top level (no enclosing loop).
+forwardprop computes the sigmoid-activated forward pass of one layer;
+backprop computes the hidden-layer deltas from the output deltas.
+"""
+from __future__ import annotations
+
+import random
+
+from ..ir import F64, I64, IRBuilder, Function, Module, Reg, verify_module
+from .base import Workload, WorkloadInput
+from .inputs import smooth_grid, smooth_series
+
+IN_CAP = 256
+OUT_CAP = 256
+
+
+class ForwardProp(Workload):
+    name = "forwardprop"
+    domain = "Machine learning"
+    description = "Forward propagation for the fully connected neural network"
+
+    def build(self) -> Module:
+        module = Module("forwardprop")
+        module.add_global("inp", IN_CAP)
+        module.add_global("w", IN_CAP * 64)
+        module.add_global("bias", OUT_CAP)
+        module.add_global("out", OUT_CAP)
+
+        func = Function("main", [Reg("nin", I64), Reg("nout", I64)], F64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        ip = b.mov(b.global_addr("inp"), hint="ip")
+        wp = b.mov(b.global_addr("w"), hint="wp")
+        bp = b.mov(b.global_addr("bias"), hint="bp")
+        op = b.mov(b.global_addr("out"), hint="op")
+        nin, nout = func.params
+
+        with b.loop(0, nout, hint="unit") as j:  # the detected loop
+            acc = b.mov(0.0, hint="acc")
+            with b.loop(0, nin, hint="red") as i:
+                xv = b.load(b.padd(ip, i))
+                wv = b.load(b.padd(wp, b.add(b.mul(i, nout), j)))
+                b.mov(b.fadd(acc, b.fmul(xv, wv)), dest=acc)
+            z = b.fadd(acc, b.load(b.padd(bp, j)))
+            act = b.fdiv(1.0, b.fadd(1.0, b.exp(b.fneg(z))))
+            b.store(act, b.padd(op, j))
+        b.ret(0.0)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        nin = min(self._dim(96, scale, 12), IN_CAP)
+        nout = min(self._dim(64, scale, 8), 64)
+        x = smooth_series(rng, nin, base=0.4, amplitude=0.4, noise_rel=0.02, period=22.0)
+        w = smooth_grid(rng, nin, nout, base=0.05, amplitude=0.12, noise_rel=0.03, period=16.0)
+        bias = smooth_series(rng, nout, base=0.1, amplitude=0.2, noise_rel=0.05, period=20.0)
+        return WorkloadInput(
+            arrays={"inp": x, "w": w, "bias": bias},
+            args=[nin, nout],
+            output=("out", nout),
+            loop_output=("out", nout),
+        )
+
+
+class BackProp(Workload):
+    name = "backprop"
+    domain = "Machine learning"
+    description = "Backward propagation for the fully connected neural network"
+
+    def build(self) -> Module:
+        module = Module("backprop")
+        module.add_global("w", IN_CAP * 64)
+        module.add_global("delta", OUT_CAP)
+        module.add_global("hidden", IN_CAP)
+        module.add_global("dh", IN_CAP)
+
+        func = Function("main", [Reg("nhid", I64), Reg("nout", I64)], F64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        wp = b.mov(b.global_addr("w"), hint="wp")
+        dp = b.mov(b.global_addr("delta"), hint="dp")
+        hp = b.mov(b.global_addr("hidden"), hint="hp")
+        op = b.mov(b.global_addr("dh"), hint="op")
+        nhid, nout = func.params
+
+        with b.loop(0, nhid, hint="hid") as i:  # the detected loop
+            acc = b.mov(0.0, hint="acc")
+            with b.loop(0, nout, hint="red") as j:
+                wv = b.load(b.padd(wp, b.add(b.mul(i, nout), j)))
+                dv = b.load(b.padd(dp, j))
+                b.mov(b.fadd(acc, b.fmul(wv, dv)), dest=acc)
+            h = b.load(b.padd(hp, i))
+            grad = b.fmul(b.fmul(h, b.fsub(1.0, h)), acc)
+            b.store(grad, b.padd(op, i))
+        b.ret(0.0)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        nhid = min(self._dim(80, scale, 10), IN_CAP)
+        nout = min(self._dim(56, scale, 8), 64)
+        w = smooth_grid(rng, nhid, nout, base=0.3, amplitude=0.2, noise_rel=0.02, period=34.0)
+        delta = smooth_series(rng, nout, base=0.6, amplitude=0.25, noise_rel=0.02, period=40.0)
+        hidden = [min(max(v, 0.05), 0.95) for v in
+                  smooth_series(rng, nhid, base=0.5, amplitude=0.3, noise_rel=0.02, period=52.0)]
+        return WorkloadInput(
+            arrays={"w": w, "delta": delta, "hidden": hidden},
+            args=[nhid, nout],
+            output=("dh", nhid),
+            loop_output=("dh", nhid),
+        )

@@ -1,0 +1,56 @@
+"""sgemm — general matrix multiplication (Parboil).
+
+Table 1: *nested reduction loops*, detected inside the outer row loop.
+"""
+from __future__ import annotations
+
+import random
+
+from ..ir import F64, I64, IRBuilder, Function, Module, Reg, verify_module
+from .base import Workload, WorkloadInput
+from .inputs import smooth_grid
+
+N_CAP = 40
+
+
+class Sgemm(Workload):
+    name = "sgemm"
+    domain = "Linear algebra"
+    description = "General matrix multiplication"
+
+    def build(self) -> Module:
+        module = Module("sgemm")
+        module.add_global("a", N_CAP * N_CAP)
+        module.add_global("b", N_CAP * N_CAP)
+        module.add_global("c", N_CAP * N_CAP)
+
+        func = Function("main", [Reg("n", I64)], F64)
+        module.add_function(func)
+        b = IRBuilder(func)
+        ap = b.mov(b.global_addr("a"), hint="ap")
+        bp = b.mov(b.global_addr("b"), hint="bp")
+        cp = b.mov(b.global_addr("c"), hint="cp")
+        n = func.params[0]
+
+        with b.loop(0, n, hint="row") as i:  # the outer loop
+            with b.loop(0, n, hint="col") as j:  # the detected loop
+                acc = b.mov(0.0, hint="acc")
+                with b.loop(0, n, hint="red") as k:
+                    av = b.load(b.padd(ap, b.add(b.mul(i, n), k)))
+                    bv = b.load(b.padd(bp, b.add(b.mul(k, n), j)))
+                    b.mov(b.fadd(acc, b.fmul(av, bv)), dest=acc)
+                b.store(acc, b.padd(cp, b.add(b.mul(i, n), j)))
+        b.ret(0.0)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        n = min(self._dim(18, scale, 6), N_CAP)
+        a = smooth_grid(rng, n, n, base=1.0, amplitude=0.7, noise_rel=0.02, period=9.0)
+        bm = smooth_grid(rng, n, n, base=0.8, amplitude=0.6, noise_rel=0.02, period=7.0)
+        return WorkloadInput(
+            arrays={"a": a, "b": bm},
+            args=[n],
+            output=("c", n * n),
+            loop_output=("c", n * n),
+        )

@@ -1,0 +1,105 @@
+"""yolite — a miniature YOLOv2 stand-in (real-time object detection).
+
+The paper evaluates YOLOv2 (Darknet).  Running the full network is out of
+scope for an interpreted substrate, so yolite keeps the properties that
+matter to the experiments (see DESIGN.md):
+
+* the hot computation is a convolutional *reduction loop* over an image,
+  detected inside outer filter/row loops — the same pattern RSkip targets
+  in the real network;
+* the program's final output is only the argmax detection label, so small
+  value errors that escape fuzzy validation tend to be *logically masked*
+  (the paper's observation that false negatives are generally benign in
+  YOLOv2).
+"""
+from __future__ import annotations
+
+import random
+
+from ..ir import CmpPred, F64, I64, IRBuilder, Function, Module, Reg, verify_module
+from .base import Workload, WorkloadInput
+from .inputs import smooth_grid, smooth_series
+
+IMG_CAP = 32 * 32
+WT_CAP = 8 * 9
+FEAT_CAP = 4 * 32 * 32
+
+
+class Yolite(Workload):
+    name = "yolite"
+    domain = "Machine learning, Computer vision"
+    description = "Real time object detection (miniature YOLOv2 head)"
+
+    def build(self) -> Module:
+        module = Module("yolite")
+        module.add_global("img", IMG_CAP)
+        module.add_global("wt", WT_CAP)
+        module.add_global("bias", 8)
+        module.add_global("feat", FEAT_CAP)
+        module.add_global("det", 2)
+
+        # main(h, w, k, f)
+        func = Function(
+            "main", [Reg("h", I64), Reg("w", I64), Reg("k", I64), Reg("f", I64)], F64
+        )
+        module.add_function(func)
+        b = IRBuilder(func)
+        ip = b.mov(b.global_addr("img"), hint="ip")
+        wp = b.mov(b.global_addr("wt"), hint="wp")
+        bp = b.mov(b.global_addr("bias"), hint="bp")
+        fp = b.mov(b.global_addr("feat"), hint="fp")
+        dp = b.mov(b.global_addr("det"), hint="dp")
+        h, w, k, f = func.params
+        oh = b.sub(h, b.sub(k, 1))
+        ow = b.sub(w, b.sub(k, 1))
+
+        with b.loop(0, f, hint="filt") as fi:
+            with b.loop(0, oh, hint="row") as y:
+                with b.loop(0, ow, hint="col") as x:  # the detected loop
+                    acc = b.mov(0.0, hint="acc")
+                    with b.loop(0, k, hint="ky") as ky:
+                        with b.loop(0, k, hint="kx") as kx:
+                            pix = b.load(
+                                b.padd(ip, b.add(b.mul(b.add(y, ky), w), b.add(x, kx)))
+                            )
+                            tap = b.load(
+                                b.padd(wp, b.add(b.mul(fi, b.mul(k, k)),
+                                                 b.add(b.mul(ky, k), kx)))
+                            )
+                            b.mov(b.fadd(acc, b.fmul(pix, tap)), dest=acc)
+                    z = b.fadd(acc, b.load(b.padd(bp, fi)))
+                    pos = b.fcmp(CmpPred.GT, z, 0.0)
+                    act = b.select(pos, z, b.fmul(0.1, z))
+                    cell = b.add(b.mul(fi, b.mul(oh, ow)), b.add(b.mul(y, ow), x))
+                    b.store(act, b.padd(fp, cell))
+
+        # detection head: only the argmax label (and its score) survive
+        ncells = b.mul(f, b.mul(oh, ow))
+        best = b.mov(-1.0e30, hint="best")
+        bidx = b.mov(0, hint="bidx")
+        with b.loop(0, ncells, hint="argmax") as c:
+            v = b.load(b.padd(fp, c))
+            better = b.fcmp(CmpPred.GT, v, best)
+            b.mov(b.select(better, v, best), dest=best)
+            b.mov(b.select(better, c, bidx), dest=bidx)
+        b.store(b.sitofp(bidx), dp)
+        b.store(best, b.padd(dp, 1))
+        b.ret(best)
+        verify_module(module)
+        return module
+
+    def make_input(self, rng: random.Random, scale: float = 1.0) -> WorkloadInput:
+        side = min(self._dim(18, scale, 8), 32)
+        k, f = 3, 2
+        image = smooth_grid(rng, side, side, base=0.9, amplitude=0.5,
+                            noise_rel=0.02, period=16.0)
+        weights = smooth_series(rng, f * k * k, base=0.3, amplitude=0.15,
+                                noise_rel=0.05, period=6.0)
+        bias = [rng.uniform(-0.1, 0.1) for _ in range(f)]
+        feat_n = f * (side - k + 1) * (side - k + 1)
+        return WorkloadInput(
+            arrays={"img": image, "wt": weights, "bias": bias},
+            args=[side, side, k, f],
+            output=("det", 2),
+            loop_output=("feat", feat_n),
+        )

@@ -1,0 +1,66 @@
+from repro.analysis import build_callgraph
+from repro.ir import F64, Function, IRBuilder, Module, Reg
+
+from ..conftest import build_call_module
+
+
+def chain_module():
+    """main -> a -> b, main -> b, c is isolated, r is self-recursive."""
+    m = Module("m")
+
+    def make(name, calls):
+        f = Function(name, [], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        acc = b.mov(0.0)
+        for callee in calls:
+            v = b.call(callee, [])
+            acc = b.fadd(acc, v)
+        b.ret(acc)
+
+    make("b", [])
+    make("a", ["b"])
+    make("main", ["a", "b"])
+    make("c", [])
+    make("r", ["r"])
+    return m
+
+
+class TestCallGraph:
+    def test_edges(self):
+        graph = build_callgraph(chain_module())
+        assert graph.callees["main"] == {"a", "b"}
+        assert graph.callers["b"] == {"a", "main"}
+        assert graph.callees["c"] == set()
+
+    def test_reachable(self):
+        graph = build_callgraph(chain_module())
+        assert graph.reachable_from("main") == {"main", "a", "b"}
+        assert graph.reachable_from("c") == {"c"}
+
+    def test_recursion_detection(self):
+        graph = build_callgraph(chain_module())
+        assert graph.is_recursive("r")
+        assert not graph.is_recursive("main")
+        assert not graph.is_recursive("b")
+
+    def test_bottom_up_order(self):
+        graph = build_callgraph(chain_module())
+        order = graph.bottom_up_order()
+        assert order.index("b") < order.index("a") < order.index("main")
+        assert set(order) == {"main", "a", "b", "c", "r"}
+
+    def test_on_real_workload(self, call_module):
+        graph = build_callgraph(call_module)
+        assert graph.callees["main"] == {"g"}
+        assert "main" in graph.reachable_from("main")
+
+    def test_unknown_callees_ignored(self):
+        m = Module("m")
+        f = Function("main", [], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        b.call("extern", [])  # not defined in the module
+        b.ret(0.0)
+        graph = build_callgraph(m)
+        assert graph.callees["main"] == set()

@@ -1,0 +1,145 @@
+"""Shared fixtures: small IR programs used across the test suite."""
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I64,
+    PTR,
+    Function,
+    IRBuilder,
+    Module,
+    Reg,
+    verify_module,
+)
+from repro.runtime import Interpreter, Memory
+
+
+def build_dot_module(inner: int = 16) -> Module:
+    """out[i] = dot(x, y) * (i+1) — a nested-reduction target loop."""
+    m = Module("dot")
+    m.add_global("x", 64)
+    m.add_global("y", 64)
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64), Reg("m", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    xp = b.mov(b.global_addr("x"), hint="xp")
+    yp = b.mov(b.global_addr("y"), hint="yp")
+    op = b.mov(b.global_addr("out"), hint="op")
+    n, inner_n = f.params
+    with b.loop(0, n, hint="outer") as i:
+        acc = b.mov(0.0, hint="acc")
+        with b.loop(0, inner_n, hint="inner") as j:
+            xv = b.load(b.padd(xp, j))
+            yv = b.load(b.padd(yp, j))
+            b.mov(b.fadd(acc, b.fmul(xv, yv)), dest=acc)
+        scaled = b.fmul(acc, b.sitofp(b.add(i, 1)))
+        b.store(scaled, b.padd(op, i))
+    b.ret(0.0)
+    verify_module(m)
+    return m
+
+
+def build_call_module() -> Module:
+    """out[i] = g(a[i], b[i]) — a function-call target loop."""
+    m = Module("callmod")
+    m.add_global("a", 64)
+    m.add_global("b", 64)
+    m.add_global("out", 64)
+
+    g = Function("g", [Reg("x", F64), Reg("y", F64)], F64)
+    m.add_function(g)
+    gb = IRBuilder(g)
+    x, y = g.params
+    t = gb.fadd(gb.fmul(x, x), gb.fmul(y, y))
+    t = gb.sqrt(t)
+    t = gb.fadd(t, gb.exp(gb.fneg(gb.fmul(x, y))))
+    t = gb.fadd(t, gb.log(gb.fadd(gb.fabs(x), 1.0)))
+    t = gb.fmul(t, gb.fadd(gb.cos(y), 2.0))
+    gb.ret(t)
+
+    f = Function("main", [Reg("n", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    ap = b.mov(b.global_addr("a"), hint="ap")
+    bp = b.mov(b.global_addr("b"), hint="bp")
+    op = b.mov(b.global_addr("out"), hint="op")
+    with b.loop(0, f.params[0], hint="call") as i:
+        av = b.load(b.padd(ap, i))
+        bv = b.load(b.padd(bp, i))
+        v = b.call("g", [av, bv])
+        b.store(v, b.padd(op, i))
+    b.ret(0.0)
+    verify_module(m)
+    return m
+
+
+def build_rmw_module() -> Module:
+    """out[i] -= sum_k a[k]*w[k]  (read-modify-write target loop)."""
+    m = Module("rmw")
+    m.add_global("a", 64)
+    m.add_global("w", 64)
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64), Reg("m", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    ap = b.mov(b.global_addr("a"), hint="ap")
+    wp = b.mov(b.global_addr("w"), hint="wp")
+    op = b.mov(b.global_addr("out"), hint="op")
+    n, inner_n = f.params
+    with b.loop(0, n, hint="outer") as i:
+        addr = b.padd(op, i)
+        s = b.load(addr, hint="s")
+        with b.loop(0, inner_n, hint="inner") as k:
+            av = b.load(b.padd(ap, k))
+            wv = b.load(b.padd(wp, k))
+            fi = b.sitofp(b.add(i, 1))
+            term = b.fdiv(b.fmul(av, wv), fi)
+            b.mov(b.fsub(s, term), dest=s)
+        b.store(s, addr)
+    b.ret(0.0)
+    verify_module(m)
+    return m
+
+
+def seed_memory(module: Module, smooth: bool = True) -> Memory:
+    """Memory with deterministic smooth test data in every global."""
+    mem = Memory()
+    mem.load_globals(module)
+    for k, name in enumerate(module.globals):
+        base = mem.global_addr(name)
+        size = module.globals[name].size
+        for i in range(size):
+            if smooth:
+                mem.cells[base + i] = 1.5 + math.sin(0.13 * i + k)
+            else:
+                mem.cells[base + i] = float((i * 2654435761 + k) % 97) / 10.0
+    return mem
+
+
+def run_main(module: Module, args, intrinsics=None, memory=None, **kwargs):
+    mem = memory if memory is not None else seed_memory(module)
+    interp = Interpreter(module, memory=mem, **kwargs)
+    if intrinsics:
+        interp.register_intrinsics(intrinsics)
+    result = interp.run("main", args)
+    return result, mem
+
+
+@pytest.fixture
+def dot_module() -> Module:
+    return build_dot_module()
+
+
+@pytest.fixture
+def call_module() -> Module:
+    return build_call_module()
+
+
+@pytest.fixture
+def rmw_module() -> Module:
+    return build_rmw_module()

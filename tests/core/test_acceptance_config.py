@@ -1,0 +1,86 @@
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    EPSILON,
+    PAPER_ACCEPTABLE_RANGES,
+    RSkipConfig,
+    relative_difference,
+    within_range,
+)
+
+
+class TestRelativeDifference:
+    def test_basic(self):
+        assert relative_difference(1.2, 1.0) == pytest.approx(0.2)
+        assert relative_difference(0.8, 1.0) == pytest.approx(0.2)
+
+    def test_zero_prediction_uses_epsilon(self):
+        assert relative_difference(0.0, 0.0) == 0.0
+        assert relative_difference(1.0, 0.0) > 1.0 / EPSILON / 2
+
+    def test_nan_is_infinite(self):
+        assert relative_difference(math.nan, 1.0) == math.inf
+        assert relative_difference(1.0, math.nan) == math.inf
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=0.01, max_value=1e6))
+    def test_symmetric_in_sign_of_prediction(self, a, p):
+        assert relative_difference(a, p) == relative_difference(-a, -p)
+
+
+class TestWithinRange:
+    def test_ar_boundaries(self):
+        assert within_range(1.2, 1.0, 0.2)
+        assert not within_range(1.21, 1.0, 0.2)
+        assert within_range(2.0, 1.0, 1.0)  # AR100
+
+    def test_ar_zero_is_exact(self):
+        """The paper's pragma: AR 0 degenerates to exact validation."""
+        assert within_range(1.0, 1.0, 0.0)
+        assert not within_range(1.0 + 1e-15, 1.0, 0.0)
+
+    def test_nan_never_validates(self):
+        assert not within_range(math.nan, 1.0, 1.0)
+
+    @given(
+        st.floats(min_value=-1e3, max_value=1e3),
+        st.floats(min_value=0.01, max_value=1e3),
+        st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_monotone_in_ar(self, actual, predicted, ar):
+        if within_range(actual, predicted, ar):
+            assert within_range(actual, predicted, ar + 0.5)
+
+
+class TestConfig:
+    def test_paper_ranges(self):
+        assert PAPER_ACCEPTABLE_RANGES == (0.2, 0.5, 0.8, 1.0)
+
+    def test_labels(self):
+        assert RSkipConfig(acceptable_range=0.2).label == "AR20"
+        assert RSkipConfig(acceptable_range=1.0).label == "AR100"
+
+    def test_with_ar_copies(self):
+        base = RSkipConfig(acceptable_range=0.2, window=32)
+        derived = base.with_ar(0.8)
+        assert derived.acceptable_range == 0.8
+        assert derived.window == 32
+        assert base.acceptable_range == 0.2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"acceptable_range": -0.1},
+        {"tuning_parameter": -1.0},
+        {"window": 1},
+        {"max_pending": 2},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RSkipConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = RSkipConfig()
+        with pytest.raises(Exception):
+            cfg.acceptable_range = 0.5

@@ -1,0 +1,173 @@
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CutEvent,
+    PhaseSlicer,
+    Point,
+    linear_prediction,
+    simulate,
+    validate_phase,
+)
+
+
+def feed(slicer, values):
+    cuts = []
+    for i, v in enumerate(values):
+        cut = slicer.observe(i, v)
+        if cut is not None:
+            cuts.append(cut)
+    return cuts
+
+
+class TestPhaseSlicer:
+    def test_linear_trend_never_cuts(self):
+        slicer = PhaseSlicer(tuning_parameter=0.1)
+        cuts = feed(slicer, [2.0 * i + 1.0 for i in range(50)])
+        assert cuts == []
+        assert len(slicer) == 50
+
+    def test_trend_break_cuts_at_breaking_point(self):
+        slicer = PhaseSlicer(tuning_parameter=0.1)
+        values = [float(i) for i in range(10)] + [100.0, 101.0, 102.0]
+        cuts = feed(slicer, values)
+        assert len(cuts) == 1
+        cut = cuts[0]
+        assert [p.index for p in cut.points] == list(range(10))
+        # the breaking point starts the next phase (Figure 5d)
+        assert slicer.pending[0].index == 10
+
+    def test_higher_tp_ignores_outliers(self):
+        jagged = []
+        for i in range(40):
+            jagged.append(float(i) + (0.8 if i % 7 == 0 else 0.0))
+        tight = PhaseSlicer(tuning_parameter=0.05)
+        loose = PhaseSlicer(tuning_parameter=30.0)
+        assert len(feed(tight, jagged)) > len(feed(loose, jagged))
+
+    def test_max_pending_forces_cut(self):
+        slicer = PhaseSlicer(tuning_parameter=0.1, max_pending=8)
+        cuts = feed(slicer, [float(i) for i in range(30)])
+        assert cuts
+        assert all(len(c.points) <= 8 for c in cuts)
+        assert any(c.reason == "cap" for c in cuts)
+
+    def test_flush_returns_tail(self):
+        slicer = PhaseSlicer(tuning_parameter=0.1)
+        feed(slicer, [1.0, 2.0, 3.0])
+        cut = slicer.flush()
+        assert cut is not None and cut.reason == "flush"
+        assert len(cut.points) == 3
+        assert slicer.flush() is None
+
+    def test_reset_clears_state(self):
+        slicer = PhaseSlicer(tuning_parameter=0.1)
+        feed(slicer, [1.0, 2.0, 3.0])
+        slicer.reset()
+        assert len(slicer) == 0
+        assert slicer.slope_changes == []
+
+    def test_slope_changes_recorded(self):
+        slicer = PhaseSlicer(tuning_parameter=10.0)
+        feed(slicer, [0.0, 1.0, 2.0, 4.0])  # slopes 1,1,2
+        assert len(slicer.slope_changes) == 2
+        assert slicer.slope_changes[0] == pytest.approx(0.0)
+        assert slicer.slope_changes[1] == pytest.approx(1.0)
+
+    def test_nan_values_cut(self):
+        slicer = PhaseSlicer(tuning_parameter=5.0)
+        cuts = feed(slicer, [1.0, 2.0, 3.0, math.nan, 1.0, 2.0])
+        assert cuts  # the NaN cannot extend a trend
+
+    def test_non_unit_indices(self):
+        slicer = PhaseSlicer(tuning_parameter=0.1)
+        cuts = []
+        for i in range(0, 40, 4):
+            cut = slicer.observe(i, 3.0 * i)
+            if cut:
+                cuts.append(cut)
+        assert cuts == []
+
+
+class TestLinearPrediction:
+    def test_interpolates(self):
+        first, last = Point(0, 0.0), Point(10, 20.0)
+        assert linear_prediction(first, last, 5) == pytest.approx(10.0)
+
+    def test_degenerate_phase(self):
+        p = Point(3, 7.0)
+        assert linear_prediction(p, p, 3) == 7.0
+
+
+class TestValidatePhase:
+    def test_endpoints_always_recomputed(self):
+        cut = CutEvent([Point(i, float(i)) for i in range(10)])
+        skipped, recompute = validate_phase(cut, acceptable_range=1.0)
+        recomputed_idx = {p.index for p in recompute}
+        assert 0 in recomputed_idx and 9 in recomputed_idx
+        assert len(skipped) == 8
+
+    def test_short_phase_all_recomputed(self):
+        cut = CutEvent([Point(0, 1.0), Point(1, 2.0)])
+        skipped, recompute = validate_phase(cut, acceptable_range=1.0)
+        assert skipped == [] and len(recompute) == 2
+
+    def test_interior_outlier_flagged(self):
+        points = [Point(i, float(i)) for i in range(10)]
+        points[5] = Point(5, 50.0)
+        skipped, recompute = validate_phase(CutEvent(points), acceptable_range=0.2)
+        assert 5 in {p.index for p in recompute}
+        assert 4 in {p.index for p in skipped}
+
+    def test_partition_is_exact(self):
+        cut = CutEvent([Point(i, math.sin(i / 3.0)) for i in range(20)])
+        skipped, recompute = validate_phase(cut, acceptable_range=0.5)
+        assert len(skipped) + len(recompute) == 20
+        assert {p.index for p in skipped}.isdisjoint({p.index for p in recompute})
+
+    def test_wider_ar_skips_more(self):
+        points = [Point(i, float(i) + (0.3 if i % 3 else 0.0)) for i in range(30)]
+        s_narrow, _ = validate_phase(CutEvent(list(points)), acceptable_range=0.01)
+        s_wide, _ = validate_phase(CutEvent(list(points)), acceptable_range=1.0)
+        assert len(s_wide) >= len(s_narrow)
+
+
+class TestSimulate:
+    def test_perfect_line_skip_rate(self):
+        result = simulate([2.0 * i for i in range(100)], 0.1, 0.2)
+        # one flushed phase of 100 points: 98 interior skipped
+        assert result.total == 100
+        assert result.skipped == 98
+        assert result.phases == 1
+
+    def test_skip_rate_bounds(self):
+        result = simulate([float(i % 7) for i in range(60)], 0.5, 0.5)
+        assert 0.0 <= result.skip_rate <= 1.0
+
+    def test_empty_sequence(self):
+        result = simulate([], 0.5, 0.5)
+        assert result.total == 0 and result.skip_rate == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=0, max_size=120),
+        st.sampled_from([0.1, 0.5, 2.0, 30.0]),
+        st.sampled_from([0.2, 1.0]),
+    )
+    def test_invariants(self, values, tp, ar):
+        result = simulate(values, tp, ar)
+        assert result.total == len(values)
+        assert 0 <= result.skipped <= max(len(values) - 2, 0)
+        assert sum(result.phase_lengths) == result.total
+        # endpoints can never be skipped: each phase holds back >= min(2, len)
+        reserved = sum(min(2, length) for length in result.phase_lengths)
+        assert result.skipped <= result.total - reserved
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=3, max_value=200))
+    def test_line_always_one_phase(self, n):
+        result = simulate([1.5 * i + 3 for i in range(n)], 0.5, 0.2)
+        assert result.phases == 1
+        assert result.skipped == n - 2

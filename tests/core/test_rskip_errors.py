@@ -1,0 +1,147 @@
+"""Error paths of the RSkip transform: targets the detector accepts but
+the outliner must refuse, with a clear diagnosis."""
+import pytest
+
+from repro.core import RSkipConfig, apply_rskip
+from repro.core.rskip import RskipError
+from repro.ir import (
+    CmpPred,
+    F64,
+    Function,
+    I64,
+    IRBuilder,
+    Instr,
+    Module,
+    Opcode,
+    Reg,
+    i64,
+    verify_module,
+)
+
+
+def expensive_region(b, i, acc_init=0.0):
+    """A reduction loop expensive enough to pass the cost threshold."""
+    acc = b.mov(acc_init, hint="acc")
+    with b.loop(0, 24, hint="red") as j:
+        b.mov(b.fadd(acc, b.sitofp(b.add(i, j))), dest=acc)
+    return acc
+
+
+def test_instructions_after_store_rejected():
+    m = Module("m")
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    op = b.mov(b.global_addr("out"), hint="op")
+    leak = b.mov(0.0, hint="leak")
+    with b.loop(0, f.params[0], hint="T") as i:
+        acc = expensive_region(b, i)
+        b.store(acc, b.padd(op, i))
+        # extra work after the synchronization point
+        b.mov(b.fadd(leak, acc), dest=leak)
+    b.ret(leak)
+    verify_module(m)
+    with pytest.raises(RskipError, match="instructions after the target store"):
+        apply_rskip(m, RSkipConfig())
+
+
+def test_store_block_with_conditional_exit_rejected():
+    """The store block must fall through to the latch unconditionally."""
+    m = Module("m")
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    op = b.mov(b.global_addr("out"), hint="op")
+    with b.loop(0, f.params[0], hint="T") as i:
+        acc = expensive_region(b, i)
+        b.store(acc, b.padd(op, i))
+    b.ret(0.0)
+    verify_module(m)
+
+    # surgically replace the store block's 'br latch' with a 'cbr'
+    func = m.get_function("main")
+    store_label = next(
+        label for label in func.block_order()
+        for ins in func.blocks[label].instrs
+        if ins.op is Opcode.STORE
+    )
+    block = func.blocks[store_label]
+    latch = block.terminator.labels[0]
+    from repro.analysis import CFG, find_induction, find_loops
+
+    cfg = CFG(func)
+    loop = next(
+        l for l in find_loops(func, cfg)
+        if store_label in l.blocks and l.depth == 1
+    )
+    ivar = find_induction(func, loop, cfg).reg
+    block.instrs[-1:] = [
+        Instr(Opcode.CBR, args=(ivar,), labels=(latch, latch)),
+    ]
+    verify_module(m)
+    with pytest.raises(RskipError, match="must end in 'br'"):
+        apply_rskip(m, RSkipConfig())
+
+
+def test_branch_leaving_region_rejected():
+    """A 'continue'-style edge from mid-region to the latch cannot be
+    outlined (the region would have two exits)."""
+    m = Module("m")
+    m.add_global("x", 64)
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    xp = b.mov(b.global_addr("x"), hint="xp")
+    op = b.mov(b.global_addr("out"), hint="op")
+    with b.loop(0, f.params[0], hint="T") as i:
+        acc = b.mov(0.0, hint="acc")
+        with b.loop(0, 24, hint="red") as j:
+            v = b.load(b.padd(xp, b.srem(j, 32)))
+            b.mov(b.fadd(acc, v), dest=acc)
+        b.store(acc, b.padd(op, i))
+    b.ret(0.0)
+    verify_module(m)
+
+    # add a mid-region early exit straight to the latch
+    func = m.get_function("main")
+    from repro.analysis import detect_target_loops
+
+    (target,) = detect_target_loops(func, m)
+    entry_block = func.blocks[target.region_entry]
+    latch = target.ind.update_block
+    # rewrite the entry block's terminator into a conditional skip
+    old_term = entry_block.instrs.pop()
+    cond = Reg("skip.hack", I64)
+    entry_block.append(Instr(Opcode.ICMP, dest=cond, args=(i64(0), i64(1)), pred=CmpPred.EQ))
+    entry_block.append(Instr(Opcode.CBR, args=(cond,), labels=(latch, old_term.labels[0])))
+    # the accumulator must still be defined on the skip path
+    preheader = [
+        l for l in func.block_order()
+        if target.loop.header in func.blocks[l].successors()
+        and l not in target.loop.blocks
+    ]
+    verify_module(m)  # may flag the acc path; loosen by defining acc earlier
+    with pytest.raises(RskipError, match="leaves the region"):
+        apply_rskip(m, RSkipConfig())
+
+
+def test_rejected_target_reports_function_and_block():
+    m = Module("m")
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    op = b.mov(b.global_addr("out"), hint="op")
+    sink = b.mov(0.0, hint="sink")
+    with b.loop(0, f.params[0], hint="T") as i:
+        acc = expensive_region(b, i)
+        b.store(acc, b.padd(op, i))
+        b.mov(acc, dest=sink)
+    b.ret(sink)
+    verify_module(m)
+    with pytest.raises(RskipError) as excinfo:
+        apply_rskip(m, RSkipConfig())
+    assert "main" in str(excinfo.value)

@@ -1,0 +1,126 @@
+"""White-box checks of the IR the RSkip transform emits."""
+import pytest
+
+from repro.core import RSkipConfig, apply_rskip
+from repro.core.rskip import RskipError, _loop_config
+from repro.ir import Opcode, verify_module
+
+from ..conftest import build_call_module, build_dot_module
+
+
+def transformed(builder, **kwargs):
+    module = builder()
+    app = apply_rskip(module, RSkipConfig(), protect=False, **kwargs)
+    verify_module(module)
+    return module, app
+
+
+def intrinsic_names(func):
+    return [i.callee for i in func.instructions() if i.op is Opcode.INTRIN]
+
+
+class TestWrapperShape:
+    def test_pp_machinery_present(self):
+        module, app = transformed(build_dot_module)
+        names = intrinsic_names(module.get_function("main"))
+        for required in (
+            "rskip.select", "rskip.enter", "rskip.observe", "rskip.fetch",
+            "rskip.resolve", "rskip.need2", "rskip.resolve2", "rskip.addr",
+            "rskip.flush", "rskip.exit",
+        ):
+            assert required in names, f"missing intrinsic {required}"
+
+    def test_two_drains_emitted(self):
+        """One drain after each observation, one after the flush."""
+        module, app = transformed(build_dot_module)
+        names = intrinsic_names(module.get_function("main"))
+        assert names.count("rskip.fetch") == 2
+        assert names.count("rskip.resolve") == 2
+        assert names.count("rskip.resolve2") == 2
+
+    def test_observe_arity_reduction(self):
+        module, app = transformed(build_dot_module)
+        observe = next(
+            i for i in module.get_function("main").instructions()
+            if i.op is Opcode.INTRIN and i.callee == "rskip.observe"
+        )
+        # (ctx, i, v, addr) — no RMW original, no call args
+        assert len(observe.args) == 4
+
+    def test_observe_arity_call_mode(self):
+        module, app = transformed(build_call_module)
+        observe = next(
+            i for i in module.get_function("main").instructions()
+            if i.op is Opcode.INTRIN and i.callee == "rskip.observe"
+        )
+        # (ctx, i, v, addr) + the callee's two arguments
+        assert len(observe.args) == 4 + 2
+
+    def test_body_calls_in_wrapper(self):
+        module, app = transformed(build_dot_module)
+        layout = app.layouts[0]
+        calls = [
+            i.callee for i in module.get_function("main").instructions()
+            if i.op is Opcode.CALL
+        ]
+        assert calls.count(layout.body) == 1       # once per iteration
+        assert calls.count(layout.dup) == 4        # two per drain (vote)
+        assert calls.count(layout.cp) == 1         # the fallback path
+
+    def test_provenance_covers_all_pp_blocks(self):
+        module, app = transformed(build_dot_module)
+        func = module.get_function("main")
+        provenance = func.attrs["provenance"]
+        for label in app.layouts[0].pp_labels:
+            assert label in func.blocks
+            assert provenance[label] == app.layouts[0].loop_labels[0] or (
+                provenance[label] in app.layouts[0].loop_labels
+            )
+
+    def test_body_has_no_stores(self):
+        module, app = transformed(build_dot_module)
+        body = module.get_function(app.layouts[0].body)
+        assert all(i.op is not Opcode.STORE for i in body.instructions())
+        # and ends by returning the computed value
+        rets = [i for i in body.instructions() if i.op is Opcode.RET]
+        assert len(rets) == 1 and rets[0].args
+
+    def test_cp_is_self_contained(self):
+        module, app = transformed(build_dot_module)
+        cp = module.get_function(app.layouts[0].cp)
+        verify_module(module)
+        assert cp.ret_type.value == "void"
+        assert all(i.op is not Opcode.INTRIN for i in cp.instructions())
+
+
+class TestMultiTarget:
+    def test_lud_has_two_independent_contexts(self):
+        from repro.workloads import get_workload
+
+        module = get_workload("lud").build()
+        app = apply_rskip(module, RSkipConfig(), protect=False)
+        verify_module(module)
+        assert len(app.layouts) == 2
+        assert {l.ctx_id for l in app.layouts} == {0, 1}
+        assert all(l.rmw for l in app.layouts)
+        # each context has its own body/dup/cp functions
+        names = [l.body for l in app.layouts] + [l.dup for l in app.layouts]
+        assert len(set(names)) == 4
+
+
+class TestErrorPaths:
+    def test_loop_config_fallback(self):
+        module, app = transformed(build_dot_module)
+        layout = app.layouts[0]
+        config = RSkipConfig(acceptable_range=0.8)
+        assert _loop_config(module, config, layout, {}) is config
+
+    def test_apply_twice_is_rejected_or_empty(self):
+        module, app = transformed(build_dot_module)
+        # re-detection finds the outlined call as a new target; protecting
+        # twice must not silently corrupt the module
+        try:
+            app2 = apply_rskip(module, RSkipConfig(), protect=False)
+            verify_module(module)
+        except (RskipError, ValueError):
+            pass

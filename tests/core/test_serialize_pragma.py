@@ -1,0 +1,135 @@
+import io
+
+import pytest
+
+from repro.core import (
+    LoopProfile,
+    QoSModel,
+    RSkipConfig,
+    apply_rskip,
+    build_memo_table,
+    load_profiles,
+    profiles_from_json,
+    profiles_to_json,
+    save_profiles,
+)
+from repro.eval import Harness
+from repro.workloads import get_workload
+
+from ..conftest import build_dot_module, run_main
+
+
+def make_profiles():
+    memo = build_memo_table(
+        [[1.0, 2.0], [1.01, 2.0], [5.0, 7.0], [5.02, 7.0]] * 20,
+        [3.0, 3.0, 12.0, 12.0] * 20,
+        total_bits=6,
+    )
+    return {
+        "main:loopA": LoopProfile(
+            qos=QoSModel({"123": 2.0, "321": 0.5}, default_tp=1.0),
+            memo=memo,
+            default_tp=1.0,
+        ),
+        "main:loopB": LoopProfile(qos=QoSModel({}, 0.5)),
+    }
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        profiles = make_profiles()
+        restored = profiles_from_json(profiles_to_json(profiles))
+        assert set(restored) == set(profiles)
+        a = restored["main:loopA"]
+        assert a.qos.table == {"123": 2.0, "321": 0.5}
+        assert a.default_tp == 1.0
+        assert a.memo is not None
+        assert a.memo.bits == profiles["main:loopA"].memo.bits
+        assert a.memo.table == profiles["main:loopA"].memo.table
+        assert [q.edges for q in a.memo.quantizers] == [
+            q.edges for q in profiles["main:loopA"].memo.quantizers
+        ]
+        b = restored["main:loopB"]
+        assert b.memo is None and b.default_tp is None
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "profiles.json")
+        save_profiles(make_profiles(), path)
+        restored = load_profiles(path)
+        assert "main:loopA" in restored
+
+    def test_stream_roundtrip(self):
+        buf = io.StringIO()
+        save_profiles(make_profiles(), buf)
+        buf.seek(0)
+        assert "main:loopB" in load_profiles(buf)
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="unsupported profile format"):
+            profiles_from_json('{"format": 99, "profiles": {}}')
+
+    def test_restored_profiles_behave_identically(self):
+        """Train on blackscholes, serialize, reload, re-run: same skips."""
+        workload = get_workload("blackscholes")
+        harness = Harness(workload, scale=0.35, timing=False)
+        trained = harness.profiles_for(0.2)
+        restored = profiles_from_json(profiles_to_json(trained))
+
+        from repro.eval import prepare
+
+        inp = workload.test_inputs(1, scale=0.35)[0]
+
+        def run_with(profiles):
+            prepared = prepare(workload, "AR20", RSkipConfig(), profiles)
+            memory = workload.fresh_memory(prepared.module, inp)
+            from repro.runtime import Interpreter
+
+            interp = Interpreter(prepared.module, memory=memory)
+            interp.register_intrinsics(prepared.intrinsics)
+            interp.run(prepared.main, inp.args)
+            return prepared.runtime.total_stats()
+
+        s1 = run_with(trained)
+        s2 = run_with(restored)
+        assert s1.skipped == s2.skipped
+        assert s1.recomputed == s2.recomputed
+
+
+class TestPragma:
+    def test_ar_override_by_key(self):
+        module = build_dot_module()
+        app = apply_rskip(
+            module, RSkipConfig(acceptable_range=1.0), ar_overrides={"main:*": 0.0}
+        )
+        runtime = app.runtime.loop(0)
+        assert runtime.config.acceptable_range == 0.0
+        run_main(module, [8, 8], intrinsics=app.intrinsics())
+        # AR0 means fuzzy validation degenerated to exact matching
+        stats = runtime.stats
+        assert stats.recomputed > 0
+
+    def test_exact_key_override(self):
+        module = build_dot_module()
+        probe = apply_rskip(build_dot_module(), RSkipConfig())
+        key = probe.layouts[0].key
+        app = apply_rskip(module, RSkipConfig(acceptable_range=0.8),
+                          ar_overrides={key: 0.2})
+        assert app.runtime.loop(0).config.acceptable_range == 0.2
+
+    def test_non_matching_override_ignored(self):
+        module = build_dot_module()
+        app = apply_rskip(module, RSkipConfig(acceptable_range=0.8),
+                          ar_overrides={"other:*": 0.0})
+        assert app.runtime.loop(0).config.acceptable_range == 0.8
+
+    def test_function_attribute_pragma(self):
+        module = build_dot_module()
+        module.get_function("main").attrs["rskip.acceptable_range"] = 0.0
+        app = apply_rskip(module, RSkipConfig(acceptable_range=1.0))
+        assert app.runtime.loop(0).config.acceptable_range == 0.0
+
+    def test_key_override_beats_function_pragma(self):
+        module = build_dot_module()
+        module.get_function("main").attrs["rskip.acceptable_range"] = 0.5
+        app = apply_rskip(module, RSkipConfig(), ar_overrides={"main:*": 0.2})
+        assert app.runtime.loop(0).config.acceptable_range == 0.2

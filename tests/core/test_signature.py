@@ -1,0 +1,50 @@
+from repro.core import DEFAULT_BINS, QoSModel, histogram, make_signature
+
+
+class TestHistogram:
+    def test_bin_edges_inclusive(self):
+        counts = histogram([0.02, 0.1, 0.3, 1.0], bins=(0.02, 0.1, 0.3, 1.0))
+        assert counts == [1, 1, 1, 1, 0]
+
+    def test_overflow_bin(self):
+        counts = histogram([5.0, 100.0], bins=(0.02, 0.1, 0.3, 1.0))
+        assert counts[-1] == 2
+
+    def test_empty(self):
+        assert histogram([]) == [0] * (len(DEFAULT_BINS) + 1)
+
+
+class TestSignature:
+    def test_paper_style_ordering(self):
+        # most changes land in the 3rd bin, then 1st, then 2nd
+        changes = [0.2] * 5 + [0.01] * 3 + [0.05] * 2
+        sig = make_signature(changes, bins=(0.02, 0.1, 0.3))
+        assert sig.startswith("312")
+
+    def test_ties_break_by_bin_index(self):
+        sig = make_signature([0.01, 0.2], bins=(0.02, 0.1, 0.3))
+        assert sig[0] == "1"  # equal counts: lower bin first
+
+    def test_length_covers_all_bins(self):
+        sig = make_signature([0.5], bins=(0.02, 0.1, 0.3, 1.0))
+        assert len(sig) == 5
+        assert set(sig) == {"1", "2", "3", "4", "5"}
+
+    def test_distinguishes_contexts(self):
+        smooth = make_signature([0.01] * 20)
+        rough = make_signature([3.0] * 20)
+        assert smooth != rough
+
+
+class TestQoSModel:
+    def test_lookup_hit(self):
+        model = QoSModel({"12345": 2.0}, default_tp=0.5)
+        assert model.lookup("12345", current_tp=0.1) == 2.0
+
+    def test_unknown_signature_keeps_current(self):
+        """The paper's fallback: keep the previous tuning parameter."""
+        model = QoSModel({"12345": 2.0}, default_tp=0.5)
+        assert model.lookup("54321", current_tp=0.7) == 0.7
+
+    def test_len(self):
+        assert len(QoSModel({"a": 1.0, "b": 2.0})) == 2

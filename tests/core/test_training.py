@@ -1,0 +1,112 @@
+import math
+
+import pytest
+
+from repro.core import (
+    Element,
+    RSkipConfig,
+    RskipRuntime,
+    collect_traces,
+    enable_recording,
+    slope_changes_of,
+    train_interpolation,
+    train_profiles,
+)
+
+
+def trace_of(values, with_args=False):
+    return [
+        Element(i, v, 100 + i, args=(v, 1.0) if with_args else ())
+        for i, v in enumerate(values)
+    ]
+
+
+class TestSlopeChanges:
+    def test_line_has_zero_changes(self):
+        changes = slope_changes_of([2.0 * i for i in range(10)])
+        assert all(c == pytest.approx(0.0) for c in changes)
+        assert len(changes) == 8
+
+    def test_kink_registers(self):
+        changes = slope_changes_of([0.0, 1.0, 2.0, 10.0])
+        assert changes[-1] > 1.0
+
+    def test_short_sequences(self):
+        assert slope_changes_of([]) == []
+        assert slope_changes_of([1.0, 2.0]) == []
+
+
+class TestTrainInterpolation:
+    def test_smooth_data_prefers_large_tp(self):
+        config = RSkipConfig(window=16)
+        traces = [trace_of([math.sin(i / 30.0) * 5 + 10 for i in range(120)])]
+        qos, default_tp = train_interpolation(traces, config)
+        assert default_tp >= 1.0  # long trends: extend aggressively
+
+    def test_learned_tp_beats_bad_fixed_tp(self):
+        from repro.core import simulate
+
+        config = RSkipConfig(window=16, acceptable_range=0.2)
+        values = [math.sin(i / 25.0) * 3 + 6 + (0.4 if i % 9 == 0 else 0) for i in range(160)]
+        _, tp = train_interpolation([trace_of(values)], config)
+        grid_rates = [simulate(values, g, 0.2).skip_rate for g in config.tp_grid]
+        # the learned default TP cannot be the worst choice on the grid
+        assert simulate(values, tp, 0.2).skip_rate >= min(grid_rates)
+        assert tp in config.tp_grid
+
+    def test_signature_table_populated(self):
+        config = RSkipConfig(window=12)
+        values = [float(i % 13) for i in range(120)]
+        qos, _ = train_interpolation([trace_of(values)], config)
+        assert len(qos) >= 1
+
+    def test_empty_traces(self):
+        config = RSkipConfig()
+        qos, tp = train_interpolation([], config)
+        assert tp == config.tuning_parameter
+        assert len(qos) == 0
+
+
+class TestTrainProfiles:
+    def test_profiles_per_loop(self):
+        config = RSkipConfig(window=12)
+        traces = {
+            "f:loopA": [trace_of([1.0 * i for i in range(60)])],
+            "f:loopB": [trace_of([math.sin(i / 5.0) for i in range(60)])],
+        }
+        profiles, reports = train_profiles(traces, config)
+        assert set(profiles) == {"f:loopA", "f:loopB"}
+        assert {r.key for r in reports} == set(profiles)
+        assert all(r.elements == 60 for r in reports)
+
+    def test_memo_built_only_for_requested_keys(self):
+        config = RSkipConfig(window=12)
+        traces = {
+            "f:call": [trace_of([2.0 + (i % 3) for i in range(90)], with_args=True)],
+            "f:red": [trace_of([1.0 * i for i in range(60)])],
+        }
+        profiles, reports = train_profiles(traces, config, memo_keys=["f:call"])
+        assert profiles["f:call"].memo is not None
+        assert profiles["f:red"].memo is None
+        call_report = next(r for r in reports if r.key == "f:call")
+        assert call_report.memo_bits is not None
+        assert call_report.memo_accuracy > 0.5
+
+    def test_memo_respects_config_toggle(self):
+        config = RSkipConfig(window=12, memoization=False)
+        traces = {"f:call": [trace_of([1.0] * 60, with_args=True)]}
+        profiles, _ = train_profiles(traces, config, memo_keys=["f:call"])
+        assert profiles["f:call"].memo is None
+
+
+class TestRecording:
+    def test_enable_and_collect(self):
+        registry = RskipRuntime(RSkipConfig())
+        runtime = registry.add_loop(0, "f:loop")
+        enable_recording(registry)
+        runtime.enter()
+        runtime.observe(Element(0, 1.0, 100))
+        runtime.observe(Element(1, 2.0, 101))
+        traces = collect_traces(registry)
+        assert len(traces["f:loop"]) == 1
+        assert [e.value for e in traces["f:loop"][0]] == [1.0, 2.0]

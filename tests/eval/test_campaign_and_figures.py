@@ -1,0 +1,131 @@
+import pytest
+
+from repro.eval import (
+    CampaignResult,
+    Harness,
+    figure2,
+    figure7,
+    figure8a,
+    figure8b,
+    run_campaign,
+    table1,
+    reporting,
+)
+from repro.runtime import Outcome
+from repro.workloads import ALL_WORKLOADS, get_workload
+
+SCALE = 0.35
+TRIALS = 25
+
+
+@pytest.fixture(scope="module")
+def sgemm_campaigns():
+    w = get_workload("sgemm")
+    harness = Harness(w, scale=SCALE, timing=False)
+    return {
+        "UNSAFE": run_campaign(w, "UNSAFE", TRIALS, scale=SCALE),
+        "SWIFT-R": run_campaign(w, "SWIFT-R", TRIALS, scale=SCALE),
+        "AR100": run_campaign(
+            w, "AR100", TRIALS, scale=SCALE, profiles=harness.profiles_for(1.0)
+        ),
+    }
+
+
+class TestCampaign:
+    def test_tallies_sum_to_trials(self, sgemm_campaigns):
+        for campaign in sgemm_campaigns.values():
+            assert sum(campaign.tallies.values()) == TRIALS
+
+    def test_protection_ordering(self, sgemm_campaigns):
+        """SWIFT-R must protect better than no protection at all."""
+        assert (
+            sgemm_campaigns["SWIFT-R"].protection_rate
+            > sgemm_campaigns["UNSAFE"].protection_rate
+        )
+
+    def test_rskip_protects(self, sgemm_campaigns):
+        assert (
+            sgemm_campaigns["AR100"].protection_rate
+            > sgemm_campaigns["UNSAFE"].protection_rate - 0.1
+        )
+
+    def test_deterministic_given_seed(self):
+        w = get_workload("conv1d")
+        a = run_campaign(w, "UNSAFE", 10, seed=3, scale=SCALE)
+        b = run_campaign(w, "UNSAFE", 10, seed=3, scale=SCALE)
+        assert a.tallies == b.tallies
+
+    def test_false_negatives_only_for_rskip(self, sgemm_campaigns):
+        assert sgemm_campaigns["UNSAFE"].false_negatives == 0
+        assert sgemm_campaigns["SWIFT-R"].false_negatives == 0
+
+    def test_rates(self, sgemm_campaigns):
+        campaign = sgemm_campaigns["UNSAFE"]
+        total = sum(campaign.rate(o) for o in Outcome)
+        assert total == pytest.approx(1.0)
+
+
+class TestFigureDrivers:
+    def test_figure7_shape(self):
+        workloads = [get_workload("conv1d"), get_workload("forwardprop")]
+        result = figure7(workloads, schemes=("SWIFT-R", "AR100"), scale=SCALE)
+        assert set(result.rows) == {"conv1d", "forwardprop"}
+        for cells in result.rows.values():
+            assert cells["SWIFT-R"]["instructions"] > 1.5
+            assert cells["AR100"]["skip"] is not None
+            assert cells["AR100"]["correct"] == 1.0
+        averages = {a.scheme: a for a in result.averages()}
+        assert averages["SWIFT-R"].skip_rate is None
+        assert averages["AR100"].norm_time < averages["SWIFT-R"].norm_time
+        text = reporting.render_figure7(result, "time")
+        assert "average" in text and "conv1d" in text
+
+    def test_figure8a_memo_ablation(self):
+        rows = figure8a(get_workload("blackscholes"), ars=(20, 100), scale=SCALE)
+        assert len(rows) == 2
+        for row in rows:
+            # the fallback predictor lifts the skip rate (Figure 8a)
+            assert row.full_skip >= row.interp_only_skip - 0.05
+        text = reporting.render_figure8a(rows)
+        assert "AR20" in text
+
+    def test_figure8b_input_variance(self):
+        rows = figure8b(get_workload("lud"), inputs=3, scale=SCALE)
+        assert len(rows) == 3
+        assert all(r.swift_r_time > 1.0 for r in rows)
+        text = reporting.render_figure8b(rows)
+        assert "average" in text
+
+    def test_figure2_motivation(self):
+        rows = figure2([get_workload("conv1d")], scale=SCALE)
+        (row,) = rows
+        assert 0.0 <= row.trend_coverage <= 1.0
+        assert 0.0 <= row.topk_coverage <= 1.0
+        assert row.loop_share > 0.5  # conv1d is loop-dominated
+        assert "conv1d" in reporting.render_figure2(rows)
+
+    def test_table1_characterization(self):
+        rows = table1(ALL_WORKLOADS, scale=0.4)
+        by_name = {r.benchmark: r for r in rows}
+        assert "function call" in by_name["blackscholes"].computation_type
+        assert "varying trip count" in by_name["lud"].computation_type
+        assert "conditional" in by_name["conv2d"].computation_type
+        assert by_name["forwardprop"].location == "Top level"
+        assert by_name["sgemm"].location == "Inside a outer loop"
+        text = reporting.render_table1(rows)
+        assert "blackscholes" in text
+
+
+class TestReportingPrimitives:
+    def test_render_table_alignment(self):
+        text = reporting.render_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_render_figure9(self, sgemm_campaigns):
+        results = {("sgemm", k): v for k, v in sgemm_campaigns.items()}
+        text = reporting.render_figure9a(results, ["UNSAFE", "SWIFT-R", "AR100"])
+        assert "sgemm" in text and "average" in text
+        fn_text = reporting.render_figure9b(results, schemes=("AR100",))
+        assert "AR100" in fn_text

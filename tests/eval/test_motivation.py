@@ -1,0 +1,62 @@
+import math
+
+import pytest
+
+from repro.eval.motivation import (
+    loop_instruction_share,
+    topk_predictable_share,
+    trend_predictable_share,
+)
+from repro.workloads import get_workload
+
+
+class TestTrendShare:
+    def test_perfect_line_fully_predictable(self):
+        assert trend_predictable_share([2.0 * i for i in range(50)]) == 1.0
+
+    def test_alternating_series_unpredictable(self):
+        values = [(-1.0) ** i * 5.0 for i in range(50)]
+        assert trend_predictable_share(values, threshold=0.5) < 0.1
+
+    def test_short_sequences(self):
+        assert trend_predictable_share([]) == 0.0
+        assert trend_predictable_share([1.0, 2.0]) == 0.0
+
+    def test_threshold_monotone(self):
+        values = [math.sin(i / 4.0) for i in range(100)]
+        loose = trend_predictable_share(values, threshold=5.0)
+        tight = trend_predictable_share(values, threshold=0.05)
+        assert loose >= tight
+
+
+class TestTopKShare:
+    def test_constant_series(self):
+        assert topk_predictable_share([3.0] * 40) == 1.0
+
+    def test_few_popular_values(self):
+        values = ([1.0] * 30 + [2.0] * 30 + [float(i + 100) for i in range(20)])
+        share = topk_predictable_share(values, k=2)
+        assert 0.7 <= share <= 0.8
+
+    def test_all_distinct_values_capped_by_k(self):
+        values = [float(2 ** i) for i in range(40)]  # all in distinct buckets
+        share = topk_predictable_share(values, k=10)
+        assert share <= 0.3
+
+    def test_tolerance_groups_near_values(self):
+        values = [5.0, 5.001, 4.999, 5.002] * 10
+        assert topk_predictable_share(values, k=1, tolerance=0.05) == 1.0
+
+    def test_empty(self):
+        assert topk_predictable_share([]) == 0.0
+
+    def test_handles_zeros_and_nan(self):
+        values = [0.0, float("nan"), 1.0] * 5
+        share = topk_predictable_share(values)
+        assert 0.0 <= share <= 1.0
+
+
+class TestLoopShare:
+    def test_loop_dominated_workload(self):
+        share = loop_instruction_share(get_workload("sgemm"), scale=0.3)
+        assert share > 0.8

@@ -1,0 +1,65 @@
+"""Unit-level checks of the Figure 7/8 drivers and the RunRecord math."""
+import pytest
+
+from repro.eval.harness import RunRecord
+from repro.eval.perf import Figure7Result, SchemeAverages, _mean
+
+
+def record(scheme, steps=100, cycles=50, ipc=2.0, skip=None):
+    return RunRecord(
+        workload="w", scheme=scheme, steps=steps, cycles=cycles, ipc=ipc,
+        output=[], skip_rate=skip,
+    )
+
+
+class TestRunRecord:
+    def test_normalized(self):
+        base = record("UNSAFE")
+        prot = record("SWIFT-R", steps=300, cycles=120, ipc=2.8)
+        norm = prot.normalized(base)
+        assert norm["instructions"] == 3.0
+        assert norm["time"] == pytest.approx(2.4)
+        assert norm["ipc"] == pytest.approx(1.4)
+
+    def test_zero_baseline_guarded(self):
+        base = record("UNSAFE", steps=0, cycles=0, ipc=0.0)
+        prot = record("X", steps=10, cycles=10, ipc=1.0)
+        norm = prot.normalized(base)
+        assert norm == {"time": 0.0, "instructions": 0.0, "ipc": 0.0}
+
+
+class TestFigure7Result:
+    def make(self):
+        result = Figure7Result(schemes=("SWIFT-R", "AR100"))
+        result.rows = {
+            "a": {
+                "SWIFT-R": {"time": 2.0, "instructions": 3.0, "ipc": 1.4, "skip": None, "correct": 1.0},
+                "AR100": {"time": 1.4, "instructions": 1.5, "ipc": 1.0, "skip": 0.8, "correct": 1.0},
+            },
+            "b": {
+                "SWIFT-R": {"time": 2.4, "instructions": 3.2, "ipc": 1.3, "skip": None, "correct": 1.0},
+                "AR100": {"time": 1.2, "instructions": 1.4, "ipc": 1.1, "skip": 0.9, "correct": 1.0},
+            },
+        }
+        return result
+
+    def test_averages(self):
+        averages = {a.scheme: a for a in self.make().averages()}
+        assert averages["SWIFT-R"].norm_time == pytest.approx(2.2)
+        assert averages["SWIFT-R"].skip_rate is None
+        assert averages["AR100"].skip_rate == pytest.approx(0.85)
+
+    def test_missing_scheme_rows_skipped(self):
+        result = self.make()
+        del result.rows["b"]["AR100"]
+        averages = {a.scheme: a for a in result.averages()}
+        assert averages["AR100"].norm_time == pytest.approx(1.4)
+
+    def test_empty_result(self):
+        assert Figure7Result(schemes=("X",)).averages() == []
+
+
+class TestMean:
+    def test_mean(self):
+        assert _mean([1.0, 2.0, 3.0]) == 2.0
+        assert _mean([]) == 0.0

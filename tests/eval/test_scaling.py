@@ -1,0 +1,25 @@
+from repro.eval import render_scaling, scaling_study
+from repro.workloads import get_workload
+
+
+class TestScalingStudy:
+    def test_rows_shape(self):
+        rows = scaling_study(get_workload("sgemm"), scales=(0.3, 0.6))
+        assert [r.scale for r in rows] == [0.3, 0.6]
+        assert all(r.elements > 0 for r in rows)
+        assert all(0.0 <= r.skip_rate <= 1.0 for r in rows)
+        assert all(r.norm_time is None for r in rows)  # timing off
+
+    def test_larger_problems_have_more_elements(self):
+        rows = scaling_study(get_workload("lud"), scales=(0.4, 1.0))
+        assert rows[1].elements > rows[0].elements
+
+    def test_timing_mode(self):
+        rows = scaling_study(get_workload("sgemm"), scales=(0.3,), timing=True)
+        assert rows[0].norm_time is not None and rows[0].norm_time > 1.0
+
+    def test_render(self):
+        rows = scaling_study(get_workload("sgemm"), scales=(0.3,))
+        text = render_scaling("sgemm", rows)
+        assert "sgemm scaling:" in text
+        assert "skip rate" in text

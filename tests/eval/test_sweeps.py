@@ -1,0 +1,34 @@
+from repro.eval import ar_sweep, render_sweep
+from repro.workloads import get_workload
+
+
+class TestArSweep:
+    def test_skip_rate_nondecreasing_with_ar(self):
+        points = ar_sweep(get_workload("backprop"), ars=(0.1, 0.5, 1.5), scale=0.4)
+        skips = [p.skip_rate for p in points]
+        assert skips == sorted(skips) or max(
+            skips[i] - skips[i + 1] for i in range(len(skips) - 1)
+        ) < 0.08  # small non-monotonic wobble from per-AR retraining is ok
+
+    def test_overhead_decreases_as_skip_rises(self):
+        points = ar_sweep(get_workload("backprop"), ars=(0.05, 1.5), scale=0.4)
+        assert points[-1].norm_instructions <= points[0].norm_instructions
+
+    def test_labels(self):
+        points = ar_sweep(get_workload("sgemm"), ars=(0.2,), scale=0.3)
+        assert points[0].label == "AR20"
+        assert points[0].protection_rate is None  # trials=0
+
+    def test_with_sfi_trials(self):
+        points = ar_sweep(
+            get_workload("sgemm"), ars=(0.2,), scale=0.3, trials=10, sfi_scale=0.3
+        )
+        assert points[0].protection_rate is not None
+        assert 0.0 <= points[0].protection_rate <= 1.0
+        assert "protection" in render_sweep("sgemm", points)
+
+    def test_render_without_sfi(self):
+        points = ar_sweep(get_workload("sgemm"), ars=(0.2,), scale=0.3)
+        text = render_sweep("sgemm", points)
+        assert "protection" not in text
+        assert "AR20" in text

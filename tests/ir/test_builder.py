@@ -1,0 +1,182 @@
+import math
+
+import pytest
+
+from repro.ir import (
+    CmpPred,
+    F64,
+    Function,
+    I64,
+    IRBuilder,
+    Module,
+    Opcode,
+    PTR,
+    Reg,
+    VOID,
+    verify_module,
+)
+from repro.runtime import Interpreter, Memory
+
+
+def run_expr(build_fn, args=(), ret=F64):
+    """Build main() { ret build_fn(b) }, run it, return the value."""
+    m = Module("t")
+    f = Function("main", [], ret)
+    m.add_function(f)
+    b = IRBuilder(f)
+    value = build_fn(b)
+    b.ret(value)
+    verify_module(m)
+    return Interpreter(m).run("main", args).value
+
+
+class TestArithmeticEmitters:
+    def test_int_ops(self):
+        assert run_expr(lambda b: b.sitofp(b.add(2, 3))) == 5.0
+        assert run_expr(lambda b: b.sitofp(b.mul(4, 5))) == 20.0
+        assert run_expr(lambda b: b.sitofp(b.sub(4, 9))) == -5.0
+        assert run_expr(lambda b: b.sitofp(b.sdiv(17, 5))) == 3.0
+        assert run_expr(lambda b: b.sitofp(b.srem(17, 5))) == 2.0
+
+    def test_bitwise(self):
+        assert run_expr(lambda b: b.sitofp(b.and_(12, 10))) == 8.0
+        assert run_expr(lambda b: b.sitofp(b.or_(12, 10))) == 14.0
+        assert run_expr(lambda b: b.sitofp(b.xor(12, 10))) == 6.0
+        assert run_expr(lambda b: b.sitofp(b.shl(3, 4))) == 48.0
+        assert run_expr(lambda b: b.sitofp(b.lshr(48, 4))) == 3.0
+
+    def test_float_ops(self):
+        assert run_expr(lambda b: b.fadd(1.5, 2.25)) == 3.75
+        assert run_expr(lambda b: b.fdiv(7.0, 2.0)) == 3.5
+        assert run_expr(lambda b: b.fneg(2.5)) == -2.5
+        assert run_expr(lambda b: b.fabs(-2.5)) == 2.5
+
+    def test_transcendentals(self):
+        assert run_expr(lambda b: b.sqrt(16.0)) == 4.0
+        assert abs(run_expr(lambda b: b.exp(1.0)) - math.e) < 1e-12
+        assert abs(run_expr(lambda b: b.log(math.e))) - 1.0 < 1e-12
+        assert abs(run_expr(lambda b: b.sin(0.5)) - math.sin(0.5)) < 1e-12
+        assert abs(run_expr(lambda b: b.cos(0.5)) - math.cos(0.5)) < 1e-12
+        assert run_expr(lambda b: b.floor(2.7)) == 2.0
+
+    def test_conversions(self):
+        assert run_expr(lambda b: b.sitofp(7)) == 7.0
+        assert run_expr(lambda b: b.sitofp(b.fptosi(7.9))) == 7.0
+
+    def test_comparisons_and_select(self):
+        assert run_expr(lambda b: b.select(b.icmp(CmpPred.LT, 2, 3), 1.0, 2.0)) == 1.0
+        assert run_expr(lambda b: b.select(b.fcmp(CmpPred.GE, 2.0, 3.0), 1.0, 2.0)) == 2.0
+
+    def test_int_coercion_of_python_numbers(self):
+        m = Module("t")
+        f = Function("main", [], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        r = b.add(1, 2)
+        assert r.ty is I64
+        b.ret(b.sitofp(r))
+        verify_module(m)
+
+
+class TestMemoryEmitters:
+    def test_alloc_load_store(self):
+        def body(b):
+            buf = b.alloc(8)
+            b.store(4.25, buf)
+            b.store(1.0, b.padd(buf, 1))
+            return b.fadd(b.load(buf), b.load(b.padd(buf, 1)))
+
+        assert run_expr(body) == 5.25
+
+    def test_padd_produces_ptr(self):
+        m = Module("t")
+        f = Function("main", [Reg("p", PTR)], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        addr = b.padd(f.params[0], 3)
+        assert addr.ty is PTR
+        b.ret(0.0)
+
+
+class TestControlHelpers:
+    def test_loop_executes_correct_count(self):
+        m = Module("t")
+        f = Function("main", [Reg("n", I64)], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        count = b.mov(0.0, hint="count")
+        with b.loop(0, f.params[0]):
+            b.mov(b.fadd(count, 1.0), dest=count)
+        b.ret(count)
+        verify_module(m)
+        assert Interpreter(m).run("main", [7]).value == 7.0
+        assert Interpreter(m).run("main", [0]).value == 0.0
+
+    def test_loop_with_step(self):
+        m = Module("t")
+        f = Function("main", [], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        total = b.mov(0.0, hint="tot")
+        with b.loop(0, 10, step=3) as i:  # 0,3,6,9
+            b.mov(b.fadd(total, b.sitofp(i)), dest=total)
+        b.ret(total)
+        verify_module(m)
+        assert Interpreter(m).run("main", []).value == 18.0
+
+    def test_nested_loops(self):
+        m = Module("t")
+        f = Function("main", [], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        total = b.mov(0.0, hint="tot")
+        with b.loop(0, 4):
+            with b.loop(0, 5):
+                b.mov(b.fadd(total, 1.0), dest=total)
+        b.ret(total)
+        verify_module(m)
+        assert Interpreter(m).run("main", []).value == 20.0
+
+    def test_if_then_else(self):
+        m = Module("t")
+        f = Function("main", [Reg("x", I64)], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        out = b.mov(0.0, hint="out")
+        cond = b.icmp(CmpPred.GT, f.params[0], 10)
+        b.if_then_else(
+            cond,
+            lambda bb: bb.mov(1.0, dest=out),
+            lambda bb: bb.mov(2.0, dest=out),
+        )
+        b.ret(out)
+        verify_module(m)
+        assert Interpreter(m).run("main", [15]).value == 1.0
+        assert Interpreter(m).run("main", [5]).value == 2.0
+
+    def test_if_without_else(self):
+        m = Module("t")
+        f = Function("main", [Reg("x", I64)], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        out = b.mov(3.0, hint="out")
+        cond = b.icmp(CmpPred.EQ, f.params[0], 1)
+        b.if_then_else(cond, lambda bb: bb.mov(9.0, dest=out))
+        b.ret(out)
+        verify_module(m)
+        assert Interpreter(m).run("main", [1]).value == 9.0
+        assert Interpreter(m).run("main", [0]).value == 3.0
+
+    def test_void_call(self):
+        m = Module("t")
+        g = Function("g", [], VOID)
+        m.add_function(g)
+        gb = IRBuilder(g)
+        gb.ret()
+        f = Function("main", [], F64)
+        m.add_function(f)
+        b = IRBuilder(f)
+        assert b.call("g", [], ret_ty=VOID) is None
+        b.ret(0.0)
+        verify_module(m)
+        assert Interpreter(m).run("main", []).value == 0.0

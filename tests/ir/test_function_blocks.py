@@ -1,0 +1,129 @@
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    F64,
+    Function,
+    I64,
+    Instr,
+    Module,
+    Opcode,
+    Reg,
+    i64,
+)
+
+
+def make_func():
+    return Function("f", [Reg("n", I64)], F64)
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        block = BasicBlock("entry")
+        assert block.terminator is None
+        block.append(Instr(Opcode.MOV, dest=Reg("a", I64), args=(i64(1),)))
+        assert block.terminator is None
+        block.append(Instr(Opcode.BR, labels=("next",)))
+        assert block.terminator is not None
+
+    def test_successors(self):
+        block = BasicBlock("b")
+        block.append(Instr(Opcode.CBR, args=(Reg("c", I64),), labels=("t", "f")))
+        assert block.successors() == ["t", "f"]
+        ret = BasicBlock("r")
+        ret.append(Instr(Opcode.RET))
+        assert ret.successors() == []
+
+    def test_body_excludes_terminator(self):
+        block = BasicBlock("b")
+        block.append(Instr(Opcode.MOV, dest=Reg("a", I64), args=(i64(1),)))
+        block.append(Instr(Opcode.BR, labels=("x",)))
+        assert len(block.body()) == 1
+        assert len(block) == 2
+
+
+class TestFunction:
+    def test_duplicate_label_rejected(self):
+        f = make_func()
+        f.add_block("entry")
+        with pytest.raises(ValueError, match="duplicate block"):
+            f.add_block("entry")
+
+    def test_new_reg_unique(self):
+        f = make_func()
+        names = {f.new_reg(I64).name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_new_label_avoids_collisions(self):
+        f = make_func()
+        f.add_block("bb.1")
+        label = f.new_label("bb")
+        assert label != "bb.1"
+        f.add_block(label)
+
+    def test_entry_is_first_block(self):
+        f = make_func()
+        f.add_block("start")
+        f.add_block("other")
+        assert f.entry.label == "start"
+
+    def test_entry_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = make_func().entry
+
+    def test_defined_regs_include_params(self):
+        f = make_func()
+        block = f.add_block("entry")
+        block.append(Instr(Opcode.MOV, dest=Reg("a", I64), args=(i64(1),)))
+        regs = f.defined_regs()
+        assert "n" in regs and "a" in regs
+
+    def test_reorder_blocks_validates(self):
+        f = make_func()
+        f.add_block("a")
+        f.add_block("b")
+        f.reorder_blocks(["b", "a"])
+        assert f.block_order() == ["b", "a"]
+        with pytest.raises(ValueError):
+            f.reorder_blocks(["a"])
+
+    def test_remove_block(self):
+        f = make_func()
+        f.add_block("a")
+        f.add_block("b")
+        f.remove_block("a")
+        assert f.block_order() == ["b"]
+
+    def test_size_counts_instructions(self):
+        f = make_func()
+        block = f.add_block("entry")
+        block.append(Instr(Opcode.RET, args=(Reg("n", I64),)))
+        assert f.size() == 1
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = Module("m")
+        m.add_function(make_func())
+        with pytest.raises(ValueError):
+            m.add_function(make_func())
+
+    def test_get_function_error(self):
+        with pytest.raises(KeyError, match="no function"):
+            Module("m").get_function("missing")
+
+    def test_global_validation(self):
+        m = Module("m")
+        with pytest.raises(ValueError):
+            m.add_global("g", 0)
+        m.add_global("g", 4)
+        with pytest.raises(ValueError):
+            m.add_global("g", 4)
+        with pytest.raises(ValueError):
+            m.add_global("h", 2, init=[1.0, 2.0, 3.0])
+
+    def test_contains(self):
+        m = Module("m")
+        m.add_function(make_func())
+        assert "f" in m
+        assert "g" not in m

@@ -1,0 +1,73 @@
+from repro.ir import (
+    CmpPred,
+    Const,
+    F64,
+    I64,
+    Instr,
+    Opcode,
+    Reg,
+    SYNC_OPCODES,
+    TERMINATORS,
+    i64,
+)
+
+
+def make_add():
+    return Instr(Opcode.ADD, dest=Reg("c", I64), args=(Reg("a", I64), i64(2)))
+
+
+class TestClassification:
+    def test_terminators(self):
+        assert Instr(Opcode.BR, labels=("x",)).is_terminator
+        assert Instr(Opcode.RET).is_terminator
+        assert Instr(Opcode.CBR, args=(Reg("c", I64),), labels=("a", "b")).is_terminator
+        assert not make_add().is_terminator
+
+    def test_sync_points(self):
+        store = Instr(Opcode.STORE, args=(Reg("v", F64), Reg("p", I64)))
+        assert store.is_sync_point
+        assert Instr(Opcode.CBR, args=(Reg("c", I64),), labels=("a", "b")).is_sync_point
+        assert Instr(Opcode.CALL, callee="f").is_sync_point
+        assert not make_add().is_sync_point
+
+    def test_side_effects(self):
+        assert Instr(Opcode.STORE, args=(Reg("v", F64), Reg("p", I64))).has_side_effect
+        assert Instr(Opcode.CALL, callee="f").has_side_effect
+        assert Instr(Opcode.INTRIN, callee="rt").has_side_effect
+        assert Instr(Opcode.ALLOC, dest=Reg("p", I64), args=(i64(4),)).has_side_effect
+        assert not make_add().has_side_effect
+
+    def test_terminator_set_matches_sync_set(self):
+        assert Opcode.BR in TERMINATORS
+        assert Opcode.STORE in SYNC_OPCODES
+
+
+class TestRewriting:
+    def test_uses_only_registers(self):
+        instr = make_add()
+        assert [r.name for r in instr.uses()] == ["a"]
+
+    def test_rename_operands_not_dest(self):
+        instr = make_add()
+        renamed = instr.rename({"a": Reg("a.s", I64)})
+        assert renamed.args[0].name == "a.s"
+        assert renamed.args[1] == i64(2)
+        assert renamed.dest.name == "c"
+        # original untouched
+        assert instr.args[0].name == "a"
+
+    def test_copy_is_independent(self):
+        instr = make_add()
+        dup = instr.copy()
+        dup.replace_uses(lambda v: Reg("z", I64) if isinstance(v, Reg) else v)
+        assert instr.args[0].name == "a"
+        assert dup.args[0].name == "z"
+
+    def test_copy_preserves_pred_and_callee(self):
+        cmp = Instr(Opcode.ICMP, dest=Reg("c", I64), args=(i64(1), i64(2)), pred=CmpPred.LT)
+        assert cmp.copy().pred is CmpPred.LT
+        call = Instr(Opcode.CALL, dest=Reg("r", F64), args=(), callee="g")
+        assert call.copy().callee == "g"
+
+    def test_repr_is_printable(self):
+        assert "add" in repr(make_add())

@@ -1,0 +1,120 @@
+import pytest
+
+from repro.ir import (
+    ParseError,
+    format_module,
+    parse_module,
+    verify_module,
+)
+from repro.runtime import Interpreter
+
+from ..conftest import build_call_module, build_dot_module, build_rmw_module, seed_memory
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [build_dot_module, build_call_module, build_rmw_module])
+    def test_print_parse_print_fixpoint(self, builder):
+        module = builder()
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+    def test_reparsed_module_runs_identically(self):
+        module = build_dot_module()
+        reparsed = parse_module(format_module(module))
+        mem1 = seed_memory(module)
+        mem2 = seed_memory(reparsed)
+        r1 = Interpreter(module, memory=mem1).run("main", [8, 8])
+        r2 = Interpreter(reparsed, memory=mem2).run("main", [8, 8])
+        assert r1.steps == r2.steps
+        assert mem1.read_global("out", 8) == mem2.read_global("out", 8)
+
+    def test_globals_with_initializers(self):
+        src = (
+            "module g\n"
+            "global @t 4 f64 = [1.0, 2.5]\n"
+            "func @main() -> f64 {\n"
+            "entry:\n"
+            "  %a = load @t : f64\n"
+            "  ret %a\n"
+            "}\n"
+        )
+        module = parse_module(src)
+        assert module.globals["t"].init == [1.0, 2.5]
+        assert Interpreter(module).run("main", []).value == 1.0
+
+
+class TestParserDetails:
+    def test_comments_and_blank_lines(self):
+        src = (
+            "module m\n\n"
+            "; a comment\n"
+            "func @main() -> i64 {\n"
+            "entry:  ; trailing comment\n"
+            "  %a = mov 3:i64\n"
+            "  ret %a\n"
+            "}\n"
+        )
+        module = parse_module(src)
+        assert Interpreter(module).run("main", []).value == 3
+
+    def test_undefined_register_use(self):
+        src = "func @main() -> i64 {\nentry:\n  ret %x\n}\n"
+        with pytest.raises(ParseError, match="undefined register"):
+            parse_module(src)
+
+    def test_unknown_opcode(self):
+        src = "func @main() -> i64 {\nentry:\n  %a = bogus 1:i64\n  ret %a\n}\n"
+        with pytest.raises(ParseError, match="unknown opcode"):
+            parse_module(src)
+
+    def test_unterminated_function(self):
+        src = "func @main() -> i64 {\nentry:\n  ret 0:i64\n"
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_module(src)
+
+    def test_instruction_before_label(self):
+        src = "func @main() -> i64 {\n  ret 0:i64\n}\n"
+        with pytest.raises(ParseError, match="before any block label"):
+            parse_module(src)
+
+    def test_statement_outside_function(self):
+        with pytest.raises(ParseError, match="outside function"):
+            parse_module("ret 0:i64\n")
+
+    def test_register_type_conflict(self):
+        src = (
+            "func @main() -> i64 {\n"
+            "entry:\n"
+            "  %a = mov 1:i64\n"
+            "  %a = fadd 1.0:f64, 2.0:f64\n"
+            "  ret 0:i64\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError, match="redefined with type"):
+            parse_module(src)
+
+    def test_call_needs_result_type(self):
+        src = (
+            "func @main() -> i64 {\n"
+            "entry:\n"
+            "  %a = call @g()\n"
+            "  ret %a\n"
+            "}\n"
+        )
+        with pytest.raises(ParseError, match="needs a result type"):
+            parse_module(src)
+
+    def test_pointer_arith_type_inference(self):
+        src = (
+            "func @main(%p: ptr) -> i64 {\n"
+            "entry:\n"
+            "  %q = add %p, 4:i64\n"
+            "  ret 0:i64\n"
+            "}\n"
+        )
+        module = parse_module(src)
+        func = module.get_function("main")
+        instr = func.entry.instrs[0]
+        assert instr.dest.ty.is_pointer

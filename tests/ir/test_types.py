@@ -1,0 +1,46 @@
+import pytest
+
+from repro.ir import F64, I64, PTR, Type, VOID, parse_type
+
+
+class TestTypeProperties:
+    def test_int_like(self):
+        assert I64.is_int
+        assert PTR.is_int
+        assert not F64.is_int
+
+    def test_float(self):
+        assert F64.is_float
+        assert not I64.is_float
+        assert not PTR.is_float
+
+    def test_pointer(self):
+        assert PTR.is_pointer
+        assert not I64.is_pointer
+
+    def test_void_is_neither(self):
+        assert not VOID.is_int
+        assert not VOID.is_float
+        assert not VOID.is_pointer
+
+    def test_str(self):
+        assert str(I64) == "i64"
+        assert str(F64) == "f64"
+        assert str(PTR) == "ptr"
+        assert str(VOID) == "void"
+
+
+class TestParseType:
+    @pytest.mark.parametrize("name,expected", [
+        ("i64", I64), ("f64", F64), ("ptr", PTR), ("void", VOID),
+    ])
+    def test_roundtrip(self, name, expected):
+        assert parse_type(name) is expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown IR type"):
+            parse_type("i32")
+
+    def test_case_sensitive(self):
+        with pytest.raises(ValueError):
+            parse_type("I64")

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.ir import Const, F64, GlobalAddr, I64, PTR, Reg, Type, f64, i64
+
+
+class TestReg:
+    def test_equality_by_name(self):
+        assert Reg("a", I64) == Reg("a", I64)
+        assert Reg("a", I64) == Reg("a", F64)  # identity is the name
+        assert Reg("a", I64) != Reg("b", I64)
+
+    def test_hashable(self):
+        assert len({Reg("a", I64), Reg("a", F64), Reg("b", I64)}) == 2
+
+    def test_void_register_rejected(self):
+        with pytest.raises(ValueError):
+            Reg("a", Type.VOID)
+
+    def test_is_reg(self):
+        assert Reg("a", I64).is_reg
+        assert not Reg("a", I64).is_const
+
+
+class TestConst:
+    def test_int_const(self):
+        c = i64(5)
+        assert c.value == 5 and c.ty is I64
+        assert c.is_const and not c.is_reg
+
+    def test_float_const_coerces_int(self):
+        c = Const(3, F64)
+        assert c.value == 3.0 and isinstance(c.value, float)
+
+    def test_int_const_rejects_float(self):
+        with pytest.raises(TypeError):
+            Const(3.5, I64)
+
+    def test_int_const_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Const(True, I64)
+
+    def test_equality(self):
+        assert i64(5) == i64(5)
+        assert i64(5) != f64(5.0)
+        assert f64(1.5) == f64(1.5)
+
+    def test_void_rejected(self):
+        with pytest.raises(ValueError):
+            Const(0, Type.VOID)
+
+    def test_ptr_const(self):
+        c = Const(100, PTR)
+        assert c.ty.is_int
+
+
+class TestGlobalAddr:
+    def test_type_is_ptr(self):
+        assert GlobalAddr("x").ty is PTR
+
+    def test_equality_and_hash(self):
+        assert GlobalAddr("x") == GlobalAddr("x")
+        assert GlobalAddr("x") != GlobalAddr("y")
+        assert len({GlobalAddr("x"), GlobalAddr("x")}) == 1
+
+    def test_repr(self):
+        assert repr(GlobalAddr("buf")) == "@buf"

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.ir import Opcode
+from repro.runtime import (
+    ENERGY,
+    EnergyEstimate,
+    Interpreter,
+    estimate_energy,
+)
+
+from ..conftest import build_dot_module, seed_memory
+
+
+class TestEnergyTable:
+    def test_covers_every_opcode(self):
+        for op in Opcode:
+            assert op in ENERGY
+
+    def test_memory_dominates_arithmetic(self):
+        assert ENERGY[Opcode.LOAD] > ENERGY[Opcode.FMUL] > ENERGY[Opcode.ADD]
+
+    def test_transcendentals_expensive(self):
+        assert ENERGY[Opcode.EXP] > ENERGY[Opcode.FDIV]
+
+
+class TestEstimate:
+    def test_counts_weighted(self):
+        est = estimate_energy({Opcode.ADD: 10, Opcode.LOAD: 1})
+        assert est.dynamic == pytest.approx(10 * ENERGY[Opcode.ADD] + ENERGY[Opcode.LOAD])
+        assert est.static == 0.0
+
+    def test_leakage_scales_with_cycles(self):
+        a = estimate_energy({Opcode.ADD: 1}, cycles=100)
+        b = estimate_energy({Opcode.ADD: 1}, cycles=200)
+        assert b.static == 2 * a.static
+        assert b.total > a.total
+
+    def test_normalized(self):
+        base = EnergyEstimate(dynamic=100.0, static=0.0)
+        twice = EnergyEstimate(dynamic=200.0, static=0.0)
+        assert twice.normalized(base) == 2.0
+        assert base.normalized(EnergyEstimate(0.0, 0.0)) == 0.0
+
+    def test_custom_table(self):
+        est = estimate_energy({Opcode.ADD: 5}, energy_table={Opcode.ADD: 2.0})
+        assert est.dynamic == 10.0
+
+    def test_end_to_end_protection_costs_energy(self):
+        from repro.transforms import apply_swift_r
+
+        module = build_dot_module()
+        mem = seed_memory(module)
+        base = Interpreter(module, memory=mem).run("main", [6, 8])
+
+        protected = build_dot_module()
+        apply_swift_r(protected)
+        mem2 = seed_memory(protected)
+        prot = Interpreter(protected, memory=mem2).run("main", [6, 8])
+
+        e_base = estimate_energy(base.counts)
+        e_prot = estimate_energy(prot.counts)
+        assert 1.5 < e_prot.normalized(e_base) < 3.6

@@ -1,0 +1,173 @@
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import (
+    DEFAULT_KIND_WEIGHTS,
+    FaultPlan,
+    Interpreter,
+    Region,
+    SegfaultError,
+    TrapError,
+    flip_float,
+    flip_int,
+    flip_value,
+    random_plan,
+)
+
+from ..conftest import build_dot_module, run_main, seed_memory
+
+
+class TestBitFlips:
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1), st.integers(0, 63))
+    def test_flip_int_is_involution(self, value, bit):
+        assert flip_int(flip_int(value, bit), bit) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False), st.integers(0, 63))
+    def test_flip_float_is_involution(self, value, bit):
+        out = flip_float(flip_float(value, bit), bit)
+        assert out == value or (math.isnan(out) and math.isnan(value))
+
+    def test_flip_int_stays_in_64_bits(self):
+        v = flip_int(0, 63)
+        assert -(2**63) <= v < 2**63
+        assert v < 0  # sign bit set
+
+    def test_flip_changes_value(self):
+        assert flip_int(5, 0) != 5
+        assert flip_float(1.0, 52) != 1.0
+
+    def test_flip_value_dispatch(self):
+        assert isinstance(flip_value(3, 1), int)
+        assert isinstance(flip_value(3.0, 1), float)
+        assert flip_value("not numeric", 1) == "not numeric"
+
+    def test_low_mantissa_flip_is_small(self):
+        """Low mantissa bits perturb within tiny relative error — the raw
+        material of RSkip's false negatives."""
+        v = 123.456
+        flipped = flip_float(v, 2)
+        assert abs(flipped - v) / v < 1e-12
+
+
+class TestPlans:
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(step=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(step=0, kind="meteor")
+
+    def test_random_plan_in_range(self):
+        rng = random.Random(0)
+        for _ in range(200):
+            plan = random_plan(rng, 1000)
+            assert 0 <= plan.step < 1000
+            assert 0 <= plan.bit < 64
+            assert plan.kind in ("value", "branch", "addr")
+
+    def test_random_plan_kind_mix(self):
+        rng = random.Random(1)
+        kinds = [random_plan(rng, 100).kind for _ in range(2000)]
+        assert kinds.count("value") > 1500
+        assert kinds.count("branch") > 20
+        assert kinds.count("addr") > 20
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            random_plan(random.Random(0), 0)
+
+
+class TestRegion:
+    def test_matching(self):
+        region = Region(funcs={"g"}, blocks={("main", "loop")})
+        assert region.contains("g", "anything")
+        assert region.contains("main", "loop")
+        assert not region.contains("main", "other")
+        assert bool(region)
+        assert not bool(Region())
+
+
+class TestInjection:
+    def _golden(self):
+        module = build_dot_module()
+        result, mem = run_main(module, [6, 8])
+        return mem.read_global("out", 6)
+
+    def _faulted(self, plan):
+        module = build_dot_module()
+        mem = seed_memory(module)
+        interp = Interpreter(module, memory=mem, fault_plan=plan, max_steps=2_000_000)
+        try:
+            interp.run("main", [6, 8])
+        except TrapError:
+            return None
+        return mem.read_global("out", 6)
+
+    def test_deterministic_given_plan(self):
+        plan = FaultPlan(step=500, kind="value", bit=40, pick=0.3)
+        out1 = self._faulted(plan)
+        out2 = self._faulted(FaultPlan(step=500, kind="value", bit=40, pick=0.3))
+        assert out1 == out2
+
+    def test_value_fault_can_corrupt_output(self):
+        golden = self._golden()
+        corrupted = 0
+        for k, step in enumerate(range(50, 650, 40)):
+            pick = (k * 0.07) % 1.0
+            out = self._faulted(FaultPlan(step=step, kind="value", bit=51, pick=pick))
+            if out is None or out != golden:
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_some_faults_are_masked(self):
+        golden = self._golden()
+        masked = 0
+        for step in range(50, 650, 40):
+            out = self._faulted(FaultPlan(step=step, kind="value", bit=1, pick=0.1))
+            if out is not None and out == golden:
+                masked += 1
+        assert masked > 0
+
+    def test_branch_fault_changes_control(self):
+        golden = self._golden()
+        differing = 0
+        for step in (100, 200, 300):
+            out = self._faulted(FaultPlan(step=step, kind="branch", bit=0, pick=0.0))
+            if out is None or out != golden:
+                differing += 1
+        assert differing > 0
+
+    def test_addr_fault_can_segfault(self):
+        module = build_dot_module()
+        mem = seed_memory(module)
+        plan = FaultPlan(step=100, kind="addr", bit=22, pick=0.0)
+        interp = Interpreter(module, memory=mem, fault_plan=plan, max_steps=2_000_000)
+        with pytest.raises(SegfaultError):
+            interp.run("main", [6, 8])
+
+    def test_region_restricted_injection(self):
+        """A fault stepped inside a region hits only region instructions."""
+        module = build_dot_module()
+        inner = {l for l in module.get_function("main").blocks if l.startswith("inner")}
+        region = Region(blocks={("main", l) for l in inner})
+        mem = seed_memory(module)
+        counting = Interpreter(module, memory=mem, fault_region=region)
+        counting.run("main", [6, 8])
+        total = counting.region_steps
+        assert total > 0
+        # injecting at the last region step must not raise "never fired"
+        mem2 = seed_memory(module)
+        interp = Interpreter(
+            module,
+            memory=mem2,
+            fault_plan=FaultPlan(step=total - 1, kind="value", bit=3, pick=0.5),
+            fault_region=region,
+            max_steps=2_000_000,
+        )
+        try:
+            interp.run("main", [6, 8])
+        except TrapError:
+            pass
+        assert not interp._fault_pending

@@ -1,0 +1,97 @@
+"""Edge-case semantics: corrupted-value behaviour the fault injector
+relies on (huge shifts, overflow clamps, NaN propagation)."""
+import math
+
+import pytest
+
+from repro.ir import parse_module
+from repro.runtime import Interpreter
+
+
+def run_expr(body: str, params: str = "", args=()):
+    src = f"func @main({params}) -> f64 {{\nentry:\n{body}\n}}\n"
+    return Interpreter(parse_module(src)).run("main", args).value
+
+
+class TestIntegerEdges:
+    def test_shift_amount_masked_to_63(self):
+        v = run_expr("  %a = shl 1:i64, 200:i64\n  %f = sitofp %a\n  ret %f")
+        assert v == float(1 << (200 & 63))
+
+    def test_lshr_of_negative_is_logical(self):
+        v = run_expr("  %a = lshr -1:i64, 60:i64\n  %f = sitofp %a\n  ret %f")
+        assert v == float(((1 << 64) - 1) >> 60)
+
+    def test_huge_multiply_is_clamped(self):
+        """Corrupted integers cannot blow up into unbounded bignums."""
+        big = (1 << 100) + 12345
+        src = (
+            f"func @main() -> f64 {{\n"
+            f"entry:\n"
+            f"  %a = mov {big}:i64\n"
+            f"  %b = mul %a, %a\n"
+            f"  %c = mul %b, %b\n"
+            f"  %d = icmp ne %c, 0:i64\n"
+            f"  %f = sitofp %d\n"
+            f"  ret %f\n"
+            f"}}\n"
+        )
+        result = Interpreter(parse_module(src)).run("main", [])
+        assert result.value in (0.0, 1.0)  # defined, bounded behaviour
+
+    def test_srem_matches_c_semantics(self):
+        cases = [(7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1)]
+        for a, b, expected in cases:
+            v = run_expr(
+                f"  %r = srem {a}:i64, {b}:i64\n  %f = sitofp %r\n  ret %f"
+            )
+            assert v == float(expected), (a, b)
+
+    def test_sdiv_matches_c_semantics(self):
+        cases = [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3)]
+        for a, b, expected in cases:
+            v = run_expr(
+                f"  %r = sdiv {a}:i64, {b}:i64\n  %f = sitofp %r\n  ret %f"
+            )
+            assert v == float(expected), (a, b)
+
+
+class TestFloatEdges:
+    def test_select_with_nan_condition_falls_through(self):
+        v = run_expr(
+            "  %nan = fdiv 0.0:f64, 0.0:f64\n"
+            "  %c = fcmp gt %nan, 0.0:f64\n"
+            "  %s = select %c, 1.0:f64, 2.0:f64\n"
+            "  ret %s"
+        )
+        assert v == 2.0
+
+    def test_nan_propagates_through_arithmetic(self):
+        v = run_expr(
+            "  %nan = fdiv 0.0:f64, 0.0:f64\n"
+            "  %a = fmul %nan, 3.0:f64\n"
+            "  %b = fadd %a, 1.0:f64\n"
+            "  ret %b"
+        )
+        assert math.isnan(v)
+
+    def test_floor_of_infinity_passes_through(self):
+        v = run_expr("  %inf = fdiv 1.0:f64, 0.0:f64\n  %a = floor %inf\n  ret %a")
+        assert v == math.inf
+
+    def test_trig_of_infinity_is_nan(self):
+        v = run_expr("  %inf = fdiv 1.0:f64, 0.0:f64\n  %a = sin %inf\n  ret %a")
+        assert math.isnan(v)
+
+    def test_special_float_constants_roundtrip(self):
+        from repro.ir import Const, F64, format_value
+        from repro.ir.parser import parse_module as parse
+
+        for value in (math.inf, -math.inf):
+            text = format_value(Const(value, F64))
+            src = f"func @main() -> f64 {{\nentry:\n  %a = mov {text}\n  ret %a\n}}\n"
+            assert Interpreter(parse(src)).run("main", []).value == value
+
+    def test_negative_zero_preserved(self):
+        v = run_expr("  %a = fmul -0.0:f64, 1.0:f64\n  ret %a")
+        assert v == 0.0 and math.copysign(1.0, v) == -1.0

@@ -1,0 +1,32 @@
+import math
+
+from repro.runtime import Outcome, classify_output, outputs_equal
+
+
+class TestOutputsEqual:
+    def test_exact_equality_required(self):
+        assert outputs_equal([1.0, 2.0], [1.0, 2.0])
+        assert not outputs_equal([1.0], [1.0 + 1e-15])
+
+    def test_length_mismatch(self):
+        assert not outputs_equal([1.0], [1.0, 2.0])
+
+    def test_nan_positionally_equal(self):
+        assert outputs_equal([math.nan, 1.0], [math.nan, 1.0])
+        assert not outputs_equal([math.nan], [1.0])
+
+    def test_mixed_int_float(self):
+        assert outputs_equal([1, 2.0], [1.0, 2])
+
+
+class TestClassify:
+    def test_correct(self):
+        assert classify_output([1.0], [1.0]) is Outcome.CORRECT
+
+    def test_small_error_is_sdc(self):
+        """The paper counts even small output errors as bad quality."""
+        assert classify_output([1.0], [1.0000001]) is Outcome.SDC
+
+    def test_outcome_labels(self):
+        assert str(Outcome.CORE_DUMP) == "Core dump"
+        assert str(Outcome.SDC) == "SDC"

@@ -1,0 +1,81 @@
+"""The high-level compiler driver."""
+import pytest
+
+from repro import CompiledProgram, SCHEMES, compile_protected
+from repro.core import RSkipConfig
+from repro.ir import verify_module
+from repro.runtime import FaultDetectedError, outputs_equal
+
+from .conftest import build_call_module, build_dot_module, run_main, seed_memory
+
+
+def golden():
+    _, mem = run_main(build_dot_module(), [6, 8])
+    return mem.read_global("out", 6)
+
+
+class TestCompileProtected:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_all_schemes_preserve_output(self, scheme):
+        module = build_dot_module()
+        compiled = compile_protected(module, scheme=scheme)
+        mem = seed_memory(module)
+        compiled.interpreter(mem).run("main", [6, 8])
+        assert outputs_equal(golden(), mem.read_global("out", 6))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            compile_protected(build_dot_module(), scheme="tmr9000")
+
+    def test_optimizations_reported(self):
+        compiled = compile_protected(build_dot_module(), scheme="none")
+        assert set(compiled.optimizations) == {"constfold", "licm", "cse", "dce"}
+
+    def test_optimize_toggle(self):
+        compiled = compile_protected(
+            build_dot_module(), scheme="none", optimize=False
+        )
+        assert compiled.optimizations == {}
+
+    def test_rskip_exposes_stats(self):
+        module = build_dot_module()
+        compiled = compile_protected(module, scheme="rskip",
+                                     config=RSkipConfig(acceptable_range=1.0))
+        mem = seed_memory(module)
+        compiled.interpreter(mem).run("main", [6, 8])
+        assert compiled.skip_stats is not None
+        assert compiled.skip_stats.elements > 0
+
+    def test_non_rskip_has_no_stats(self):
+        compiled = compile_protected(build_dot_module(), scheme="swift-r")
+        assert compiled.skip_stats is None
+
+    def test_swift_links_detection_intrinsic(self):
+        compiled = compile_protected(build_dot_module(), scheme="swift")
+        from repro.transforms import DETECT_INTRINSIC
+
+        handler = compiled.intrinsics[DETECT_INTRINSIC]
+        with pytest.raises(FaultDetectedError):
+            handler(None, ())
+
+    def test_module_verifies_after_compilation(self):
+        module = build_call_module()
+        compile_protected(module, scheme="rskip")
+        verify_module(module)
+
+    def test_ar_overrides_passed_through(self):
+        module = build_dot_module()
+        compiled = compile_protected(
+            module, scheme="rskip", ar_overrides={"main:*": 0.0}
+        )
+        runtime = compiled.application.runtime.loop(0)
+        assert runtime.config.acceptable_range == 0.0
+
+    def test_sync_points_passed_through(self):
+        m_all = build_dot_module()
+        compile_protected(m_all, scheme="swift-r")
+        m_min = build_dot_module()
+        compile_protected(m_min, scheme="swift-r", sync_points={"store"})
+        r_all, _ = run_main(m_all, [6, 8])
+        r_min, _ = run_main(m_min, [6, 8])
+        assert r_min.steps < r_all.steps

@@ -1,0 +1,48 @@
+"""Smoke tests: the shipped examples must actually run."""
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart.py").main()
+        out = capsys.readouterr().out
+        assert "Detected prediction targets" in out
+        assert "RSkip skipped" in out
+
+    def test_textual_ir(self, capsys):
+        load_example("textual_ir.py").main()
+        out = capsys.readouterr().out
+        assert "output identical:     True" in out
+        assert "skip rate" in out
+
+    def test_custom_workload(self, capsys):
+        load_example("custom_workload.py").main()
+        out = capsys.readouterr().out
+        assert "Detected:" in out
+        assert "protection rate" in out
+
+    @pytest.mark.parametrize("name", [
+        "quickstart.py",
+        "textual_ir.py",
+        "custom_workload.py",
+        "protect_blackscholes.py",
+        "fault_injection_demo.py",
+        "train_and_deploy.py",
+    ])
+    def test_examples_importable(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main")

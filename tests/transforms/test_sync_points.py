@@ -1,0 +1,81 @@
+"""Sync-point placement: where SWIFT-R validates its shadow copies."""
+import pytest
+
+from repro.transforms import ALL_SYNC_POINTS, apply_swift_r, protect_function
+from repro.ir import verify_module
+
+from ..conftest import build_dot_module, run_main
+
+
+class TestSyncPointConfiguration:
+    def test_default_is_everything(self):
+        assert ALL_SYNC_POINTS == {"load", "store", "branch", "call", "ret"}
+
+    def test_unknown_category_rejected(self):
+        module = build_dot_module()
+        with pytest.raises(ValueError, match="unknown sync-point"):
+            protect_function(module.get_function("main"), 2, sync_points={"teapot"})
+
+    @pytest.mark.parametrize("sync", [
+        {"store"},
+        {"store", "branch"},
+        {"load", "store", "branch", "call", "ret"},
+    ])
+    def test_semantics_preserved_at_any_placement(self, sync):
+        _, mem_ref = run_main(build_dot_module(), [6, 8])
+        module = build_dot_module()
+        apply_swift_r(module, sync_points=sync)
+        verify_module(module)
+        _, mem = run_main(module, [6, 8])
+        assert mem.read_global("out", 6) == mem_ref.read_global("out", 6)
+
+    def test_fewer_sync_points_fewer_checks(self):
+        m_all = build_dot_module()
+        reports_all = apply_swift_r(m_all)
+        m_min = build_dot_module()
+        reports_min = apply_swift_r(m_min, sync_points={"store"})
+        assert reports_min[0].sync_checks < reports_all[0].sync_checks
+
+    def test_fewer_sync_points_fewer_instructions(self):
+        m_all = build_dot_module()
+        apply_swift_r(m_all)
+        all_steps, _ = run_main(m_all, [6, 8])
+        m_min = build_dot_module()
+        apply_swift_r(m_min, sync_points={"store"})
+        min_steps, _ = run_main(m_min, [6, 8])
+        assert min_steps.steps < all_steps.steps
+
+    def test_store_only_weaker_against_address_faults(self):
+        """Store-only checking recovers fewer faults than full placement:
+        unvalidated branch conditions become detection gaps."""
+        from repro.runtime import FaultPlan, Interpreter, TrapError
+        from ..conftest import seed_memory
+
+        def run_faulted(sync, step, pick):
+            module = build_dot_module()
+            apply_swift_r(module, sync_points=sync)
+            mem = seed_memory(module)
+            interp = Interpreter(
+                module,
+                memory=mem,
+                fault_plan=FaultPlan(step=step, kind="value", bit=58, pick=pick),
+                max_steps=5_000_000,
+            )
+            try:
+                interp.run("main", [6, 8])
+            except TrapError:
+                return None
+            return mem.read_global("out", 6)
+
+        _, golden_mem = run_main(build_dot_module(), [6, 8])
+        golden = golden_mem.read_global("out", 6)
+
+        def bad_count(sync):
+            bad = 0
+            for k in range(30):
+                out = run_faulted(sync, 80 + 53 * k, (k * 0.17) % 1.0)
+                if out != golden:
+                    bad += 1
+            return bad
+
+        assert bad_count(frozenset({"store"})) >= bad_count(ALL_SYNC_POINTS)

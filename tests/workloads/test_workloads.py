@@ -1,0 +1,207 @@
+"""Every benchmark is checked against an independent numpy reference."""
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import detect_target_loops
+from repro.ir import verify_module
+from repro.runtime import Interpreter
+from repro.workloads import ALL_WORKLOADS, WORKLOADS, get_workload
+
+
+def run_workload(workload, inp):
+    module = workload.build()
+    memory = workload.fresh_memory(module, inp)
+    Interpreter(module, memory=memory).run(workload.main, inp.args)
+    return memory
+
+
+def make_input(name, scale=0.5, seed=11):
+    return get_workload(name).make_input(random.Random(seed), scale)
+
+
+class TestGenericProperties:
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_builds_and_verifies(self, workload):
+        verify_module(workload.build())
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_has_detected_target(self, workload):
+        module = workload.build()
+        targets = detect_target_loops(module.get_function(workload.main), module)
+        assert targets, f"{workload.name} must expose a prediction target"
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_runs_clean(self, workload):
+        inp = workload.make_input(random.Random(5), 0.4)
+        memory = run_workload(workload, inp)
+        out = memory.read_global(*inp.output)
+        assert all(math.isfinite(v) for v in out)
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_training_and_test_inputs_disjoint(self, workload):
+        train = workload.training_inputs(2, scale=0.4)
+        test = workload.test_inputs(2, scale=0.4)
+        for t in train:
+            for u in test:
+                assert t.arrays != u.arrays
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_scale_changes_problem_size(self, workload):
+        small = workload.make_input(random.Random(1), 0.4)
+        large = workload.make_input(random.Random(1), 1.0)
+        assert sum(len(v) for v in large.arrays.values()) >= sum(
+            len(v) for v in small.arrays.values()
+        )
+
+    def test_registry(self):
+        assert len(ALL_WORKLOADS) == 9
+        assert set(WORKLOADS) == {
+            "conv1d", "conv2d", "sgemm", "kde", "forwardprop",
+            "backprop", "blackscholes", "lud", "yolite",
+        }
+        with pytest.raises(KeyError):
+            get_workload("nope")
+
+
+class TestNumericalReferences:
+    def test_conv1d(self):
+        w = get_workload("conv1d")
+        inp = make_input("conv1d")
+        mem = run_workload(w, inp)
+        n, m, frames = inp.args
+        x = np.array(inp.arrays["x"])
+        k = np.array(inp.arrays["krn"])
+        expected = np.array([np.dot(x[i : i + m], k) for i in range(n)])
+        got = np.array(mem.read_global("out", n))
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_conv2d_sparse(self):
+        w = get_workload("conv2d")
+        inp = make_input("conv2d")
+        mem = run_workload(w, inp)
+        h, wdt, k, thresh = inp.args
+        img = np.array(inp.arrays["img"]).reshape(h, wdt)
+        krn = np.array(inp.arrays["krn"]).reshape(k, k)
+        krn_masked = np.where(np.abs(krn) > thresh, krn, 0.0)
+        oh, ow = h - k + 1, wdt - k + 1
+        expected = np.zeros((oh, ow))
+        for y in range(oh):
+            for x in range(ow):
+                expected[y, x] = np.sum(img[y : y + k, x : x + k] * krn_masked)
+        got = np.array(mem.read_global("out", oh * ow)).reshape(oh, ow)
+        np.testing.assert_allclose(got, expected, rtol=1e-9)
+
+    def test_sgemm(self):
+        w = get_workload("sgemm")
+        inp = make_input("sgemm")
+        mem = run_workload(w, inp)
+        n = inp.args[0]
+        a = np.array(inp.arrays["a"]).reshape(n, n)
+        b = np.array(inp.arrays["b"]).reshape(n, n)
+        got = np.array(mem.read_global("c", n * n)).reshape(n, n)
+        np.testing.assert_allclose(got, a @ b, rtol=1e-9)
+
+    def test_kde(self):
+        w = get_workload("kde")
+        inp = make_input("kde")
+        mem = run_workload(w, inp)
+        g, s, d, inv2h2, norm, reps = inp.args
+        grid = np.array(inp.arrays["grid"]).reshape(-1, d)[:g]
+        samp = np.array(inp.arrays["samp"]).reshape(-1, d)[:s]
+        expected = np.array([
+            norm * np.sum(np.exp(-np.sum((gp - samp) ** 2, axis=1) * inv2h2))
+            for gp in grid
+        ])
+        got = np.array(mem.read_global("out", g))
+        np.testing.assert_allclose(got, expected, rtol=1e-9)
+
+    def test_forwardprop(self):
+        w = get_workload("forwardprop")
+        inp = make_input("forwardprop")
+        mem = run_workload(w, inp)
+        nin, nout = inp.args
+        x = np.array(inp.arrays["inp"])[:nin]
+        wm = np.array(inp.arrays["w"]).reshape(nin, nout)
+        bias = np.array(inp.arrays["bias"])[:nout]
+        z = x @ wm + bias
+        expected = 1.0 / (1.0 + np.exp(-z))
+        got = np.array(mem.read_global("out", nout))
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_backprop(self):
+        w = get_workload("backprop")
+        inp = make_input("backprop")
+        mem = run_workload(w, inp)
+        nhid, nout = inp.args
+        wm = np.array(inp.arrays["w"]).reshape(nhid, nout)
+        delta = np.array(inp.arrays["delta"])[:nout]
+        h = np.array(inp.arrays["hidden"])[:nhid]
+        expected = h * (1 - h) * (wm @ delta)
+        got = np.array(mem.read_global("dh", nhid))
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_blackscholes_against_closed_form(self):
+        w = get_workload("blackscholes")
+        inp = make_input("blackscholes")
+        mem = run_workload(w, inp)
+        n = inp.args[0]
+
+        def cndf(x):
+            ax = abs(x)
+            k = 1.0 / (1.0 + 0.2316419 * ax)
+            poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))))
+            pdf = math.exp(-0.5 * ax * ax) * 0.3989422804014327
+            c = 1.0 - pdf * poly
+            return c if x >= 0 else 1.0 - c
+
+        got = mem.read_global("prices", n)
+        for i in range(n):
+            s = inp.arrays["sp"][i]
+            x = inp.arrays["xs"][i]
+            r = inp.arrays["rs"][i]
+            v = inp.arrays["vs"][i]
+            t = inp.arrays["ts"][i]
+            otype = inp.arrays["ot"][i]
+            d1 = (math.log(s / x) + (r + 0.5 * v * v) * t) / (v * math.sqrt(t))
+            d2 = d1 - v * math.sqrt(t)
+            fut = x * math.exp(-r * t)
+            call = s * cndf(d1) - fut * cndf(d2)
+            put = fut * (1 - cndf(d2)) - s * (1 - cndf(d1))
+            expected = put if otype > 0.5 else call
+            assert got[i] == pytest.approx(expected, rel=1e-10)
+
+    def test_lud_factorization(self):
+        w = get_workload("lud")
+        inp = make_input("lud")
+        mem = run_workload(w, inp)
+        n = inp.args[0]
+        original = np.array(inp.arrays["a"]).reshape(n, n)
+        factored = np.array(mem.read_global("a", n * n)).reshape(n, n)
+        L = np.tril(factored, -1) + np.eye(n)
+        U = np.triu(factored)
+        np.testing.assert_allclose(L @ U, original, rtol=1e-8, atol=1e-10)
+
+    def test_yolite_argmax(self):
+        w = get_workload("yolite")
+        inp = make_input("yolite")
+        mem = run_workload(w, inp)
+        side, _, k, f = inp.args
+        img = np.array(inp.arrays["img"]).reshape(side, side)
+        wt = np.array(inp.arrays["wt"]).reshape(f, k, k)
+        bias = np.array(inp.arrays["bias"])[:f]
+        o = side - k + 1
+        feat = np.zeros((f, o, o))
+        for fi in range(f):
+            for y in range(o):
+                for x in range(o):
+                    z = np.sum(img[y : y + k, x : x + k] * wt[fi]) + bias[fi]
+                    feat[fi, y, x] = z if z > 0 else 0.1 * z
+        flat = feat.reshape(-1)
+        label, score = mem.read_global("det", 2)
+        assert int(label) == int(np.argmax(flat))
+        assert score == pytest.approx(flat.max(), rel=1e-12)
+        got_feat = np.array(mem.read_global("feat", flat.size))
+        np.testing.assert_allclose(got_feat, flat, rtol=1e-10)
