@@ -5,13 +5,19 @@ Correct / SDC / Segfault / Core dump / Hang (9a); false negatives —
 corruption that slipped through fuzzy validation — per AR (9b).
 
 The full campaign runs once; both sub-figures render from the cache.
-``REPRO_BENCH_TRIALS`` scales the per-scheme trial count (paper: 1000).
+``REPRO_BENCH_TRIALS`` scales the per-scheme trial count (paper: 1000);
+``REPRO_BENCH_JOBS`` fans the campaign out over worker processes (the
+tallies are identical for any value).
 """
+import os
+
 from repro.eval import Harness, figure9, reporting
 from repro.runtime import Outcome
 from repro.workloads import ALL_WORKLOADS
 
 SCHEMES = ("UNSAFE", "SWIFT-R", "AR20", "AR50", "AR80", "AR100")
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 _CACHE = {}
 
@@ -35,6 +41,7 @@ def _campaigns(trials, scale):
             trials=trials,
             scale=scale,
             profile_source=profile_source,
+            jobs=BENCH_JOBS,
         )
         _CACHE[key] = cached
     return cached

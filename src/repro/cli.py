@@ -7,8 +7,9 @@
     python -m repro figure7  [--scale 0.6] [--inputs 1]
     python -m repro figure8a
     python -m repro figure8b [--inputs 10]
-    python -m repro figure9  [--trials 100] [--scale 0.35]
-    python -m repro tradeoff [--trials 60]
+    python -m repro figure9  [--trials 100] [--scale 0.35] [--jobs 4]
+                             [--checkpoint fig9.json] [--resume]
+    python -m repro tradeoff [--trials 60] [--jobs 4]
     python -m repro costratio
     python -m repro all
 """
@@ -106,15 +107,29 @@ def _profile_source_factory(scale):
 
 
 def cmd_figure9(args) -> None:
+    from .eval import eta_printer
+
     schemes = ("UNSAFE", "SWIFT-R", "AR20", "AR50", "AR80", "AR100")
     sfi_scale = min(args.scale, 0.45)  # injection runs use smaller problems
-    with _timed(f"Figure 9: fault injection ({args.trials} trials per scheme)"):
+    resume = getattr(args, "resume", False)
+    checkpoint = getattr(args, "checkpoint", None)
+    if resume and checkpoint is None:
+        checkpoint = "figure9-checkpoint.json"
+    jobs = args.jobs
+    label = f"{args.trials} trials per scheme"
+    if jobs > 1:
+        label += f", {jobs} jobs"
+    with _timed(f"Figure 9: fault injection ({label})"):
         results = figure9(
             ALL_WORKLOADS,
             schemes=schemes,
             trials=args.trials,
             scale=sfi_scale,
             profile_source=_profile_source_factory(sfi_scale),
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            progress=eta_printer("figure9") if jobs > 1 or checkpoint else None,
         )
         print("-- Figure 9a: outcome breakdown --")
         print(reporting.render_figure9a(results, schemes))
@@ -143,6 +158,7 @@ def cmd_tradeoff(args) -> None:
             trials=args.trials,
             perf_scale=args.scale,
             sfi_scale=min(args.scale, 0.45),
+            jobs=args.jobs,
         )
         print(reporting.render_tradeoff(rows))
 
@@ -154,7 +170,7 @@ def cmd_sweep(args) -> None:
     with _timed(f"Acceptable-range continuum: {workload.name}"):
         points = ar_sweep(
             workload, scale=args.scale, trials=args.trials,
-            sfi_scale=min(args.scale, 0.45),
+            sfi_scale=min(args.scale, 0.45), jobs=args.jobs,
         )
         print(render_sweep(workload.name, points))
 
@@ -226,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", type=float, default=0.6,
                         help="problem-size multiplier (default 0.6)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for fault-injection campaigns "
+                             "(default 1 = serial; results are identical for "
+                             "any value)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1").set_defaults(fn=cmd_table1)
@@ -239,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     p8b.set_defaults(fn=cmd_figure8b)
     p9 = sub.add_parser("figure9")
     p9.add_argument("--trials", type=int, default=100)
+    p9.add_argument("--checkpoint", default=None,
+                    help="JSON file partial tallies are saved to after every "
+                         "trial chunk")
+    p9.add_argument("--resume", action="store_true",
+                    help="skip the chunks the checkpoint file already holds "
+                         "(default file: figure9-checkpoint.json)")
     p9.set_defaults(fn=cmd_figure9)
     ptr = sub.add_parser("tradeoff")
     ptr.add_argument("--trials", type=int, default=60)

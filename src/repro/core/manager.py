@@ -33,7 +33,7 @@ from ..ir.instructions import Opcode
 from .acceptance import within_range
 from .config import RSkipConfig
 from .interpolation import CutEvent, PhaseSlicer, validate_phase
-from .memoization import MemoTable
+from .memoization import MemoStats, MemoTable
 from .signature import QoSModel, make_signature
 from .temporal import TemporalPredictor
 
@@ -59,6 +59,12 @@ _RESOLVE_CHARGE = (Opcode.FCMP,)
 _RESOLVE2_CHARGE = (Opcode.FCMP, Opcode.FCMP)
 _SELECT_CHARGE = (Opcode.LOAD, Opcode.ICMP)
 _ENTER_CHARGE = (Opcode.MOV, Opcode.MOV)
+
+#: Loop executions the QoS disable decision looks back over.  The check
+#: must track the *recent* predictor quality: a long good history must not
+#: mask a predictor that stopped working, nor a bad warm-up phase condemn
+#: one that has since settled.
+QOS_RECENT_EXECUTIONS = 8
 
 
 @dataclass
@@ -105,6 +111,25 @@ class SkipStats:
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    def copy(self) -> "SkipStats":
+        """Snapshot of the current counter values."""
+        return SkipStats(**{
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        })
+
+    def delta(self, since: "SkipStats") -> "SkipStats":
+        """Counters accumulated after *since* was snapshotted.
+
+        Callers measuring one run of a long-lived runtime should use
+        ``snapshot = runtime.total_stats()`` before the run and
+        ``runtime.total_stats().delta(snapshot)`` after it, instead of
+        subtracting individual cumulative counters by hand.
+        """
+        return SkipStats(**{
+            name: getattr(self, name) - getattr(since, name)
+            for name in self.__dataclass_fields__
+        })
+
 
 @dataclass
 class LoopProfile:
@@ -132,6 +157,7 @@ class LoopRuntime:
         tp = self.profile.default_tp
         if tp is None:
             tp = config.tuning_parameter
+        self._initial_tp = tp
         self.slicer = PhaseSlicer(tp, config.max_pending)
         self.payloads: List[Element] = []
         self.queue: Deque[Element] = deque()
@@ -145,6 +171,14 @@ class LoopRuntime:
         )
         self.temporal = TemporalPredictor() if config.temporal else None
         self.signatures: List[str] = []
+        #: (elements, skipped) at the last ``enter`` — the per-execution
+        #: delta feeds the recent-window QoS check in ``exit``.
+        self._enter_mark: Tuple[int, int] = (0, 0)
+        #: per-execution (elements, skipped) deltas of the most recent
+        #: executions; the QoS disable decision is taken over this window.
+        self._recent_execs: Deque[Tuple[int, int]] = deque(
+            maxlen=QOS_RECENT_EXECUTIONS
+        )
         #: record mode captures per-execution output traces for offline
         #: training (`repro.core.training` flips this on); each loop
         #: execution appends a fresh sublist
@@ -169,12 +203,23 @@ class LoopRuntime:
         self.current = None
         self._rv1 = None
         self._need2 = False
+        self._enter_mark = (self.stats.elements, self.stats.skipped)
 
     def exit(self) -> None:
-        # QoS: disable a persistently useless predictor for future runs
+        # QoS: disable a persistently useless predictor for future runs.
+        # The decision is taken over the skip rate of the most recent
+        # executions, not the whole-life cumulative counters: a long good
+        # history must not mask a predictor that has stopped working, and
+        # a bad warm-up must not condemn one that has since settled.
         stats = self.stats
-        if stats.elements >= 4 * self.config.window:
-            if stats.skip_rate < self.config.interp_min_skip:
+        d_elements = stats.elements - self._enter_mark[0]
+        d_skipped = stats.skipped - self._enter_mark[1]
+        if d_elements > 0:
+            self._recent_execs.append((d_elements, d_skipped))
+        recent_elements = sum(e for e, _ in self._recent_execs)
+        recent_skipped = sum(s for _, s in self._recent_execs)
+        if recent_elements >= 4 * self.config.window:
+            if recent_skipped / recent_elements < self.config.interp_min_skip:
                 self.disabled = True
         # memoization QoS "simply monitors the occurrence of misprediction
         # and disables its usage at poor run-time accuracy" (paper sec. 5)
@@ -183,6 +228,35 @@ class LoopRuntime:
             accuracy = stats.skipped_memo / attempts
             if accuracy < self.config.memo_min_hit_rate:
                 self.memo_active = False
+
+    def reset(self) -> None:
+        """Restore the just-constructed state.
+
+        Everything a run can mutate goes back to its initial value: stats,
+        the QoS disable flags, the tuning parameter (run-time management
+        may have adjusted it), phase-slicer state, the re-computation
+        queue, temporal-predictor history and the memo table's hit
+        counters.  Campaign trials call this so every fault lands in a
+        statistically independent execution.
+        """
+        self.slicer = PhaseSlicer(self._initial_tp, self.config.max_pending)
+        self.payloads = []
+        self.queue.clear()
+        self.current = None
+        self._rv1 = None
+        self._need2 = False
+        self.stats = SkipStats()
+        self.disabled = False
+        self.memo_active = (
+            self.config.memoization and self.profile.memo is not None
+        )
+        if self.profile.memo is not None:
+            self.profile.memo.stats = MemoStats()
+        self.temporal = TemporalPredictor() if self.config.temporal else None
+        self.signatures = []
+        self.recording = None
+        self._enter_mark = (0, 0)
+        self._recent_execs.clear()
 
     # -- the observation path ------------------------------------------------
     def observe(self, element: Element) -> Tuple[int, List[Opcode]]:
@@ -364,11 +438,20 @@ class RskipRuntime:
     def loop(self, ctx_id: int) -> LoopRuntime:
         return self.loops[int(ctx_id)]
 
+    def reset(self) -> None:
+        """Reset every loop runtime to its just-constructed state."""
+        for runtime in self.loops.values():
+            runtime.reset()
+
     def total_stats(self) -> SkipStats:
         total = SkipStats()
         for runtime in self.loops.values():
             total.merge(runtime.stats)
         return total
+
+    def stats_delta(self, since: SkipStats) -> SkipStats:
+        """Counters accumulated since a ``total_stats()`` snapshot."""
+        return self.total_stats().delta(since)
 
     @property
     def skip_rate(self) -> float:

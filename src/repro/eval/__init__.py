@@ -22,7 +22,21 @@ from .perf import (
     figure8a,
     figure8b,
 )
-from .fault_campaign import CampaignResult, figure9, run_campaign
+from .fault_campaign import (
+    CampaignContext,
+    CampaignResult,
+    campaign_context,
+    figure9,
+    run_campaign,
+    run_trial_block,
+    trial_seed,
+)
+from .campaign_engine import (
+    CampaignTask,
+    eta_printer,
+    run_campaign_parallel,
+    run_campaigns,
+)
 from .motivation import MotivationRow, figure2, loop_instruction_share
 from .tradeoff import TradeoffRow, section73
 from .table1 import Table1Row, table1
@@ -38,7 +52,9 @@ __all__ = [
     "Harness", "RunRecord", "default_ars",
     "Figure7Result", "Figure8aRow", "Figure8bRow", "PERF_SCHEMES",
     "SchemeAverages", "figure7", "figure8a", "figure8b",
-    "CampaignResult", "figure9", "run_campaign",
+    "CampaignContext", "CampaignResult", "campaign_context", "figure9",
+    "run_campaign", "run_trial_block", "trial_seed",
+    "CampaignTask", "eta_printer", "run_campaign_parallel", "run_campaigns",
     "MotivationRow", "figure2", "loop_instruction_share",
     "TradeoffRow", "section73",
     "Table1Row", "table1",

@@ -1,0 +1,299 @@
+"""Parallel, resumable fault-injection campaigns.
+
+The SFI study (Figure 9) is the slowest experiment in the repo: every
+(workload, scheme) pair runs hundreds of interpreted trials.  Trials are
+statistically independent by construction — each one derives its own seed
+via ``stable_seed(seed, workload, scheme, trial_index)`` and runs against
+a freshly reset runtime — so the campaign decomposes into
+``(workload, scheme, trial-chunk)`` work units that can execute anywhere
+in any order and still produce byte-identical tallies.
+
+This engine shards those units over a ``ProcessPoolExecutor``:
+
+* each worker caches the prepared program and its fault-free golden /
+  counting runs per (workload, scheme), so a chunk only pays for its own
+  trials;
+* every finished chunk is checkpointed to a JSON file (written
+  atomically), and ``resume=True`` skips the chunks the file already
+  holds — an interrupted campaign continues to the same final result;
+* a ``progress(done_trials, total_trials, elapsed_seconds)`` callback
+  reports completion for ETA display.
+
+``jobs <= 1`` runs the same chunked schedule inline (no pool), which
+keeps checkpoint/resume available without process overhead.
+"""
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import RSkipConfig
+from ..core.manager import LoopProfile
+from ..workloads.base import Workload, WorkloadInput
+from .fault_campaign import CampaignResult, campaign_context, run_trial_block
+from .schemes import prepare
+
+#: Trials per work unit.  Small enough that campaigns load-balance and
+#: checkpoint at a useful granularity, large enough that a unit amortizes
+#: its worker's cached golden run.
+DEFAULT_CHUNK = 25
+
+CHECKPOINT_VERSION = 1
+
+ProgressFn = Callable[[int, int, float], None]
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One (workload, scheme, trial-chunk) work unit."""
+
+    workload: str
+    scheme: str
+    start: int
+    count: int
+    seed: int
+    scale: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.workload}|{self.scheme}|{self.start}|{self.count}"
+
+
+# -- worker side ------------------------------------------------------------
+#: (workload, scheme, seed, scale, config) -> (workload, prepared, inp, ctx).
+#: One entry per campaign a worker process has touched; the prepared
+#: program is reused across that campaign's chunks (trials reset it).
+_WORKER_CACHE: Dict[Tuple, Tuple] = {}
+
+
+def _worker_campaign(
+    task: CampaignTask,
+    workload: Workload,
+    config: Optional[RSkipConfig],
+    profiles: Optional[Dict[str, LoopProfile]],
+    inp: Optional[WorkloadInput],
+):
+    key = (task.workload, task.scheme, task.seed, task.scale, config)
+    entry = _WORKER_CACHE.get(key)
+    if entry is None:
+        if inp is None:
+            inp = workload.test_inputs(1, seed=task.seed + 17, scale=task.scale)[0]
+        prepared = prepare(workload, task.scheme, config, profiles)
+        ctx = campaign_context(prepared, workload, inp)
+        entry = (workload, prepared, inp, ctx)
+        _WORKER_CACHE[key] = entry
+    return entry
+
+
+def _run_chunk(
+    task: CampaignTask,
+    workload: Workload,
+    config: Optional[RSkipConfig],
+    profiles: Optional[Dict[str, LoopProfile]],
+    inp: Optional[WorkloadInput],
+) -> Tuple[str, dict]:
+    """Execute one work unit; returns (task key, serialized chunk result)."""
+    workload, prepared, inp, ctx = _worker_campaign(
+        task, workload, config, profiles, inp
+    )
+    result = run_trial_block(
+        prepared, workload, inp, ctx, task.scheme, task.seed,
+        task.start, task.count,
+    )
+    return task.key, result.to_dict()
+
+
+# -- checkpointing ----------------------------------------------------------
+def _params_key(trials: int, seed: int, scale: float,
+                config: Optional[RSkipConfig]) -> str:
+    return json.dumps(
+        {"trials": trials, "seed": seed, "scale": scale, "config": repr(config)},
+        sort_keys=True,
+    )
+
+
+def _load_checkpoint(path: str, params_key: str) -> Dict[str, dict]:
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(f"{path}: unsupported checkpoint version")
+    if data.get("params") != params_key:
+        raise ValueError(
+            f"{path}: checkpoint was written by a campaign with different "
+            f"parameters; delete it or match trials/seed/scale/config"
+        )
+    return dict(data.get("chunks", {}))
+
+
+def _save_checkpoint(path: str, params_key: str, chunks: Dict[str, dict]) -> None:
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "params": params_key,
+        "chunks": chunks,
+    }
+    # write-then-rename: an interrupt mid-save never corrupts the file
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".campaign-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+# -- the engine -------------------------------------------------------------
+def run_campaigns(
+    groups: Sequence[Tuple[Workload, str, Optional[Dict[str, LoopProfile]]]],
+    trials: int,
+    seed: int = 0,
+    scale: float = 0.45,
+    config: Optional[RSkipConfig] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+    chunk: int = DEFAULT_CHUNK,
+    inp: Optional[WorkloadInput] = None,
+) -> Dict[Tuple[str, str], CampaignResult]:
+    """Run a batch of campaigns — *groups* is (workload, scheme, profiles) —
+    sharded into trial chunks, optionally over a process pool.
+
+    Returns ``{(workload.name, scheme): CampaignResult}`` with tallies
+    identical to the serial run at the same seed, for any *jobs*/*chunk*.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    chunk = max(1, int(chunk))
+    _WORKER_CACHE.clear()
+
+    workload_by_name = {w.name: w for w, _, _ in groups}
+    profiles_by_key: Dict[Tuple[str, str], Optional[Dict[str, LoopProfile]]] = {
+        (w.name, s): p for w, s, p in groups
+    }
+
+    tasks: List[CampaignTask] = []
+    for workload, scheme, _profiles in groups:
+        for start in range(0, trials, chunk):
+            tasks.append(CampaignTask(
+                workload.name, scheme, start, min(chunk, trials - start),
+                seed, scale,
+            ))
+
+    params_key = _params_key(trials, seed, scale, config)
+    chunks: Dict[str, dict] = {}
+    if checkpoint is not None and resume:
+        chunks = _load_checkpoint(checkpoint, params_key)
+    pending = [t for t in tasks if t.key not in chunks]
+
+    total_trials = trials * len(groups)
+    done_trials = total_trials - sum(t.count for t in pending)
+    started = time.monotonic()
+    if progress is not None:
+        progress(done_trials, total_trials, 0.0)
+
+    def record(key: str, chunk_dict: dict, count: int) -> None:
+        nonlocal done_trials
+        chunks[key] = chunk_dict
+        done_trials += count
+        if checkpoint is not None:
+            _save_checkpoint(checkpoint, params_key, chunks)
+        if progress is not None:
+            progress(done_trials, total_trials, time.monotonic() - started)
+
+    def task_args(task: CampaignTask):
+        return (
+            task,
+            workload_by_name[task.workload],
+            config,
+            profiles_by_key[(task.workload, task.scheme)],
+            inp,
+        )
+
+    if jobs <= 1:
+        for task in pending:
+            key, chunk_dict = _run_chunk(*task_args(task))
+            record(key, chunk_dict, task.count)
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_run_chunk, *task_args(task)): task
+                for task in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    key, chunk_dict = future.result()
+                    record(key, chunk_dict, futures[future].count)
+
+    # assemble per-campaign results by merging chunks in trial order, so
+    # the outcome of a parallel run never depends on completion order
+    results: Dict[Tuple[str, str], CampaignResult] = {}
+    for workload, scheme, _profiles in groups:
+        merged: Optional[CampaignResult] = None
+        for task in sorted(
+            (t for t in tasks
+             if t.workload == workload.name and t.scheme == scheme),
+            key=lambda t: t.start,
+        ):
+            part = CampaignResult.from_dict(chunks[task.key])
+            if merged is None:
+                merged = part
+            else:
+                merged.merge(part)
+        assert merged is not None
+        results[(workload.name, scheme)] = merged
+    return results
+
+
+def run_campaign_parallel(
+    workload: Workload,
+    scheme: str,
+    trials: int,
+    seed: int = 0,
+    scale: float = 0.45,
+    config: Optional[RSkipConfig] = None,
+    profiles: Optional[Dict[str, LoopProfile]] = None,
+    inp: Optional[WorkloadInput] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+    chunk: int = DEFAULT_CHUNK,
+) -> CampaignResult:
+    """One (workload, scheme) campaign on the parallel engine."""
+    results = run_campaigns(
+        [(workload, scheme, profiles)], trials=trials, seed=seed, scale=scale,
+        config=config, jobs=jobs, checkpoint=checkpoint, resume=resume,
+        progress=progress, chunk=chunk, inp=inp,
+    )
+    return results[(workload.name, scheme)]
+
+
+def eta_printer(label: str = "campaign") -> ProgressFn:
+    """A progress callback that renders completion and ETA on one line."""
+
+    def report(done: int, total: int, elapsed: float) -> None:
+        if done <= 0 or total <= 0:
+            return
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = (total - done) / rate if rate > 0 else 0.0
+        end = "\n" if done >= total else ""
+        print(
+            f"\r   {label}: {done}/{total} trials "
+            f"({done / total:5.1%}), {elapsed:6.1f}s elapsed, "
+            f"ETA {remaining:6.1f}s ",
+            end=end, flush=True,
+        )
+
+    return report

@@ -13,7 +13,7 @@ import math
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import RSkipConfig
 from ..core.manager import LoopProfile
@@ -78,6 +78,56 @@ class CampaignResult:
         half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
         return (max(0.0, center - half), min(1.0, center + half))
 
+    def merge(self, other: "CampaignResult") -> None:
+        """Fold another chunk of the same campaign into this result.
+
+        Per-trial seeding makes tallies independent of how trials were
+        chunked, so merging chunks in trial order reproduces the serial
+        run exactly.
+        """
+        if (self.workload, self.scheme) != (other.workload, other.scheme):
+            raise ValueError(
+                f"cannot merge campaign {other.workload}/{other.scheme} "
+                f"into {self.workload}/{self.scheme}"
+            )
+        self.trials += other.trials
+        self.tallies.update(other.tallies)
+        self.detected += other.detected
+        self.false_negatives += other.false_negatives
+        self.caught += other.caught
+        self.fn_by_outcome.update(other.fn_by_outcome)
+        if self.region_steps == 0:
+            self.region_steps = other.region_steps
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (campaign checkpoints)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "trials": self.trials,
+            "tallies": {o.name: n for o, n in self.tallies.items()},
+            "detected": self.detected,
+            "false_negatives": self.false_negatives,
+            "caught": self.caught,
+            "fn_by_outcome": {o.name: n for o, n in self.fn_by_outcome.items()},
+            "region_steps": self.region_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        result = cls(data["workload"], data["scheme"], data["trials"])
+        result.tallies = Counter(
+            {Outcome[name]: n for name, n in data["tallies"].items()}
+        )
+        result.detected = data["detected"]
+        result.false_negatives = data["false_negatives"]
+        result.caught = data["caught"]
+        result.fn_by_outcome = Counter(
+            {Outcome[name]: n for name, n in data["fn_by_outcome"].items()}
+        )
+        result.region_steps = data["region_steps"]
+        return result
+
 
 def _run_once(
     prepared: PreparedProgram,
@@ -121,53 +171,94 @@ def _run_once(
     return trap, output, loop_output, interp.region_steps, detected
 
 
-def run_campaign(
-    workload: Workload,
-    scheme: str,
-    trials: int,
-    seed: int = 0,
-    scale: float = 0.45,
-    config: Optional[RSkipConfig] = None,
-    profiles: Optional[Dict[str, LoopProfile]] = None,
-    inp: Optional[WorkloadInput] = None,
-) -> CampaignResult:
-    """Inject *trials* single faults into one workload under one scheme."""
-    rng = random.Random(stable_seed(seed, workload.name, scheme))
-    if inp is None:
-        inp = workload.test_inputs(1, seed=seed + 17, scale=scale)[0]
+@dataclass
+class CampaignContext:
+    """Fault-free reference state of one (workload, scheme, input) campaign:
+    the injection region, golden outputs and the hang budget.  Workers cache
+    one per prepared program so trial chunks pay for the golden and counting
+    runs once."""
 
-    prepared = prepare(workload, scheme, config, profiles)
+    region: Region
+    golden: List[float]
+    golden_loop: List[float]
+    region_steps: int
+    max_steps: int
+
+
+def campaign_context(
+    prepared: PreparedProgram,
+    workload: Workload,
+    inp: WorkloadInput,
+) -> CampaignContext:
+    """Golden + counting passes (fault-free) for a campaign on *prepared*.
+
+    The runtime is reset before each pass, so a cached prepared program
+    yields byte-identical reference state to a freshly built one.
+    """
     region = fault_region(prepared)
 
-    # golden + counting pass (fault-free)
+    if prepared.runtime is not None:
+        prepared.runtime.reset()
     trap, golden, golden_loop, region_steps, _ = _run_once(
         prepared, workload, inp, None, region, max_steps=500_000_000
     )
     if trap is not None:
         raise RuntimeError(
-            f"{workload.name}/{scheme}: fault-free run trapped with {trap}"
+            f"{workload.name}/{prepared.scheme}: fault-free run trapped with {trap}"
         )
     if region_steps <= 0:
-        raise RuntimeError(f"{workload.name}/{scheme}: empty fault region")
+        raise RuntimeError(f"{workload.name}/{prepared.scheme}: empty fault region")
 
+    if prepared.runtime is not None:
+        prepared.runtime.reset()
     baseline_steps = _fault_free_steps(prepared, workload, inp)
     max_steps = max(baseline_steps * HANG_FACTOR, 100_000)
+    return CampaignContext(region, golden, golden_loop, region_steps, max_steps)
 
-    result = CampaignResult(workload.name, prepared.scheme, trials)
-    result.region_steps = region_steps
-    is_rskip = prepared.application is not None
 
-    for _ in range(trials):
-        mismatches_before = 0
-        if is_rskip:
-            mismatches_before = prepared.runtime.total_stats().recompute_mismatches
-        plan = random_plan(rng, region_steps)
+def trial_seed(seed: int, workload: str, scheme: str, trial_index: int) -> int:
+    """The deterministic seed of one trial.
+
+    Deriving per-trial (rather than drawing from one sequential stream)
+    makes the tallies independent of execution order, so parallel and
+    serial campaigns agree exactly and interrupted campaigns can resume.
+    """
+    return stable_seed(seed, workload, scheme, trial_index)
+
+
+def run_trial_block(
+    prepared: PreparedProgram,
+    workload: Workload,
+    inp: WorkloadInput,
+    ctx: CampaignContext,
+    scheme: str,
+    seed: int,
+    start: int,
+    count: int,
+) -> CampaignResult:
+    """Run trials [start, start+count) of a campaign.
+
+    Every trial is isolated: the RSkip runtime is reset to its
+    just-constructed state first, so a fault that corrupts predictor state
+    (or merely shifts the QoS counters) in one trial cannot bias the next.
+    ``caught`` comes from the per-trial stats delta.
+    """
+    result = CampaignResult(workload.name, prepared.scheme, count)
+    result.region_steps = ctx.region_steps
+    runtime = prepared.runtime
+
+    for trial in range(start, start + count):
+        snapshot = None
+        if runtime is not None:
+            runtime.reset()
+            snapshot = runtime.total_stats()
+        rng = random.Random(trial_seed(seed, workload.name, scheme, trial))
+        plan = random_plan(rng, ctx.region_steps)
         trap, output, loop_output, _, detected = _run_once(
-            prepared, workload, inp, plan, region, max_steps
+            prepared, workload, inp, plan, ctx.region, ctx.max_steps
         )
-        if is_rskip:
-            after = prepared.runtime.total_stats().recompute_mismatches
-            if after > mismatches_before:
+        if runtime is not None:
+            if runtime.stats_delta(snapshot).recompute_mismatches > 0:
                 result.caught += 1
         if detected:
             result.detected += 1
@@ -182,12 +273,51 @@ def run_campaign(
         if trap == "coredump":
             result.tallies[Outcome.CORE_DUMP] += 1
             continue
-        outcome = classify_output(golden, output)
+        outcome = classify_output(ctx.golden, output)
         result.tallies[outcome] += 1
-        if is_rskip and not outputs_equal(golden_loop, loop_output):
+        if runtime is not None and not outputs_equal(ctx.golden_loop, loop_output):
             result.false_negatives += 1
             result.fn_by_outcome[outcome] += 1
     return result
+
+
+def run_campaign(
+    workload: Workload,
+    scheme: str,
+    trials: int,
+    seed: int = 0,
+    scale: float = 0.45,
+    config: Optional[RSkipConfig] = None,
+    profiles: Optional[Dict[str, LoopProfile]] = None,
+    inp: Optional[WorkloadInput] = None,
+    prepared: Optional[PreparedProgram] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[int, int, float], None]] = None,
+) -> CampaignResult:
+    """Inject *trials* single faults into one workload under one scheme.
+
+    With ``jobs > 1`` (or a *checkpoint* path) the campaign runs on the
+    parallel engine (`repro.eval.campaign_engine`); per-trial seeding
+    guarantees the tallies match the serial run exactly.  A reused
+    *prepared* program gives the same result as a fresh one: the runtime
+    is reset before every execution.
+    """
+    if jobs > 1 or checkpoint is not None:
+        from .campaign_engine import run_campaign_parallel
+
+        return run_campaign_parallel(
+            workload, scheme, trials, seed=seed, scale=scale, config=config,
+            profiles=profiles, inp=inp, jobs=jobs, checkpoint=checkpoint,
+            resume=resume, progress=progress,
+        )
+    if inp is None:
+        inp = workload.test_inputs(1, seed=seed + 17, scale=scale)[0]
+    if prepared is None:
+        prepared = prepare(workload, scheme, config, profiles)
+    ctx = campaign_context(prepared, workload, inp)
+    return run_trial_block(prepared, workload, inp, ctx, scheme, seed, 0, trials)
 
 
 def _fault_free_steps(
@@ -208,20 +338,41 @@ def figure9(
     scale: float = 0.45,
     config: Optional[RSkipConfig] = None,
     profile_source=None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[int, int, float], None]] = None,
 ) -> Dict[Tuple[str, str], CampaignResult]:
     """The full Figure 9 campaign: every workload under every scheme.
 
     ``profile_source(workload, ar) -> profiles`` supplies trained profiles
     for RSkip schemes (`repro.eval.harness.Harness.profiles_for`).
+
+    ``jobs > 1`` shards (workload, scheme, trial-chunk) work units over a
+    process pool; *checkpoint* names a JSON file partial tallies are saved
+    to, and ``resume=True`` skips the chunks it already holds.  Thanks to
+    per-trial seeding the tallies are identical for every *jobs* value.
     """
-    results: Dict[Tuple[str, str], CampaignResult] = {}
+    groups = []
     for workload in workloads:
         for scheme in schemes:
             profiles = None
             if scheme.startswith("AR") and profile_source is not None:
                 profiles = profile_source(workload, int(scheme[2:]) / 100.0)
-            results[(workload.name, scheme)] = run_campaign(
-                workload, scheme, trials, seed=seed, scale=scale,
-                config=config, profiles=profiles,
-            )
+            groups.append((workload, scheme, profiles))
+
+    if jobs > 1 or checkpoint is not None:
+        from .campaign_engine import run_campaigns
+
+        return run_campaigns(
+            groups, trials=trials, seed=seed, scale=scale, config=config,
+            jobs=jobs, checkpoint=checkpoint, resume=resume, progress=progress,
+        )
+
+    results: Dict[Tuple[str, str], CampaignResult] = {}
+    for workload, scheme, profiles in groups:
+        results[(workload.name, scheme)] = run_campaign(
+            workload, scheme, trials, seed=seed, scale=scale,
+            config=config, profiles=profiles,
+        )
     return results

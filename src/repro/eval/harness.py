@@ -65,6 +65,7 @@ class Harness:
         self._profiles_by_ar: Dict[float, Dict[str, LoopProfile]] = {}
         self._traces = None
         self._memo_keys: List[str] = []
+        self._prepared_by_scheme: Dict[str, PreparedProgram] = {}
 
     # -- training -------------------------------------------------------------
     def record_traces(self):
@@ -94,13 +95,25 @@ class Harness:
         return profiles
 
     # -- execution -------------------------------------------------------------
-    def prepare_scheme(self, scheme: str) -> PreparedProgram:
+    def prepare_scheme(self, scheme: str, fresh: bool = False) -> PreparedProgram:
+        """The workload compiled under *scheme*.
+
+        Prepared programs are cached: building and transforming the module
+        is the expensive part of a measurement, and per-run runtime resets
+        make reuse across inputs exact (``fresh=True`` bypasses the cache).
+        """
+        if not fresh:
+            cached = self._prepared_by_scheme.get(scheme)
+            if cached is not None:
+                return cached
         profiles = None
         if scheme.startswith("AR"):
             profiles = self.profiles_for(int(scheme[2:]) / 100.0)
         prepared = prepare(self.workload, scheme, self.config, profiles)
         if self.verify:
             verify_module(prepared.module)
+        if not fresh:
+            self._prepared_by_scheme[scheme] = prepared
         return prepared
 
     def _execute(
@@ -128,11 +141,19 @@ class Harness:
     ) -> RunRecord:
         if prepared is None:
             prepared = self.prepare_scheme(scheme)
+        runtime = prepared.runtime
+        before = None
+        if runtime is not None:
+            # prepared programs are reused across inputs; reset the runtime
+            # so no predictor or QoS state leaks between runs, and report
+            # this run's stats delta — never the cumulative counters
+            runtime.reset()
+            before = runtime.total_stats()
         result, output = self._execute(prepared, inp)
         stats = None
         skip = None
-        if prepared.runtime is not None:
-            stats = prepared.runtime.total_stats()
+        if runtime is not None:
+            stats = runtime.stats_delta(before)
             skip = stats.skip_rate
         return RunRecord(
             workload=self.workload.name,

@@ -37,6 +37,7 @@ def ar_sweep(
     trials: int = 0,
     sfi_scale: float = 0.35,
     seed: int = 2,
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     """Skip rate and overhead (and protection with ``trials > 0``) across a
     fine AR grid for one workload."""
@@ -58,7 +59,8 @@ def ar_sweep(
         )
         if trials > 0:
             campaign = run_campaign(
-                workload, scheme, trials, scale=sfi_scale, profiles=profiles
+                workload, scheme, trials, scale=sfi_scale, profiles=profiles,
+                jobs=jobs,
             )
             point.protection_rate = campaign.protection_rate
             point.fn_rate = campaign.fn_rate

@@ -36,6 +36,7 @@ def section73(
     seed: int = 0,
     config: Optional[RSkipConfig] = None,
     fig7: Optional[Figure7Result] = None,
+    jobs: int = 1,
 ) -> List[TradeoffRow]:
     """Average protection rate and slowdown per scheme (paper section 7.3)."""
     if fig7 is None:
@@ -62,7 +63,7 @@ def section73(
                 profiles = profile_source(workload, int(scheme[2:]) / 100.0)
             campaign = run_campaign(
                 workload, scheme, trials, seed=seed, scale=sfi_scale,
-                config=config, profiles=profiles,
+                config=config, profiles=profiles, jobs=jobs,
             )
             rates.append(campaign.protection_rate)
         rows.append(

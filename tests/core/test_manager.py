@@ -208,6 +208,110 @@ class TestRunTimeManagement:
         assert runtime.recording[1][0].value == 2.0
 
 
+class TestLifecycle:
+    def make_dirty_runtime(self):
+        """A runtime with every piece of mutable state visibly perturbed."""
+        memo = MemoTable([InputQuantizer([5.0])], [1], {(0,): 1.0, (1,): 10.0})
+        profile = LoopProfile(memo=memo, default_tp=0.25)
+        runtime = make_runtime(ar=0.2, profile=profile, window=4)
+        runtime.enter()
+        for i in range(40):
+            runtime.observe(Element(i, float(i % 7), 100 + i, args=(2.0,)))
+        runtime.flush()
+        runtime.exit()
+        runtime.slicer.set_tp(9.9)
+        runtime.disabled = True
+        runtime.memo_active = False
+        runtime.signatures.append("123")
+        return runtime, profile
+
+    def test_reset_restores_constructed_state(self):
+        runtime, profile = self.make_dirty_runtime()
+        runtime.reset()
+        fresh = LoopRuntime(runtime.key, runtime.config, profile)
+        assert runtime.stats == fresh.stats == SkipStats()
+        assert runtime.slicer.tp == fresh.slicer.tp == 0.25
+        assert len(runtime.slicer) == 0
+        assert runtime.payloads == [] and not runtime.queue
+        assert runtime.current is None
+        assert runtime.disabled is False
+        assert runtime.memo_active is True
+        assert runtime.signatures == []
+        assert runtime.recording is None
+        assert profile.memo.stats.lookups == 0
+
+    def test_reset_isolates_runs(self):
+        """Two identical runs after reset produce identical stats — nothing
+        carries over from a previous (possibly fault-corrupted) run."""
+        series = [float(i % 5) for i in range(30)]
+        runtime, _ = self.make_dirty_runtime()
+        runtime.reset()
+        observe_series(runtime, series)
+        first = runtime.stats.copy()
+        runtime.reset()
+        observe_series(runtime, series)
+        assert runtime.stats == first
+
+    def test_stats_copy_and_delta(self):
+        s = SkipStats(elements=10, skipped_interp=4, recompute_mismatches=1)
+        snap = s.copy()
+        assert snap == s and snap is not s
+        s.merge(SkipStats(elements=5, skipped_interp=2, recompute_mismatches=2))
+        d = s.delta(snap)
+        assert d.elements == 5
+        assert d.skipped_interp == 2
+        assert d.recompute_mismatches == 2
+
+    def test_registry_reset_and_delta(self):
+        registry = RskipRuntime(RSkipConfig())
+        r0 = registry.add_loop(0, "a")
+        observe_series(r0, [1.0 * i for i in range(10)])
+        snap = registry.total_stats()
+        observe_series(r0, [1.0 * i for i in range(6)])
+        assert registry.stats_delta(snap).elements == 6
+        registry.reset()
+        assert registry.total_stats() == SkipStats()
+
+
+class TestWindowedQoS:
+    def test_long_good_history_does_not_mask_dead_predictor(self):
+        """Once the recent executions show a useless predictor, it is
+        disabled even though whole-life counters still look healthy."""
+        runtime = make_runtime(ar=0.2, tp=0.5, window=4)
+        good = [2.0 * i for i in range(64)]
+        bad = [(-1.0) ** i * (1 + i) for i in range(64)]
+        for _ in range(4):  # a long profitable history
+            observe_series(runtime, good)
+            runtime.queue.clear()
+            runtime.exit()
+        assert not runtime.disabled
+        for _ in range(8):  # the predictor stops working for good
+            observe_series(runtime, bad)
+            runtime.queue.clear()
+            runtime.exit()
+        # cumulative skip rate is still far above the threshold...
+        assert runtime.stats.skip_rate > runtime.config.interp_min_skip
+        # ...but the recent window sees a dead predictor
+        assert runtime.disabled
+
+    def test_bad_warmup_does_not_condemn_settled_predictor(self):
+        runtime = make_runtime(
+            ar=0.2, tp=0.5, window=4, interp_min_skip=0.5
+        )
+        bad = [(-1.0) ** i * (1 + i) for i in range(64)]
+        good = [2.0 * i for i in range(64)]
+        observe_series(runtime, bad * 16)  # one long hostile warm-up run
+        runtime.queue.clear()
+        for _ in range(8):
+            observe_series(runtime, good)
+            runtime.queue.clear()
+            runtime.exit()
+        # cumulative skip rate sits below the threshold, the recent
+        # executions above it: the settled predictor stays enabled
+        assert runtime.stats.skip_rate < runtime.config.interp_min_skip
+        assert not runtime.disabled
+
+
 class TestStatsAndRegistry:
     def test_stats_merge(self):
         a = SkipStats(elements=10, skipped_interp=5)

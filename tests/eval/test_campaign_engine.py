@@ -1,0 +1,193 @@
+"""Trial isolation, parallel determinism and resume of the SFI engine."""
+import json
+
+import pytest
+
+from repro.eval import (
+    CampaignResult,
+    Harness,
+    figure9,
+    prepare,
+    run_campaign,
+)
+from repro.eval.campaign_engine import run_campaigns
+from repro.runtime import Outcome
+from repro.workloads import get_workload
+
+SCALE = 0.35
+TRIALS = 10
+
+
+def campaign_fingerprint(c: CampaignResult):
+    return (
+        c.workload, c.scheme, c.trials, dict(c.tallies), c.detected,
+        c.false_negatives, c.caught, dict(c.fn_by_outcome), c.region_steps,
+    )
+
+
+@pytest.fixture(scope="module")
+def conv1d():
+    return get_workload("conv1d")
+
+
+@pytest.fixture(scope="module")
+def conv1d_profiles(conv1d):
+    return Harness(conv1d, scale=SCALE, timing=False).profiles_for(1.0)
+
+
+class TestTrialIsolation:
+    def test_reused_prepared_program_matches_fresh(self, conv1d, conv1d_profiles):
+        """Back-to-back campaigns on one PreparedProgram tally exactly like
+        campaigns on freshly built programs: no predictor state leaks."""
+        prepared = prepare(conv1d, "AR100", profiles=conv1d_profiles)
+        first = run_campaign(
+            conv1d, "AR100", TRIALS, scale=SCALE, prepared=prepared
+        )
+        second = run_campaign(
+            conv1d, "AR100", TRIALS, scale=SCALE, prepared=prepared
+        )
+        fresh = run_campaign(
+            conv1d, "AR100", TRIALS, scale=SCALE, profiles=conv1d_profiles
+        )
+        assert campaign_fingerprint(first) == campaign_fingerprint(second)
+        assert campaign_fingerprint(first) == campaign_fingerprint(fresh)
+
+    def test_caught_comes_from_per_trial_delta(self, conv1d, conv1d_profiles):
+        campaign = run_campaign(
+            conv1d, "AR100", TRIALS, scale=SCALE, profiles=conv1d_profiles
+        )
+        assert 0 <= campaign.caught <= TRIALS
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial(self, conv1d, conv1d_profiles):
+        """The tier-1 smoke path: 2 worker processes, small trial count,
+        byte-identical tallies vs the serial run."""
+        serial = run_campaign(
+            conv1d, "AR100", TRIALS, scale=SCALE, profiles=conv1d_profiles
+        )
+        parallel = run_campaign(
+            conv1d, "AR100", TRIALS, scale=SCALE, profiles=conv1d_profiles,
+            jobs=2,
+        )
+        assert campaign_fingerprint(parallel) == campaign_fingerprint(serial)
+
+    def test_chunking_does_not_change_tallies(self, conv1d):
+        serial = run_campaign(conv1d, "UNSAFE", TRIALS, scale=SCALE)
+        for chunk in (1, 3, 7):
+            chunked = run_campaigns(
+                [(conv1d, "UNSAFE", None)], trials=TRIALS, scale=SCALE,
+                jobs=1, chunk=chunk,
+            )[(conv1d.name, "UNSAFE")]
+            assert campaign_fingerprint(chunked) == campaign_fingerprint(serial)
+
+    def test_figure9_parallel_matches_serial(self, conv1d, conv1d_profiles):
+        def profile_source(workload, ar):
+            return conv1d_profiles
+
+        kwargs = dict(
+            schemes=("UNSAFE", "AR100"), trials=6, scale=SCALE,
+            profile_source=profile_source,
+        )
+        serial = figure9([conv1d], **kwargs)
+        parallel = figure9([conv1d], jobs=2, **kwargs)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert campaign_fingerprint(serial[key]) == campaign_fingerprint(
+                parallel[key]
+            )
+
+
+class TestCheckpointResume:
+    def test_interrupted_campaign_resumes_to_same_result(self, conv1d, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        group = [(conv1d, "UNSAFE", None)]
+        kwargs = dict(trials=TRIALS, scale=SCALE, jobs=1, chunk=4)
+        full = run_campaigns(group, checkpoint=path, **kwargs)[
+            (conv1d.name, "UNSAFE")
+        ]
+
+        # simulate an interrupt: drop the last chunk from the checkpoint
+        with open(path) as handle:
+            data = json.load(handle)
+        assert len(data["chunks"]) == 3  # trials=10, chunk=4 -> 4+4+2
+        dropped = sorted(data["chunks"])[-1]
+        del data["chunks"][dropped]
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+
+        resumed = run_campaigns(group, checkpoint=path, resume=True, **kwargs)[
+            (conv1d.name, "UNSAFE")
+        ]
+        assert campaign_fingerprint(resumed) == campaign_fingerprint(full)
+
+    def test_progress_reports_completion(self, conv1d, tmp_path):
+        seen = []
+        run_campaigns(
+            [(conv1d, "UNSAFE", None)], trials=TRIALS, scale=SCALE, jobs=1,
+            chunk=5, progress=lambda done, total, elapsed: seen.append((done, total)),
+        )
+        assert seen[0] == (0, TRIALS)
+        assert seen[-1] == (TRIALS, TRIALS)
+        assert all(total == TRIALS for _, total in seen)
+
+    def test_mismatched_checkpoint_is_rejected(self, conv1d, tmp_path):
+        path = str(tmp_path / "checkpoint.json")
+        group = [(conv1d, "UNSAFE", None)]
+        run_campaigns(group, trials=TRIALS, scale=SCALE, checkpoint=path, chunk=5)
+        with pytest.raises(ValueError):
+            run_campaigns(
+                group, trials=TRIALS, scale=SCALE, checkpoint=path,
+                resume=True, seed=99, chunk=5,
+            )
+
+
+class TestResultSerialization:
+    def test_round_trip(self, conv1d):
+        campaign = run_campaign(conv1d, "UNSAFE", 5, scale=SCALE)
+        restored = CampaignResult.from_dict(
+            json.loads(json.dumps(campaign.to_dict()))
+        )
+        assert campaign_fingerprint(restored) == campaign_fingerprint(campaign)
+
+    def test_merge_concatenates_chunks(self):
+        a = CampaignResult("w", "s", 3)
+        a.tallies[Outcome.CORRECT] += 3
+        a.region_steps = 7
+        b = CampaignResult("w", "s", 2)
+        b.tallies[Outcome.SDC] += 2
+        b.caught = 1
+        b.region_steps = 7
+        a.merge(b)
+        assert a.trials == 5
+        assert a.tallies[Outcome.CORRECT] == 3
+        assert a.tallies[Outcome.SDC] == 2
+        assert a.caught == 1
+
+    def test_merge_rejects_foreign_campaign(self):
+        a = CampaignResult("w", "s", 1)
+        with pytest.raises(ValueError):
+            a.merge(CampaignResult("w", "other", 1))
+
+
+class TestCliWiring:
+    def test_figure9_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--jobs", "4", "figure9", "--trials", "8",
+             "--checkpoint", "cp.json", "--resume"]
+        )
+        assert args.jobs == 4
+        assert args.trials == 8
+        assert args.checkpoint == "cp.json"
+        assert args.resume is True
+
+
+@pytest.mark.slow
+def test_full_scale_campaign_smoke(conv1d, conv1d_profiles):
+    """A larger campaign, excluded from the default run (-m 'not slow')."""
+    campaign = run_campaign(
+        conv1d, "AR100", 200, scale=SCALE, profiles=conv1d_profiles, jobs=2
+    )
+    assert sum(campaign.tallies.values()) == 200

@@ -83,6 +83,27 @@ class TestTraining:
         assert profile.memo is None
 
 
+class TestPerRunStats:
+    def test_prepared_programs_are_cached(self):
+        harness = Harness(get_workload("sgemm"), scale=0.3, timing=False)
+        assert harness.prepare_scheme("AR100") is harness.prepare_scheme("AR100")
+        assert (
+            harness.prepare_scheme("AR100", fresh=True)
+            is not harness.prepare_scheme("AR100")
+        )
+
+    def test_reused_program_reports_per_run_delta(self):
+        """Running the same input twice on one prepared program reports the
+        same per-run stats — not a cumulative skip rate."""
+        harness = Harness(get_workload("sgemm"), scale=0.3, timing=False)
+        inp = harness.workload.test_inputs(1, scale=0.3)[0]
+        r1 = harness.run_scheme("AR100", inp)
+        r2 = harness.run_scheme("AR100", inp)
+        assert r1.stats == r2.stats
+        assert r1.skip_rate == pytest.approx(r2.skip_rate)
+        assert r2.stats.elements == r1.stats.elements  # not doubled
+
+
 class TestMisc:
     def test_default_ars(self):
         assert default_ars() == (0.2, 0.5, 0.8, 1.0)
