@@ -1,0 +1,31 @@
+"""Throughput probe for the differential-testing subsystem: programs
+generated and fully oracle-checked per second, plus the generator alone.
+The absolute numbers bound how large a fuzzing budget CI can afford."""
+import os
+
+from repro.difftest import generate, render_report, run_difftest
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_DIFFTEST_N", "60"))
+
+
+def test_difftest_generator_throughput(benchmark):
+    def gen_batch():
+        return [generate(0, i) for i in range(BENCH_N)]
+
+    programs = benchmark.pedantic(gen_batch, rounds=3, iterations=1)
+    assert len(programs) == BENCH_N
+    sizes = [sum(f.size() for f in p.module.functions.values()) for p in programs]
+    benchmark.extra_info["programs"] = BENCH_N
+    benchmark.extra_info["mean_instrs"] = round(sum(sizes) / len(sizes), 1)
+
+
+def test_difftest_full_oracle_throughput(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_difftest(seed=0, n=BENCH_N, oracle="all", jobs=1),
+        rounds=1, iterations=1,
+    )
+    print("\n== difftest throughput probe ==")
+    print(render_report(report))
+    benchmark.extra_info["programs"] = BENCH_N
+    benchmark.extra_info["violations"] = len(report.violations)
+    assert not report.violations

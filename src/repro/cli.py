@@ -11,6 +11,8 @@
                              [--checkpoint fig9.json] [--resume]
     python -m repro tradeoff [--trials 60] [--jobs 4]
     python -m repro costratio
+    python -m repro difftest [--seed 0] [--n 200] [--oracle all] [--shrink]
+                             [--jobs 4]
     python -m repro all
 """
 from __future__ import annotations
@@ -201,6 +203,27 @@ def cmd_all(args) -> None:
     cmd_tradeoff(args)
 
 
+def cmd_difftest(args) -> None:
+    from .difftest import render_report, run_difftest
+
+    t0 = time.time()
+    report = run_difftest(
+        seed=args.seed,
+        n=args.n,
+        oracle=args.oracle,
+        jobs=args.jobs,
+        fault_samples=args.fault_samples,
+        shrink=args.shrink,
+        corpus_dir=args.corpus if args.shrink else None,
+    )
+    # timing on stderr: stdout stays byte-identical for any --jobs
+    print(f"difftest: {args.n} programs in {time.time() - t0:.1f}s "
+          f"({args.jobs} jobs)", file=sys.stderr)
+    print(render_report(report))
+    if report.violations:
+        sys.exit(1)
+
+
 def cmd_report(args) -> None:
     """Run everything and write a markdown results report."""
     import contextlib
@@ -277,6 +300,28 @@ def build_parser() -> argparse.ArgumentParser:
     psc = sub.add_parser("scaling")
     psc.add_argument("--workload", default="lud")
     psc.set_defaults(fn=cmd_scaling)
+    pdt = sub.add_parser(
+        "difftest",
+        help="differential-test the IR stack on seeded random programs",
+    )
+    pdt.add_argument("--seed", type=int, default=0)
+    pdt.add_argument("--n", type=int, default=100,
+                     help="programs to generate and check (default 100)")
+    pdt.add_argument("--oracle", choices=("all", "o1", "o2", "o3"),
+                     default="all",
+                     help="o1=pipeline equivalence, o2=print/parse fixpoint, "
+                          "o3=fault metamorphic property (default all)")
+    pdt.add_argument("--jobs", type=int, default=1,
+                     help="worker processes; the report is byte-identical "
+                          "for any value (default 1)")
+    pdt.add_argument("--fault-samples", type=int, default=12,
+                     help="shadow-flip trials per O3 check (default 12)")
+    pdt.add_argument("--shrink", action="store_true",
+                     help="delta-minimize failing programs")
+    pdt.add_argument("--corpus", default="difftest/corpus",
+                     help="directory shrunk counterexamples are written to "
+                          "(default difftest/corpus)")
+    pdt.set_defaults(fn=cmd_difftest)
     pall = sub.add_parser("all")
     pall.add_argument("--trials", type=int, default=60)
     pall.add_argument("--inputs", type=int, default=10)

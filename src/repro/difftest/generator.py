@@ -1,0 +1,372 @@
+"""Seeded random IR program generator.
+
+Emits structured loop programs in the paper's three target shapes:
+
+* ``reduction``   — nested loops accumulating into a scalar, one store of
+  the accumulated value per outer iteration (sgemm/dot style);
+* ``elementwise`` — a single loop calling a hot generated callee per
+  element (blackscholes style);
+* ``rmw``         — nested loops that read-modify-write cells of the
+  output array, including back-to-back load/store/load sequences in one
+  block (lud/backprop style, and the alias trap for CSE).
+
+Every random draw comes from a :class:`random.Random` seeded with
+``stable_seed(seed, "difftest", index)``, so generation is reproducible
+across processes and machines — the property the sharded runner and the
+checked-in corpus rely on.
+
+**Boundedness invariant.**  Generated programs never produce ``inf`` or
+``NaN``: the fault-free master and shadow streams of a SWIFT-protected
+clone must stay bit-identical, and ``NaN != NaN`` would make a fault-free
+run trip the checkers.  The generator enforces this structurally:
+
+* *fresh* expressions combine input loads (``|v| <= 2``), loop indices
+  (``<= 63``) and small constants through non-dividing arithmetic, with
+  tree depth capped so magnitudes stay far below overflow;
+* *carried* values (accumulators, reloaded output cells) are only updated
+  additively with fresh values, scaled by ``|c| < 1`` decay constants, or
+  passed through bounded maps (``sin``/``cos``); two carried values are
+  never multiplied;
+* ``exp`` only wraps ``sin``/``cos`` results, ``log``/``sqrt`` only see
+  ``fabs(x) + 1`` style non-negative inputs, and ``fdiv`` is never
+  emitted.  Integer indices are masked with ``and (size-1)`` before any
+  memory access, so addresses stay in bounds for power-of-two arrays.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import CmpPred
+from ..ir.module import Module
+from ..ir.types import F64, I64
+from ..ir.values import Reg, Value
+from ..ir.verifier import verify_module
+from ..workloads.base import stable_seed
+
+#: Program shapes the generator knows how to emit.
+SHAPES = ("reduction", "elementwise", "rmw")
+
+#: Power-of-two array size: indices are masked with ``ARRAY_SIZE - 1``.
+ARRAY_SIZE = 32
+
+#: Constant pool; includes negative and scientific-notation values so
+#: generated programs exercise the parser's full constant syntax.
+FLOAT_CONSTS = (0.5, -1.5, 2.0, 0.25, -0.75, 3.0, 1e-3, -2.5, 5e-05, 1.0)
+
+#: Multipliers applied to carried values (all ``|c| < 1``: contraction).
+DECAY_CONSTS = (0.5, -0.25, 0.75, -0.5, 0.125)
+
+_CMP_PREDS = (CmpPred.LT, CmpPred.LE, CmpPred.GT, CmpPred.GE)
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated test program, self-contained in its module.
+
+    Inputs live in global initializers, loop bounds are constants and
+    ``main`` takes no arguments — the printed ``.ir`` text alone replays
+    the program, which is what the corpus regression tests rely on.
+    """
+
+    module: Module
+    shape: str
+    seed: int
+    index: int
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+
+class _ExprGen:
+    """Emits random bounded float expressions through an IRBuilder."""
+
+    def __init__(self, builder: IRBuilder, rng: random.Random):
+        self.b = builder
+        self.rng = rng
+        #: values with small guaranteed magnitude (loads, indices, consts)
+        self.fresh_pool: List[Value] = []
+        #: accumulators / reloaded output cells (bounded but large)
+        self.carried_pool: List[Reg] = []
+
+    # -- leaves -----------------------------------------------------------
+    def _leaf(self) -> Value:
+        pool = self.fresh_pool
+        if pool and self.rng.random() < 0.7:
+            return self.rng.choice(pool)
+        return self.b.mov(self.rng.choice(FLOAT_CONSTS), hint="c")
+
+    # -- fresh expressions -------------------------------------------------
+    def fresh(self, depth: int) -> Value:
+        """A bounded expression over the fresh pool (never inf/NaN)."""
+        b, rng = self.b, self.rng
+        if depth <= 0 or rng.random() < 0.25:
+            return self._leaf()
+        op = rng.choice((
+            "fadd", "fsub", "fmul", "fneg", "fabs", "sqrtabs",
+            "sin", "cos", "expsin", "log1p", "floor", "select",
+        ))
+        x = self.fresh(depth - 1)
+        if op == "fadd":
+            return b.fadd(x, self.fresh(depth - 1))
+        if op == "fsub":
+            return b.fsub(x, self.fresh(depth - 1))
+        if op == "fmul":
+            return b.fmul(x, self.fresh(depth - 1))
+        if op == "fneg":
+            return b.fneg(x)
+        if op == "fabs":
+            return b.fabs(x)
+        if op == "sqrtabs":
+            return b.sqrt(b.fabs(x))
+        if op == "sin":
+            return b.sin(x)
+        if op == "cos":
+            return b.cos(x)
+        if op == "expsin":
+            # exp of a value in [-1, 1]: bounded by e
+            return b.exp(b.sin(x))
+        if op == "log1p":
+            # log of a value >= 1: non-negative, defined
+            return b.log(b.fadd(b.fabs(x), 1.0))
+        if op == "floor":
+            return b.floor(x)
+        cond = b.fcmp(rng.choice(_CMP_PREDS), x, self.fresh(depth - 1))
+        return b.select(cond, self.fresh(depth - 1), self.fresh(depth - 1))
+
+    def carried_update(self, carry: Reg, depth: int = 2) -> None:
+        """Fold a fresh expression into *carry* without magnitude blowup."""
+        b, rng = self.b, self.rng
+        term = self.fresh(depth)
+        kind = rng.random()
+        if kind < 0.4:
+            b.mov(b.fadd(carry, term), dest=carry)
+        elif kind < 0.7:
+            b.mov(b.fsub(carry, term), dest=carry)
+        else:
+            decayed = b.fmul(carry, rng.choice(DECAY_CONSTS))
+            b.mov(b.fadd(decayed, term), dest=carry)
+
+    def bounded_of_carried(self, carry: Reg) -> Value:
+        """A fresh-magnitude projection of a carried value."""
+        return self.b.sin(carry) if self.rng.random() < 0.5 else self.b.cos(carry)
+
+    # -- integer index expressions ----------------------------------------
+    def index(self, idx_regs: Sequence[Reg]) -> Value:
+        """A random in-bounds index: arithmetic over loop counters, then
+        masked with ``ARRAY_SIZE - 1`` (safe even for negative values)."""
+        b, rng = self.b, self.rng
+        raw: Value = rng.choice(list(idx_regs))
+        for _ in range(rng.randrange(3)):
+            op = rng.choice(("add", "mul", "xor", "shl", "sdiv", "srem"))
+            if op == "add":
+                raw = b.add(raw, rng.randrange(1, 9))
+            elif op == "mul":
+                raw = b.mul(raw, rng.randrange(2, 6))
+            elif op == "xor":
+                raw = b.xor(raw, rng.choice(list(idx_regs)))
+            elif op == "shl":
+                raw = b.shl(raw, rng.randrange(1, 3))
+            elif op == "sdiv":
+                raw = b.sdiv(raw, rng.randrange(2, 5))
+            else:
+                raw = b.srem(raw, rng.randrange(3, 8))
+        return b.and_(raw, ARRAY_SIZE - 1)
+
+    # -- statement-level decoration ---------------------------------------
+    def maybe_dead_code(self) -> None:
+        """Emit a computation nobody uses (DCE material)."""
+        if self.rng.random() < 0.3:
+            self.fresh(2)
+
+    def maybe_duplicate(self) -> None:
+        """Emit the same pure binop twice (CSE material)."""
+        if self.rng.random() < 0.3 and len(self.fresh_pool) >= 2:
+            x, y = self.rng.sample(self.fresh_pool, 2)
+            a = self.b.fmul(x, y)
+            c = self.b.fmul(x, y)
+            self.fresh_pool.append(self.b.fadd(a, c))
+
+    def maybe_diamond(self) -> None:
+        """Emit an if/then(/else) diamond writing a pre-initialized reg."""
+        if self.rng.random() >= 0.35:
+            return
+        b, rng = self.b, self.rng
+        t = b.mov(self.fresh(1), hint="sel")
+        cond = b.fcmp(rng.choice(_CMP_PREDS), self.fresh(1), self.fresh(1))
+
+        def then_fn(bb: IRBuilder) -> None:
+            bb.mov(self.fresh(2), dest=t)
+
+        def else_fn(bb: IRBuilder) -> None:
+            bb.mov(self.fresh(2), dest=t)
+
+        b.if_then_else(cond, then_fn, else_fn if rng.random() < 0.5 else None)
+        self.fresh_pool.append(t)
+
+
+def _init_values(rng: random.Random, count: int) -> List[float]:
+    """Deterministic input data in [-2, 2], short-repr rounded."""
+    return [round(rng.uniform(-2.0, 2.0), 6) for _ in range(count)]
+
+
+def _add_inputs(module: Module, rng: random.Random, names: Sequence[str]) -> None:
+    for name in names:
+        module.add_global(name, ARRAY_SIZE, F64, _init_values(rng, ARRAY_SIZE))
+    module.add_global("out", ARRAY_SIZE, F64)
+
+
+def _load_inputs(eg: _ExprGen, names: Sequence[str], idx_regs: Sequence[Reg]) -> None:
+    """Load one element of each input array into the fresh pool."""
+    b = eg.b
+    for name in names:
+        base = b.mov(b.global_addr(name), hint=f"{name}p")
+        eg.fresh_pool.append(b.load(b.padd(base, eg.index(idx_regs))))
+
+
+def _gen_reduction(module: Module, rng: random.Random) -> None:
+    """Nested reduction: acc over an inner loop, stored per outer step."""
+    _add_inputs(module, rng, ("a", "b"))
+    func = Function("main", [], F64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    eg = _ExprGen(b, rng)
+
+    outer_n = rng.randrange(4, 9)
+    inner_n = rng.randrange(3, 7)
+    out_p = b.mov(b.global_addr("out"), hint="outp")
+    total = b.mov(rng.choice(FLOAT_CONSTS), hint="total")
+    with b.loop(0, outer_n, hint="outer") as i:
+        eg.fresh_pool = [b.sitofp(i)]
+        # loop-invariant computation (LICM material)
+        eg.fresh_pool.append(b.fmul(rng.choice(FLOAT_CONSTS), rng.choice(FLOAT_CONSTS)))
+        acc = b.mov(rng.choice(FLOAT_CONSTS), hint="acc")
+        with b.loop(0, inner_n, hint="inner") as j:
+            saved = list(eg.fresh_pool)
+            eg.fresh_pool.append(b.sitofp(j))
+            _load_inputs(eg, ("a", "b"), (i, j))
+            eg.maybe_duplicate()
+            eg.maybe_dead_code()
+            eg.carried_update(acc, depth=2)
+            eg.fresh_pool = saved
+        eg.maybe_diamond()
+        scaled = b.fadd(acc, eg.fresh(1))
+        b.store(scaled, b.padd(out_p, b.and_(i, ARRAY_SIZE - 1)))
+        b.mov(b.fadd(total, eg.bounded_of_carried(acc)), dest=total)
+    b.ret(total)
+
+
+def _gen_callee(module: Module, rng: random.Random, name: str) -> None:
+    """A hot pure callee of two float params."""
+    func = Function(name, [Reg("x", F64), Reg("y", F64)], F64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    eg = _ExprGen(b, rng)
+    eg.fresh_pool = list(func.params)
+    eg.maybe_duplicate()
+    eg.maybe_diamond()
+    b.ret(eg.fresh(3))
+
+
+def _gen_elementwise(module: Module, rng: random.Random) -> None:
+    """One loop calling a generated hot callee per element."""
+    _add_inputs(module, rng, ("a", "b"))
+    callees = ["g"] if rng.random() < 0.6 else ["g", "h"]
+    for name in callees:
+        _gen_callee(module, rng, name)
+
+    func = Function("main", [], F64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    eg = _ExprGen(b, rng)
+
+    trip = rng.randrange(5, 12)
+    out_p = b.mov(b.global_addr("out"), hint="outp")
+    a_p = b.mov(b.global_addr("a"), hint="ap")
+    b_p = b.mov(b.global_addr("b"), hint="bp")
+    total = b.mov(0.0, hint="total")
+    with b.loop(0, trip, hint="elem") as i:
+        eg.fresh_pool = [b.sitofp(i)]
+        av = b.load(b.padd(a_p, eg.index((i,))))
+        bv = b.load(b.padd(b_p, eg.index((i,))))
+        eg.fresh_pool += [av, bv]
+        v = b.call(rng.choice(callees), [av, bv])
+        eg.fresh_pool.append(v)
+        if rng.random() < 0.4:
+            u = b.call(rng.choice(callees), [bv, eg.fresh(1)])
+            eg.fresh_pool.append(u)
+        eg.maybe_dead_code()
+        eg.maybe_duplicate()
+        b.store(eg.fresh(2), b.padd(out_p, b.and_(i, ARRAY_SIZE - 1)))
+        b.mov(b.fadd(total, b.sin(v)), dest=total)
+    b.ret(total)
+
+
+def _gen_rmw(module: Module, rng: random.Random) -> None:
+    """Nested loops read-modify-writing output cells, with back-to-back
+    load/store/load sequences in one block (the CSE alias trap)."""
+    _add_inputs(module, rng, ("a", "w"))
+    func = Function("main", [], F64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    eg = _ExprGen(b, rng)
+
+    outer_n = rng.randrange(4, 9)
+    inner_n = rng.randrange(3, 6)
+    out_p = b.mov(b.global_addr("out"), hint="outp")
+    with b.loop(0, outer_n, hint="outer") as i:
+        eg.fresh_pool = [b.sitofp(i)]
+        addr = b.padd(out_p, b.and_(i, ARRAY_SIZE - 1))
+        s = b.load(addr, hint="s")
+        eg.carried_pool.append(s)
+        with b.loop(0, inner_n, hint="inner") as k:
+            saved = list(eg.fresh_pool)
+            eg.fresh_pool.append(b.sitofp(k))
+            _load_inputs(eg, ("a", "w"), (i, k))
+            eg.maybe_duplicate()
+            eg.carried_update(s, depth=2)
+            eg.fresh_pool = saved
+        b.store(s, addr)
+        if rng.random() < 0.6:
+            # same-block load/store/load on one address: a CSE that merges
+            # loads across the store changes this program's output
+            t1 = b.load(addr, hint="t1")
+            b.store(b.fadd(t1, eg.fresh(1)), addr)
+            t2 = b.load(addr, hint="t2")
+            b.store(b.fadd(b.fmul(t2, rng.choice(DECAY_CONSTS)), eg.bounded_of_carried(t2)), addr)
+        eg.maybe_dead_code()
+    b.ret(0.0)
+
+
+_SHAPE_BUILDERS = {
+    "reduction": _gen_reduction,
+    "elementwise": _gen_elementwise,
+    "rmw": _gen_rmw,
+}
+
+
+def generate_module(rng: random.Random, shape: str, name: str = "difftest") -> Module:
+    """Generate one verified module of the given shape from *rng*."""
+    if shape not in _SHAPE_BUILDERS:
+        raise ValueError(f"unknown shape {shape!r}; choose from {SHAPES}")
+    module = Module(name)
+    _SHAPE_BUILDERS[shape](module, rng)
+    verify_module(module)
+    return module
+
+
+def generate(seed: int, index: int) -> GeneratedProgram:
+    """Generate program *index* of the stream rooted at *seed*.
+
+    Fully deterministic: the same ``(seed, index)`` yields byte-identical
+    textual IR in any process, which lets the sharded runner replay any
+    program anywhere.
+    """
+    rng = random.Random(stable_seed(seed, "difftest", index))
+    shape = rng.choice(SHAPES)
+    module = generate_module(rng, shape, name=f"dt_s{seed}_i{index}")
+    return GeneratedProgram(module, shape, seed, index)

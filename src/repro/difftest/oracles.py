@@ -1,0 +1,441 @@
+"""Differential oracles over generated IR programs.
+
+Three machine-checked properties:
+
+* **O1 — pipeline equivalence** (:func:`check_pipeline`): any pipeline of
+  cleanup passes ({dce, cse, licm, simplify, clone}) optionally followed
+  by one protection transform ({swift, swift-r, rskip}) must leave the
+  fault-free outputs (return value plus every global's final cells)
+  bit-identical to the unmodified program, and ``verify_module`` must
+  accept every intermediate module.
+
+* **O2 — print/parse fixpoint** (:func:`check_roundtrip`): printing a
+  module, parsing it back and printing again must reproduce the first
+  text exactly, and the reparsed module must verify.
+
+* **O3 — fault metamorphic property** (:func:`check_fault_metamorphic`):
+  a single bit flip injected into the *redundant* (shadow) stream of a
+  protected program is invisible or detected, never silent corruption —
+  SWIFT must end detected-or-golden (and detect at least once across the
+  sample), SWIFT-R and RSkip must vote the flip away and stay exactly
+  golden.  A static coverage check additionally requires that protection
+  actually replicated computation and inserted sync-point checkers, which
+  catches "no-op" protection passes that dynamic shadow flips cannot see.
+
+All checks are deterministic: randomness comes in only through the
+caller-supplied fault plans, themselves derived from ``stable_seed``.
+"""
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import RSkipConfig
+from ..core.rskip import apply_rskip
+from ..ir.function import Function
+from ..ir.instructions import CmpPred, Opcode
+from ..ir.module import Module
+from ..ir.parser import ParseError, parse_module
+from ..ir.printer import format_module
+from ..ir.values import Reg
+from ..ir.verifier import VerificationError, verify_module
+from ..runtime.errors import FaultDetectedError, TrapError
+from ..runtime.faults import FaultPlan, Region, flip_value
+from ..runtime.interpreter import Interpreter
+from ..runtime.memory import Memory
+from ..runtime.outcomes import outputs_equal
+from ..transforms.cse import run_cse_module
+from ..transforms.dce import run_dce_module
+from ..transforms.licm import run_licm_module
+from ..transforms.clone import duplicate_into_module
+from ..transforms.simplify import run_simplify_module
+from ..transforms.swift import DETECT_INTRINSIC, apply_swift, apply_swift_r
+from ..workloads.base import stable_seed
+
+DEFAULT_MAX_STEPS = 5_000_000
+
+#: Shadow-register suffixes of the duplication transforms.
+_SHADOW_SUFFIXES = (".sw1", ".sw2")
+
+
+@dataclass
+class Violation:
+    """One oracle failure, serializable for cross-process reporting."""
+
+    oracle: str  # "o1" | "o2" | "o3"
+    detail: str
+    pipeline: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"oracle": self.oracle, "detail": self.detail,
+                "pipeline": list(self.pipeline)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Violation":
+        return cls(data["oracle"], data["detail"], tuple(data["pipeline"]))
+
+
+# -- module plumbing ---------------------------------------------------------
+def module_copy(module: Module) -> Module:
+    """An independent deep copy via the textual form (also exercises O2's
+    machinery on every oracle run)."""
+    return parse_module(format_module(module))
+
+
+def _swift_detect(interp, args):
+    raise FaultDetectedError("swift detected a mismatch")
+
+
+@dataclass
+class ExecResult:
+    value: object
+    globals: Dict[str, List[float]]
+    steps: int
+
+
+def execute_module(
+    module: Module,
+    intrinsics: Optional[dict] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    entry: str = "main",
+) -> ExecResult:
+    """Run *entry* fault-free and capture the full observable state."""
+    memory = Memory()
+    interp = Interpreter(module, memory=memory, max_steps=max_steps)
+    interp.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
+    if intrinsics:
+        interp.register_intrinsics(intrinsics)
+    result = interp.run(entry, [])
+    final = {
+        name: memory.read_global(name, gvar.size)
+        for name, gvar in module.globals.items()
+    }
+    return ExecResult(result.value, final, result.steps)
+
+
+def _values_equal(a: object, b: object) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    return a == b
+
+
+def _state_diff(base: ExecResult, other: ExecResult) -> Optional[str]:
+    """First observable difference between two executions, or None."""
+    if not _values_equal(base.value, other.value):
+        return f"return value {base.value!r} != {other.value!r}"
+    for name in base.globals:
+        if name not in other.globals:
+            return f"global @{name} disappeared"
+        if not outputs_equal(base.globals[name], other.globals[name]):
+            for idx, (g, o) in enumerate(zip(base.globals[name], other.globals[name])):
+                if not _values_equal(g, o):
+                    return f"@{name}[{idx}]: {g!r} != {o!r}"
+            return f"@{name}: length changed"
+    return None
+
+
+# -- the pass registry -------------------------------------------------------
+def _clone_pass(module: Module) -> object:
+    """Clone main into a renamed sibling (exercises the renaming machinery;
+    the clone is never called, so semantics must be untouched)."""
+    if "main" in module.functions and "main.ck" not in module.functions:
+        duplicate_into_module(module, "main", "main.ck")
+    return None
+
+
+#: Semantics-preserving cleanup passes, applied in place.
+CLEANUP_PASSES: Dict[str, Callable[[Module], object]] = {
+    "dce": run_dce_module,
+    "cse": run_cse_module,
+    "licm": run_licm_module,
+    "simplify": run_simplify_module,
+    "clone": _clone_pass,
+}
+
+
+def _apply_swift(module: Module) -> dict:
+    apply_swift(module)
+    return {}
+
+
+def _apply_swift_r(module: Module) -> dict:
+    apply_swift_r(module)
+    return {}
+
+
+def _apply_rskip(module: Module) -> dict:
+    app = apply_rskip(module, RSkipConfig())
+    return app.intrinsics()
+
+
+#: Protection transforms: name -> in-place application returning the
+#: intrinsics table the protected module needs at run time.
+PROTECTIONS: Dict[str, Callable[[Module], dict]] = {
+    "swift": _apply_swift,
+    "swift-r": _apply_swift_r,
+    "rskip": _apply_rskip,
+}
+
+
+# -- O1: pipeline equivalence -------------------------------------------------
+def check_pipeline(
+    module: Module,
+    pipeline: Sequence[str],
+    roundtrip: bool = True,
+) -> Tuple[List[Violation], Optional[Module], dict]:
+    """Apply *pipeline* to a copy of *module* and compare observable state.
+
+    Returns ``(violations, transformed_module, intrinsics)``; the
+    transformed module is ``None`` when a stage failed structurally.
+    """
+    pipe = tuple(pipeline)
+    violations: List[Violation] = []
+    try:
+        baseline = execute_module(module_copy(module))
+    except TrapError as exc:
+        return ([Violation("o1", f"baseline run trapped: {exc}", pipe)], None, {})
+
+    work = module_copy(module)
+    intrinsics: dict = {}
+    for stage in pipe:
+        fn = CLEANUP_PASSES.get(stage) or PROTECTIONS.get(stage)
+        if fn is None:
+            raise ValueError(f"unknown pipeline stage {stage!r}")
+        try:
+            produced = fn(work)
+        except Exception as exc:  # a crashing pass is an oracle failure
+            violations.append(Violation(
+                "o1", f"pass {stage!r} raised {type(exc).__name__}: {exc}", pipe))
+            return (violations, None, {})
+        if isinstance(produced, dict):
+            intrinsics.update(produced)
+        try:
+            verify_module(work)
+        except VerificationError as exc:
+            first = str(exc).splitlines()[1].strip() if "\n" in str(exc) else str(exc)
+            violations.append(Violation(
+                "o1", f"verifier rejected module after {stage!r}: {first}", pipe))
+            return (violations, None, {})
+        if roundtrip:
+            violations.extend(check_roundtrip(work, context=f"after {stage!r}"))
+
+    try:
+        transformed = execute_module(work, intrinsics)
+    except FaultDetectedError:
+        violations.append(Violation(
+            "o1", "fault-free run of protected module tripped a checker", pipe))
+        return (violations, work, intrinsics)
+    except TrapError as exc:
+        violations.append(Violation(
+            "o1", f"transformed module trapped: {type(exc).__name__}: {exc}", pipe))
+        return (violations, work, intrinsics)
+
+    diff = _state_diff(baseline, transformed)
+    if diff is not None:
+        violations.append(Violation("o1", f"output diverged: {diff}", pipe))
+    return (violations, work, intrinsics)
+
+
+# -- O2: print -> parse -> print fixpoint ------------------------------------
+def check_roundtrip(module: Module, context: str = "") -> List[Violation]:
+    """The textual form must be a fixpoint of print∘parse."""
+    suffix = f" ({context})" if context else ""
+    text = format_module(module)
+    try:
+        reparsed = parse_module(text)
+    except ParseError as exc:
+        return [Violation("o2", f"printed module failed to parse{suffix}: {exc}")]
+    try:
+        verify_module(reparsed)
+    except VerificationError as exc:
+        first = str(exc).splitlines()[1].strip() if "\n" in str(exc) else str(exc)
+        return [Violation("o2", f"reparsed module failed verification{suffix}: {first}")]
+    text2 = format_module(reparsed)
+    if text2 != text:
+        for line1, line2 in zip(text.splitlines(), text2.splitlines()):
+            if line1 != line2:
+                return [Violation(
+                    "o2", f"print/parse not a fixpoint{suffix}: "
+                          f"{line1!r} became {line2!r}")]
+        return [Violation("o2", f"print/parse changed line count{suffix}")]
+    return []
+
+
+# -- O3: fault metamorphic property ------------------------------------------
+def _is_shadow(name: str) -> bool:
+    return name.endswith(_SHADOW_SUFFIXES)
+
+
+class ShadowFlipInterpreter(Interpreter):
+    """Interpreter whose injection targets only shadow-stream registers.
+
+    The plan's ``pick`` selects among the live shadow slots of the whole
+    frame stack at the chosen step; if none is live, the flip is absorbed
+    (architectural masking), mirroring :meth:`Interpreter._inject`.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.flipped: Optional[str] = None
+
+    def _inject(self, regs):
+        plan = self.fault_plan
+        self._fault_pending = False
+        slots = [
+            (frame, name)
+            for frame in self._frames
+            for name in sorted(frame)
+            if _is_shadow(name)
+        ]
+        if not slots:
+            return
+        frame, name = slots[int(plan.pick * len(slots)) % len(slots)]
+        frame[name] = flip_value(frame[name], plan.bit)
+        self.flipped = name
+
+
+def check_protection_coverage(module: Module, scheme: str) -> List[Violation]:
+    """Static contract of the duplication transforms.
+
+    Every function marked protected must (a) hold shadow registers if it
+    holds replicable computation, and (b) guard its synchronization
+    points: each store/cbr whose register operands have shadows must be
+    preceded somewhere by an equality compare against the ``.sw1`` copy.
+    """
+    violations: List[Violation] = []
+    for func in module.functions.values():
+        if not func.attrs.get("protected"):
+            continue
+        shadows = {r for r in func.defined_regs() if _is_shadow(r)}
+        replicable = sum(
+            1 for instr in func.instructions()
+            if instr.dest is not None and not _is_shadow(instr.dest.name)
+            and instr.op not in (Opcode.CALL, Opcode.INTRIN, Opcode.LOAD, Opcode.ALLOC)
+        )
+        if replicable and not shadows:
+            violations.append(Violation(
+                "o3", f"@{func.name} is marked protected ({scheme}) but holds "
+                      f"no shadow registers for {replicable} replicable instrs"))
+            continue
+
+        checked: set = set()
+        for instr in func.instructions():
+            if instr.op in (Opcode.ICMP, Opcode.FCMP) and instr.pred is CmpPred.EQ:
+                if len(instr.args) == 2 and all(isinstance(a, Reg) for a in instr.args):
+                    a, b = instr.args
+                    if b.name == a.name + ".sw1":
+                        checked.add(a.name)
+        unguarded = []
+        for instr in func.instructions():
+            if instr.op not in (Opcode.STORE, Opcode.CBR):
+                continue
+            for reg in instr.uses():
+                if _is_shadow(reg.name):
+                    continue
+                if reg.name + ".sw1" in {s for s in shadows}:
+                    if reg.name not in checked:
+                        unguarded.append((func.name, instr.op.value, reg.name))
+        if unguarded:
+            fname, op, reg = unguarded[0]
+            violations.append(Violation(
+                "o3", f"@{fname}: {len(unguarded)} unguarded sync operand(s) "
+                      f"under {scheme}, e.g. %{reg} at a {op} is never "
+                      f"compared against its shadow"))
+    return violations
+
+
+def _protected_region(module: Module) -> Region:
+    return Region(funcs=set(module.functions))
+
+
+def check_fault_metamorphic(
+    module: Module,
+    protection: str,
+    samples: int = 12,
+    seed: int = 0,
+    prepared: Optional[Module] = None,
+    intrinsics: Optional[dict] = None,
+    stats: Optional[dict] = None,
+) -> List[Violation]:
+    """Inject *samples* shadow-stream bit flips into a protected copy.
+
+    Contract per scheme: ``swift`` runs end detected-or-golden;
+    ``swift-r``/``rskip`` runs are always exactly golden (the vote
+    absorbs the flip).  Any silent divergence is a violation.  *stats*,
+    if given, accumulates ``landed``/``detected`` counts so a caller can
+    assert checker liveness across many programs — per-program zero
+    detections is legitimate (a flip in a stale or already-validated
+    shadow is architecturally masked), an entire campaign without one
+    is not.
+    """
+    if protection not in PROTECTIONS:
+        raise ValueError(f"unknown protection {protection!r}")
+    violations: List[Violation] = []
+    if prepared is None:
+        prepared = module_copy(module)
+        intrinsics = PROTECTIONS[protection](prepared)
+    intrinsics = intrinsics or {}
+
+    violations.extend(check_protection_coverage(prepared, protection))
+
+    region = _protected_region(prepared)
+    try:
+        golden = execute_module(prepared, intrinsics)
+    except TrapError as exc:
+        violations.append(Violation(
+            "o3", f"fault-free {protection} run trapped: {exc}", (protection,)))
+        return violations
+    region_steps = golden.steps
+    max_steps = max(golden.steps * 8, 100_000)
+
+    rng = random.Random(stable_seed(seed, "difftest.o3", protection, prepared.name))
+    detections = 0
+    landed = 0
+    for trial in range(samples):
+        plan = FaultPlan(
+            step=rng.randrange(region_steps), kind="value",
+            bit=rng.randrange(64), pick=rng.random(),
+        )
+        memory = Memory()
+        interp = ShadowFlipInterpreter(
+            prepared, memory=memory, max_steps=max_steps,
+            fault_plan=plan, fault_region=region,
+        )
+        interp.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
+        interp.register_intrinsics(intrinsics)
+        try:
+            result = interp.run("main", [])
+        except FaultDetectedError:
+            detections += 1
+            if protection != "swift":
+                violations.append(Violation(
+                    "o3", f"{protection} aborted on a shadow flip it should "
+                          f"have voted away (trial {trial}, "
+                          f"%{interp.flipped}, bit {plan.bit})",
+                    (protection,)))
+            continue
+        except TrapError as exc:
+            violations.append(Violation(
+                "o3", f"shadow flip crashed the {protection} run "
+                      f"(trial {trial}, %{interp.flipped}): {exc}",
+                (protection,)))
+            continue
+        if interp.flipped is not None:
+            landed += 1
+        observed = ExecResult(result.value, {
+            name: memory.read_global(name, gvar.size)
+            for name, gvar in prepared.globals.items()
+        }, result.steps)
+        diff = _state_diff(golden, observed)
+        if diff is not None:
+            violations.append(Violation(
+                "o3", f"silent corruption under {protection} from a shadow "
+                      f"flip (trial {trial}, %{interp.flipped}, "
+                      f"bit {plan.bit}): {diff}",
+                (protection,)))
+    if stats is not None:
+        stats["landed"] = stats.get("landed", 0) + landed
+        stats["detected"] = stats.get("detected", 0) + detections
+    return violations

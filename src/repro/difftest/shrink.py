@@ -1,0 +1,289 @@
+"""Delta-debugging shrinker for failing difftest modules.
+
+Given a module and a predicate "this module still exhibits the failure",
+:func:`shrink_module` greedily removes structure — whole functions,
+globals, basic blocks, conditional branches (collapsed to one arm),
+contiguous instruction runs — re-checking the predicate after every
+candidate edit and keeping only edits that preserve the failure.  The
+loop runs to a fixpoint, so the result is 1-minimal with respect to the
+edit set: no single remaining function, global, block or instruction can
+be dropped without losing the failure.
+
+The predicate receives an independent copy, so it may freely transform
+or execute its argument; any exception it raises counts as "failure
+gone" (structurally broken candidates are rejected, not propagated).
+"""
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..ir.function import Function
+from ..ir.instructions import Instr, Opcode
+from ..ir.module import Module
+from ..ir.values import Reg
+
+Predicate = Callable[[Module], bool]
+
+
+def instruction_count(module: Module) -> int:
+    """Total static instruction count across all functions."""
+    return sum(func.size() for func in module.functions.values())
+
+
+def _copy_module(module: Module) -> Module:
+    """Structural deep copy preserving attrs and the register counters."""
+    out = Module(module.name)
+    for gvar in module.globals.values():
+        out.add_global(gvar.name, gvar.size, gvar.elem_ty,
+                       list(gvar.init) if gvar.init is not None else None)
+    for func in module.functions.values():
+        new = Function(func.name, list(func.params), func.ret_type)
+        new.attrs.update(func.attrs)
+        new._reg_counter = func._reg_counter
+        new._label_counter = func._label_counter
+        for label in func.block_order():
+            block = new.add_block(label)
+            for instr in func.blocks[label].instrs:
+                block.append(instr.copy())
+        out.add_function(new)
+    return out
+
+
+def _safe(predicate: Predicate):
+    def check(module: Module) -> bool:
+        try:
+            return bool(predicate(_copy_module(module)))
+        except Exception:
+            return False
+    return check
+
+
+def _drop_functions(module: Module, still_fails) -> bool:
+    changed = False
+    for name in list(module.functions):
+        if name == "main" or name not in module.functions:
+            continue
+        victim = module.functions.pop(name)
+        if still_fails(module):
+            changed = True
+        else:
+            module.functions[name] = victim
+    return changed
+
+
+def _drop_globals(module: Module, still_fails) -> bool:
+    changed = False
+    for name in list(module.globals):
+        victim = module.globals.pop(name)
+        if still_fails(module):
+            changed = True
+        else:
+            module.globals[name] = victim
+    return changed
+
+
+def _drop_blocks(module: Module, still_fails) -> bool:
+    """Remove blocks (never the entry); dangling branch targets make the
+    candidate invalid, so in practice this reaps blocks made unreachable
+    by :func:`_collapse_branches`."""
+    changed = False
+    for func in list(module.functions.values()):
+        for label in func.block_order()[1:]:
+            if label not in func.blocks:
+                continue
+            position = func.block_order().index(label)
+            victim = func.blocks[label]
+            func.remove_block(label)
+            if still_fails(module):
+                changed = True
+            else:
+                func.blocks[label] = victim
+                func._block_order.insert(position, label)
+    return changed
+
+
+def _reachable(func: Function) -> set:
+    seen: set = set()
+    work = [func.block_order()[0]]
+    while work:
+        label = work.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        for instr in func.blocks[label].instrs:
+            work.extend(t for t in instr.labels if t not in seen)
+    return seen
+
+
+def _try_terminator_edit(module: Module, fname: str, label: str,
+                         new_term: Instr, still_fails) -> bool:
+    """Candidate edit: swap one terminator, drop newly unreachable blocks
+    (as one atomic edit — dangling unreachable blocks fail verification),
+    keep the rewrite only if the failure survives."""
+    candidate = _copy_module(module)
+    cfunc = candidate.functions[fname]
+    cfunc.blocks[label].instrs[-1] = new_term
+    keep = _reachable(cfunc)
+    for dead in [l for l in cfunc.block_order() if l not in keep]:
+        cfunc.remove_block(dead)
+    if still_fails(candidate):
+        module.functions[fname] = cfunc
+        return True
+    return False
+
+
+def _collapse_branches(module: Module, still_fails) -> bool:
+    """Rewrite ``cbr c, a, b`` to an unconditional ``br`` to either arm."""
+    changed = False
+    for fname in list(module.functions):
+        for label in module.functions[fname].block_order():
+            func = module.functions[fname]
+            block = func.blocks.get(label)
+            if block is None or not block.instrs:
+                continue
+            term = block.instrs[-1]
+            if term.op is not Opcode.CBR:
+                continue
+            for target in term.labels:
+                if _try_terminator_edit(module, fname, label,
+                                        Instr(Opcode.BR, labels=(target,)),
+                                        still_fails):
+                    changed = True
+                    break
+    return changed
+
+
+def _retarget_forward(module: Module, still_fails) -> bool:
+    """Point unconditional branches at strictly later blocks.
+
+    This is what dismantles loops: retargeting the latch's back edge past
+    the header turns the loop into straight-line code that runs once,
+    after which :func:`_collapse_branches` and the instruction dropper
+    consume the skeleton.  Targets only ever move forward in block order,
+    so the stage terminates.
+    """
+    changed = False
+    for fname in list(module.functions):
+        for label in module.functions[fname].block_order():
+            func = module.functions[fname]
+            block = func.blocks.get(label)
+            if block is None or not block.instrs:
+                continue
+            term = block.instrs[-1]
+            if term.op is not Opcode.BR:
+                continue
+            order = func.block_order()
+            position = {l: k for k, l in enumerate(order)}
+            current = position.get(term.labels[0], -1)
+            for target in reversed(order[current + 1:]):
+                if _try_terminator_edit(module, fname, label,
+                                        Instr(Opcode.BR, labels=(target,)),
+                                        still_fails):
+                    changed = True
+                    break
+    return changed
+
+
+def _mov_simplify(module: Module, still_fails) -> bool:
+    """Replace a computation by a ``mov`` of one of its operands, so the
+    instruction dropper can then reap the operand's defining chain."""
+    changed = False
+    for func in module.functions.values():
+        for label in func.block_order():
+            instrs = func.blocks[label].instrs
+            for i, instr in enumerate(instrs):
+                if instr.dest is None or instr.op is Opcode.MOV:
+                    continue
+                for arg in instr.args:
+                    candidate = Instr(Opcode.MOV, dest=instr.dest, args=(arg,))
+                    instrs[i] = candidate
+                    if still_fails(module):
+                        changed = True
+                        break
+                    instrs[i] = instr
+    return changed
+
+
+def _drop_instructions(module: Module, still_fails) -> bool:
+    """ddmin-style: delete contiguous non-terminator runs, halving the
+    chunk size down to single instructions."""
+    changed = False
+    for func in module.functions.values():
+        for label in func.block_order():
+            instrs = func.blocks[label].instrs
+            chunk = max(1, len(instrs) // 2)
+            while chunk >= 1:
+                i = 0
+                while i < len(instrs):
+                    seg = instrs[i:i + chunk]
+                    if not seg or any(ins.is_terminator for ins in seg):
+                        i += 1
+                        continue
+                    del instrs[i:i + chunk]
+                    if still_fails(module):
+                        changed = True
+                    else:
+                        instrs[i:i] = seg
+                        i += chunk
+                chunk //= 2
+    return changed
+
+
+def _forward_movs(module: Module, still_fails) -> bool:
+    """Substitute ``%x = mov v`` into every use of ``%x`` and delete the
+    mov, collapsing the chains :func:`_mov_simplify` leaves behind."""
+    changed = False
+    for fname in list(module.functions):
+        func = module.functions[fname]
+        for label in func.block_order():
+            i = 0
+            while i < len(func.blocks[label].instrs):
+                instr = func.blocks[label].instrs[i]
+                if instr.op is not Opcode.MOV or instr.dest is None:
+                    i += 1
+                    continue
+                dest, src = instr.dest.name, instr.args[0]
+                candidate = _copy_module(module)
+                cfunc = candidate.functions[fname]
+                del cfunc.blocks[label].instrs[i]
+                for other in cfunc.instructions():
+                    other.args = tuple(
+                        src if isinstance(a, Reg) and a.name == dest else a
+                        for a in other.args
+                    )
+                if still_fails(candidate):
+                    module.functions[fname] = cfunc
+                    func = cfunc
+                    changed = True
+                else:
+                    i += 1
+    return changed
+
+
+_STAGES = (_drop_functions, _drop_globals, _collapse_branches,
+           _retarget_forward, _drop_blocks, _drop_instructions,
+           _mov_simplify, _forward_movs)
+
+
+def shrink_module(
+    module: Module,
+    predicate: Predicate,
+    max_rounds: int = 10,
+) -> Module:
+    """Minimize *module* while ``predicate`` keeps returning True.
+
+    The input module is not mutated.  Raises ``ValueError`` if the
+    predicate does not hold on the (copied) input — a shrink needs a
+    reproducible failure to start from.
+    """
+    still_fails = _safe(predicate)
+    current = _copy_module(module)
+    if not still_fails(current):
+        raise ValueError("predicate does not fail on the input module")
+    for _ in range(max_rounds):
+        round_changed = False
+        for stage in _STAGES:
+            round_changed |= stage(current, still_fails)
+        if not round_changed:
+            break
+    return current

@@ -152,6 +152,46 @@ def _save_checkpoint(path: str, params_key: str, chunks: Dict[str, dict]) -> Non
 
 
 # -- the engine -------------------------------------------------------------
+def map_chunks(
+    fn: Callable,
+    arg_tuples: Sequence[Tuple],
+    jobs: int = 1,
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> List:
+    """Run ``fn(*args)`` for every tuple, inline or over a process pool.
+
+    The deterministic backbone shared by the SFI engine and the difftest
+    runner: work units are independent, ``on_result(index, result)`` fires
+    as units finish (completion order under a pool — consumers must not
+    depend on it), and the returned list is always in submission order, so
+    downstream merges are byte-identical for any *jobs*.  With ``jobs > 1``
+    *fn* must be a picklable module-level function.
+    """
+    results: List = [None] * len(arg_tuples)
+    if jobs <= 1:
+        for index, args in enumerate(arg_tuples):
+            result = fn(*args)
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result)
+        return results
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(fn, *args): index
+            for index, args in enumerate(arg_tuples)
+        }
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index = futures[future]
+                result = future.result()
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+    return results
+
+
 def run_campaigns(
     groups: Sequence[Tuple[Workload, str, Optional[Dict[str, LoopProfile]]]],
     trials: int,
@@ -219,22 +259,12 @@ def run_campaigns(
             inp,
         )
 
-    if jobs <= 1:
-        for task in pending:
-            key, chunk_dict = _run_chunk(*task_args(task))
-            record(key, chunk_dict, task.count)
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(_run_chunk, *task_args(task)): task
-                for task in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    key, chunk_dict = future.result()
-                    record(key, chunk_dict, futures[future].count)
+    map_chunks(
+        _run_chunk,
+        [task_args(task) for task in pending],
+        jobs=jobs,
+        on_result=lambda i, result: record(result[0], result[1], pending[i].count),
+    )
 
     # assemble per-campaign results by merging chunks in trial order, so
     # the outcome of a parallel run never depends on completion order

@@ -12,11 +12,17 @@ from .values import Const, GlobalAddr, Reg, Value
 
 
 class ParseError(ValueError):
-    """Raised on malformed textual IR; carries the offending line number."""
+    """Raised on malformed textual IR; carries the offending line number
+    and, when available, the source line text itself."""
 
-    def __init__(self, message: str, lineno: int):
-        super().__init__(f"line {lineno}: {message}")
+    def __init__(self, message: str, lineno: int, line: str = ""):
+        detail = f"line {lineno}: {message}"
+        if line:
+            detail += f"\n    {line}"
+        super().__init__(detail)
+        self.message = message
         self.lineno = lineno
+        self.line = line
 
 
 _RE_GLOBAL = re.compile(
@@ -234,13 +240,13 @@ def parse_module(source: str) -> Module:
 
         if line == "}":
             if func is None:
-                raise ParseError("unmatched '}'", lineno)
+                raise ParseError("unmatched '}'", lineno, line)
             module.add_function(func)
             func, fparser, current_label = None, None, None
             continue
 
         if func is None or fparser is None:
-            raise ParseError(f"statement outside function: {line!r}", lineno)
+            raise ParseError(f"statement outside function: {line!r}", lineno, line)
 
         lmatch = _RE_LABEL.match(line)
         if lmatch is not None:
@@ -249,9 +255,18 @@ def parse_module(source: str) -> Module:
             continue
 
         if current_label is None:
-            raise ParseError("instruction before any block label", lineno)
-        func.blocks[current_label].append(fparser.parse_instr(line, lineno))
+            raise ParseError("instruction before any block label", lineno, line)
+        try:
+            func.blocks[current_label].append(fparser.parse_instr(line, lineno))
+        except ParseError as exc:
+            if exc.line:
+                raise
+            raise ParseError(exc.message, exc.lineno, line) from None
 
     if func is not None:
-        raise ParseError("unterminated function (missing '}')", len(lines))
+        raise ParseError(
+            "unterminated function (missing '}')",
+            len(lines),
+            lines[-1].strip() if lines else "",
+        )
     return module

@@ -1,0 +1,25 @@
+"""Deliberately broken transforms the oracle/shrinker tests inject."""
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.values import Reg
+
+
+def broken_cse(module):
+    """A CSE that wrongly merges identical loads across stores.
+
+    On any program with a same-block load/store/load sequence on one
+    address (the generator's rmw shape emits these on purpose), the
+    second load starts returning the pre-store value.
+    """
+    for func in module.functions.values():
+        for label in func.block_order():
+            block = func.blocks[label]
+            seen = {}
+            for idx, instr in enumerate(block.instrs):
+                if instr.op is Opcode.LOAD and isinstance(instr.args[0], Reg):
+                    key = instr.args[0].name
+                    if key in seen and instr.dest is not None:
+                        block.instrs[idx] = Instr(
+                            Opcode.MOV, dest=instr.dest, args=(seen[key],)
+                        )
+                    elif instr.dest is not None:
+                        seen[key] = instr.dest

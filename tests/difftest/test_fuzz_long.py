@@ -1,0 +1,23 @@
+"""The long fuzz loop — excluded from the default run like the campaign
+suites (select with ``-m "slow and difftest"``)."""
+import pytest
+
+from repro.difftest import render_report, run_difftest
+
+pytestmark = [pytest.mark.difftest, pytest.mark.slow]
+
+
+def test_two_hundred_programs_zero_violations():
+    report = run_difftest(seed=0, n=200, oracle="all", jobs=1)
+    assert report.violations == [], render_report(report)
+    # every shape appears and swift checkers demonstrably fire
+    shapes = {r.shape for r in report.records}
+    assert shapes == {"reduction", "elementwise", "rmw"}
+    detected, landed = report.swift_liveness
+    assert landed > 100
+    assert detected > 0
+
+
+def test_alternate_seed_stream_is_clean():
+    report = run_difftest(seed=1234, n=60, oracle="all", jobs=1)
+    assert report.violations == [], render_report(report)

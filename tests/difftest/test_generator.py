@@ -1,0 +1,64 @@
+"""Generator invariants: determinism, verification, boundedness."""
+import math
+
+import pytest
+
+from repro.difftest import SHAPES, generate, generate_module
+from repro.difftest.oracles import execute_module
+from repro.ir.printer import format_module
+from repro.ir.verifier import verify_module
+
+pytestmark = pytest.mark.difftest
+
+RANGE = 25
+
+
+def test_generation_is_deterministic():
+    for index in range(RANGE):
+        first = format_module(generate(7, index).module)
+        second = format_module(generate(7, index).module)
+        assert first == second
+
+
+def test_different_indices_differ():
+    texts = {format_module(generate(0, i).module) for i in range(RANGE)}
+    assert len(texts) == RANGE
+
+
+def test_generated_modules_verify():
+    for index in range(RANGE):
+        verify_module(generate(0, index).module)  # raises on failure
+
+
+def test_all_shapes_appear():
+    shapes = {generate(0, i).shape for i in range(RANGE)}
+    assert shapes == set(SHAPES)
+
+
+def test_unknown_shape_rejected():
+    import random
+
+    with pytest.raises(ValueError, match="unknown shape"):
+        generate_module(random.Random(0), "spaghetti")
+
+
+def test_outputs_are_finite():
+    """The boundedness invariant: no inf/NaN in any observable output."""
+    for index in range(RANGE):
+        program = generate(0, index)
+        result = execute_module(program.module)
+        assert math.isfinite(result.value), (index, result.value)
+        for name, cells in result.globals.items():
+            assert all(math.isfinite(c) for c in cells), (index, name)
+
+
+def test_programs_are_self_contained():
+    """main takes no arguments and inputs live in global initializers, so
+    the printed text alone replays the program."""
+    for index in range(10):
+        program = generate(0, index)
+        main = program.module.functions["main"]
+        assert main.params == []
+        inits = [g for g in program.module.globals.values()
+                 if g.name != "out" and g.init is not None]
+        assert inits, f"index {index} has no initialized input globals"

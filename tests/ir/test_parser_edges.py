@@ -1,0 +1,86 @@
+"""Parser edge cases the generator emits, and ParseError diagnostics."""
+import pytest
+
+from repro.ir.parser import ParseError, parse_module
+from repro.ir.printer import format_module
+from repro.ir.values import Const
+
+
+def _roundtrip(text: str):
+    module = parse_module(text)
+    assert format_module(parse_module(format_module(module))) == format_module(module)
+    return module
+
+
+def test_negative_float_constants():
+    module = _roundtrip(
+        "func @main() -> f64 {\nentry:\n  %x = mov -1.5:f64\n  ret %x\n}\n"
+    )
+    instr = next(module.functions["main"].instructions())
+    assert isinstance(instr.args[0], Const) and instr.args[0].value == -1.5
+
+
+def test_scientific_notation_constants():
+    module = _roundtrip(
+        "func @main() -> f64 {\nentry:\n  %x = mov 5e-05:f64\n"
+        "  %y = fadd %x, -2.5e3:f64\n  ret %y\n}\n"
+    )
+    instrs = list(module.functions["main"].instructions())
+    assert instrs[0].args[0].value == 5e-05
+    assert instrs[1].args[1].value == -2500.0
+
+
+def test_dotted_identifiers():
+    """Shadow registers (%acc.sw1), clone suffixes (@main.ck) and block
+    labels (outer.head.1) all carry dots."""
+    module = _roundtrip(
+        "func @main.ck() -> f64 {\n"
+        "entry.0:\n  %acc.sw1 = mov 0.5:f64\n  br exit.block.9\n"
+        "exit.block.9:\n  ret %acc.sw1\n}\n"
+    )
+    func = module.functions["main.ck"]
+    assert func.block_order() == ["entry.0", "exit.block.9"]
+    assert next(func.instructions()).dest.name == "acc.sw1"
+
+
+def test_empty_arg_calls():
+    module = _roundtrip(
+        "func @leaf() -> f64 {\nentry:\n  ret 1.0:f64\n}\n"
+        "func @main() -> f64 {\nentry:\n  %v = call @leaf() : f64\n  ret %v\n}\n"
+    )
+    call = next(module.functions["main"].instructions())
+    assert call.callee == "leaf" and call.args == ()
+
+
+def test_parse_error_carries_line_text():
+    bad = "func @main() -> f64 {\nentry:\n  %x = frobnicate 1.0:f64\n  ret %x\n}\n"
+    with pytest.raises(ParseError) as excinfo:
+        parse_module(bad)
+    err = excinfo.value
+    assert err.lineno == 3
+    assert err.line == "%x = frobnicate 1.0:f64"
+    assert err.message.startswith("unknown opcode")
+    assert "line 3:" in str(err)
+    assert "%x = frobnicate 1.0:f64" in str(err)
+
+
+def test_parse_error_line_text_on_undefined_register():
+    bad = "func @main() -> f64 {\nentry:\n  ret %ghost\n}\n"
+    with pytest.raises(ParseError) as excinfo:
+        parse_module(bad)
+    assert excinfo.value.line == "ret %ghost"
+    assert "undefined register" in excinfo.value.message
+
+
+def test_parse_error_on_unterminated_function():
+    with pytest.raises(ParseError) as excinfo:
+        parse_module("func @main() -> f64 {\nentry:\n  ret 0.0:f64\n")
+    assert "unterminated function" in excinfo.value.message
+    assert excinfo.value.line == "ret 0.0:f64"
+
+
+def test_parse_error_on_statement_outside_function():
+    with pytest.raises(ParseError) as excinfo:
+        parse_module("ret 0.0:f64\n")
+    assert excinfo.value.lineno == 1
+    assert excinfo.value.line == "ret 0.0:f64"
