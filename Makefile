@@ -1,0 +1,20 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test verify bench difftest
+
+## tier-1 unit/integration suite
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+## tier-1 suite + backend-equivalence smoke (O4 over 60 generated programs)
+verify: test
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --oracle o4 --n 60
+
+## regenerate every table & figure
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## full differential-testing sweep (all oracles)
+difftest:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --n 200

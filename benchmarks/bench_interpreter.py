@@ -1,0 +1,227 @@
+"""Execution-backend throughput: reference interpreter vs compiled.
+
+Measures architectural instructions per second on the three paper loop
+shapes (reduction, elementwise, read-modify-write) and one
+RSkip-protected workload, for both execution backends, and records the
+speedup ratio.  ``python benchmarks/bench_interpreter.py`` writes the
+numbers to ``BENCH_interpreter.json`` at the repository root; the pytest
+wrapper asserts the compiled backend clears its 3x contract on the
+plain loop shapes.
+
+Scale knob: ``REPRO_BENCH_INTERP_STEPS`` — approximate architectural
+steps per measured run (default 1,000,000).
+"""
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from repro.eval.schemes import prepare
+from repro.ir import F64, Function, I64, IRBuilder, Module, Reg, verify_module
+from repro.runtime import CompiledExecutor, Interpreter, Memory
+from repro.workloads import get_workload
+
+TARGET_STEPS = int(os.environ.get("REPRO_BENCH_INTERP_STEPS", "1000000"))
+
+#: The compiled backend's contract (ISSUE: perf acceptance threshold).
+REQUIRED_SPEEDUP = 3.0
+
+
+def _seed_memory(module: Module) -> Memory:
+    memory = Memory()
+    memory.load_globals(module)
+    for k, name in enumerate(module.globals):
+        base = memory.global_addr(name)
+        for i in range(module.globals[name].size):
+            memory.cells[base + i] = 1.5 + math.sin(0.13 * i + k)
+    return memory
+
+
+def build_reduction() -> Module:
+    """out[i] = dot(x, y): the nested-reduction loop shape."""
+    m = Module("bench_reduction")
+    m.add_global("x", 64)
+    m.add_global("y", 64)
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64), Reg("m", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    xp = b.mov(b.global_addr("x"), hint="xp")
+    yp = b.mov(b.global_addr("y"), hint="yp")
+    op = b.mov(b.global_addr("out"), hint="op")
+    n, inner_n = f.params
+    with b.loop(0, n, hint="outer") as i:
+        acc = b.mov(0.0, hint="acc")
+        with b.loop(0, inner_n, hint="inner") as j:
+            xv = b.load(b.padd(xp, b.and_(j, 63)))
+            yv = b.load(b.padd(yp, b.and_(j, 63)))
+            b.mov(b.fadd(acc, b.fmul(xv, yv)), dest=acc)
+        b.store(acc, b.padd(op, b.and_(i, 63)))
+    b.ret(0.0)
+    verify_module(m)
+    return m
+
+
+def build_elementwise() -> Module:
+    """out[i] = a[i] * w[i] + sin-ish smoothing: one flat hot loop."""
+    m = Module("bench_elementwise")
+    m.add_global("a", 64)
+    m.add_global("w", 64)
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    ap = b.mov(b.global_addr("a"), hint="ap")
+    wp = b.mov(b.global_addr("w"), hint="wp")
+    op = b.mov(b.global_addr("out"), hint="op")
+    with b.loop(0, f.params[0], hint="ew") as i:
+        k = b.and_(i, 63)
+        av = b.load(b.padd(ap, k))
+        wv = b.load(b.padd(wp, k))
+        v = b.fadd(b.fmul(av, wv), b.fmul(av, 0.25))
+        v = b.fsub(v, b.fmul(wv, 0.125))
+        b.store(v, b.padd(op, k))
+    b.ret(0.0)
+    verify_module(m)
+    return m
+
+
+def build_rmw() -> Module:
+    """out[i] -= a[k] * w[k] / (i+1): the read-modify-write loop shape."""
+    m = Module("bench_rmw")
+    m.add_global("a", 64)
+    m.add_global("w", 64)
+    m.add_global("out", 64)
+    f = Function("main", [Reg("n", I64), Reg("m", I64)], F64)
+    m.add_function(f)
+    b = IRBuilder(f)
+    ap = b.mov(b.global_addr("a"), hint="ap")
+    wp = b.mov(b.global_addr("w"), hint="wp")
+    op = b.mov(b.global_addr("out"), hint="op")
+    n, inner_n = f.params
+    with b.loop(0, n, hint="outer") as i:
+        addr = b.padd(op, b.and_(i, 63))
+        s = b.load(addr, hint="s")
+        fi = b.sitofp(b.add(i, 1))
+        with b.loop(0, inner_n, hint="inner") as k:
+            kk = b.and_(k, 63)
+            av = b.load(b.padd(ap, kk))
+            wv = b.load(b.padd(wp, kk))
+            b.mov(b.fsub(s, b.fdiv(b.fmul(av, wv), fi)), dest=s)
+        b.store(s, addr)
+    b.ret(0.0)
+    verify_module(m)
+    return m
+
+
+def _measure(make_engine, args, repeats=3):
+    """Best-of-N instrs/sec of one clean run (first run warms caches)."""
+    best = None
+    steps = 0
+    for _ in range(repeats + 1):
+        engine, run_args = make_engine(args)
+        t0 = time.perf_counter()
+        steps = engine.run("main", run_args).steps
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+        best = best if best > 0 else 1e-9
+    return steps, steps / best
+
+
+def _loop_workloads():
+    # inner trip counts sized so each run retires ~TARGET_STEPS instrs
+    outer = 40
+    rows = []
+    for name, build, args in (
+        ("reduction", build_reduction,
+         [outer, max(1, TARGET_STEPS // (outer * 13))]),
+        ("elementwise", build_elementwise, [max(1, TARGET_STEPS // 16)]),
+        ("rmw", build_rmw, [outer, max(1, TARGET_STEPS // (outer * 15))]),
+    ):
+        module = build()
+        rows.append((name, module, args))
+    return rows
+
+
+def measure_backends():
+    """instrs/sec per (workload, backend) plus the speedup ratios."""
+    results = {}
+    for name, module, args in _loop_workloads():
+        def engine_of(cls):
+            def make(run_args):
+                return cls(module, memory=_seed_memory(module)), run_args
+            return make
+
+        steps, ref_ips = _measure(engine_of(Interpreter), args)
+        _, comp_ips = _measure(engine_of(CompiledExecutor), args)
+        results[name] = {
+            "steps": steps,
+            "ref_instrs_per_sec": round(ref_ips),
+            "compiled_instrs_per_sec": round(comp_ips),
+            "speedup": round(comp_ips / ref_ips, 2),
+        }
+
+    # one protected workload: the RSkip runtime intrinsics ride along
+    workload = get_workload("blackscholes")
+    prepared = prepare(workload, "AR50")
+    inp = workload.test_inputs(1, seed=11, scale=0.6)[0]
+
+    def protected_engine(cls):
+        def make(run_args):
+            if prepared.runtime is not None:
+                prepared.runtime.reset()
+            memory = workload.fresh_memory(prepared.module, inp)
+            engine = cls(prepared.module, memory=memory)
+            engine.register_intrinsics(prepared.intrinsics)
+            return engine, inp.args
+        return make
+
+    steps, ref_ips = _measure(protected_engine(Interpreter), None)
+    _, comp_ips = _measure(protected_engine(CompiledExecutor), None)
+    results["rskip_blackscholes_ar50"] = {
+        "steps": steps,
+        "ref_instrs_per_sec": round(ref_ips),
+        "compiled_instrs_per_sec": round(comp_ips),
+        "speedup": round(comp_ips / ref_ips, 2),
+    }
+    return results
+
+
+def write_baseline(path="BENCH_interpreter.json"):
+    results = measure_backends()
+    shapes = ("reduction", "elementwise", "rmw")
+    geomean = math.exp(
+        sum(math.log(results[s]["speedup"]) for s in shapes) / len(shapes))
+    payload = {
+        "benchmark": "interpreter backend throughput",
+        "unit": "architectural instructions per second (clean run)",
+        "target_steps_per_run": TARGET_STEPS,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "loop_shape_geomean_speedup": round(geomean, 2),
+        "workloads": results,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_compiled_backend_speedup():
+    results = measure_backends()
+    shapes = ("reduction", "elementwise", "rmw")
+    geomean = math.exp(
+        sum(math.log(results[s]["speedup"]) for s in shapes) / len(shapes))
+    print("\n== interpreter backend throughput ==")
+    for name, row in results.items():
+        print(f"  {name}: ref {row['ref_instrs_per_sec']:,}/s  compiled "
+              f"{row['compiled_instrs_per_sec']:,}/s  "
+              f"({row['speedup']:.2f}x)")
+    print(f"  loop-shape geomean speedup: {geomean:.2f}x")
+    assert geomean >= REQUIRED_SPEEDUP
+
+
+if __name__ == "__main__":
+    payload = write_baseline()
+    print(json.dumps(payload, indent=2))

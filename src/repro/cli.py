@@ -14,10 +14,15 @@
     python -m repro difftest [--seed 0] [--n 200] [--oracle all] [--shrink]
                              [--jobs 4]
     python -m repro all
+
+The global ``--backend {ref,compiled}`` flag selects the execution
+backend for clean runs (default ``compiled``); instrumented runs always
+use the reference interpreter.
 """
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -269,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for fault-injection campaigns "
                              "(default 1 = serial; results are identical for "
                              "any value)")
+    parser.add_argument("--backend", choices=("ref", "compiled"),
+                        default=None,
+                        help="execution backend for clean (uninstrumented) "
+                             "runs: 'compiled' (default) is the closure-"
+                             "compiled fast backend, 'ref' forces the "
+                             "reference interpreter everywhere; instrumented "
+                             "runs always use the reference interpreter")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1").set_defaults(fn=cmd_table1)
@@ -307,10 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
     pdt.add_argument("--seed", type=int, default=0)
     pdt.add_argument("--n", type=int, default=100,
                      help="programs to generate and check (default 100)")
-    pdt.add_argument("--oracle", choices=("all", "o1", "o2", "o3"),
+    pdt.add_argument("--oracle", choices=("all", "o1", "o2", "o3", "o4"),
                      default="all",
                      help="o1=pipeline equivalence, o2=print/parse fixpoint, "
-                          "o3=fault metamorphic property (default all)")
+                          "o3=fault metamorphic property, o4=backend "
+                          "equivalence (default all)")
     pdt.add_argument("--jobs", type=int, default=1,
                      help="worker processes; the report is byte-identical "
                           "for any value (default 1)")
@@ -337,6 +350,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        from .runtime import set_default_backend
+
+        set_default_backend(args.backend)
+        # campaign pool workers are fresh processes; they pick the
+        # backend up from the environment
+        os.environ["REPRO_BACKEND"] = args.backend
     args.fn(args)
     return 0
 

@@ -13,6 +13,7 @@ from .oracles import (
     CLEANUP_PASSES,
     PROTECTIONS,
     Violation,
+    check_backend_equivalence,
     check_fault_metamorphic,
     check_pipeline,
     check_roundtrip,
@@ -25,6 +26,7 @@ from .shrink import instruction_count, shrink_module
 __all__ = [
     "SHAPES", "GeneratedProgram", "generate", "generate_module",
     "CLEANUP_PASSES", "PROTECTIONS", "Violation",
+    "check_backend_equivalence",
     "check_fault_metamorphic", "check_pipeline", "check_roundtrip",
     "execute_module", "module_copy",
     "DifftestReport", "render_report", "run_difftest",

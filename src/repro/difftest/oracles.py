@@ -1,6 +1,6 @@
 """Differential oracles over generated IR programs.
 
-Three machine-checked properties:
+Four machine-checked properties:
 
 * **O1 — pipeline equivalence** (:func:`check_pipeline`): any pipeline of
   cleanup passes ({dce, cse, licm, simplify, clone}) optionally followed
@@ -12,6 +12,15 @@ Three machine-checked properties:
 * **O2 — print/parse fixpoint** (:func:`check_roundtrip`): printing a
   module, parsing it back and printing again must reproduce the first
   text exactly, and the reparsed module must verify.
+
+* **O4 — backend equivalence** (:func:`check_backend_equivalence`): the
+  reference interpreter and the closure-compiled backend must agree on
+  the full observable state of a clean run — return value (NaN-aware),
+  architectural step count, per-opcode counts, and every global's final
+  cells — and on trapping runs must raise the same exception type with
+  the same message.  Checked on the plain program and again after a
+  protection transform (fresh copies per backend, so runtime-stateful
+  intrinsics like the RSkip predictor stay independent).
 
 * **O3 — fault metamorphic property** (:func:`check_fault_metamorphic`):
   a single bit flip injected into the *redundant* (shadow) stream of a
@@ -41,6 +50,7 @@ from ..ir.parser import ParseError, parse_module
 from ..ir.printer import format_module
 from ..ir.values import Reg
 from ..ir.verifier import VerificationError, verify_module
+from ..runtime.backend import make_executor
 from ..runtime.errors import FaultDetectedError, TrapError
 from ..runtime.faults import FaultPlan, Region, flip_value
 from ..runtime.interpreter import Interpreter
@@ -64,7 +74,7 @@ _SHADOW_SUFFIXES = (".sw1", ".sw2")
 class Violation:
     """One oracle failure, serializable for cross-process reporting."""
 
-    oracle: str  # "o1" | "o2" | "o3"
+    oracle: str  # "o1" | "o2" | "o3" | "o4"
     detail: str
     pipeline: Tuple[str, ...] = ()
 
@@ -100,14 +110,20 @@ def execute_module(
     intrinsics: Optional[dict] = None,
     max_steps: int = DEFAULT_MAX_STEPS,
     entry: str = "main",
+    backend: Optional[str] = None,
 ) -> ExecResult:
-    """Run *entry* fault-free and capture the full observable state."""
+    """Run *entry* fault-free and capture the full observable state.
+
+    Clean runs dispatch through :func:`repro.runtime.make_executor`, so
+    the process-wide default backend applies unless *backend* pins one.
+    """
     memory = Memory()
-    interp = Interpreter(module, memory=memory, max_steps=max_steps)
-    interp.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
+    executor = make_executor(
+        module, memory=memory, max_steps=max_steps, backend=backend)
+    executor.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
     if intrinsics:
-        interp.register_intrinsics(intrinsics)
-    result = interp.run(entry, [])
+        executor.register_intrinsics(intrinsics)
+    result = executor.run(entry, [])
     final = {
         name: memory.read_global(name, gvar.size)
         for name, gvar in module.globals.items()
@@ -261,6 +277,109 @@ def check_roundtrip(module: Module, context: str = "") -> List[Violation]:
                           f"{line1!r} became {line2!r}")]
         return [Violation("o2", f"print/parse changed line count{suffix}")]
     return []
+
+
+# -- O4: backend equivalence --------------------------------------------------
+def _observe_backend(
+    module: Module,
+    protection: Optional[str],
+    backend: str,
+    max_steps: int,
+) -> tuple:
+    """One clean run on *backend*, reduced to a comparable tuple.
+
+    Each call works on a fresh copy and (when *protection* is set)
+    re-applies the transform, so backends never share module objects or
+    intrinsic runtime state (the RSkip predictor is stateful across
+    invocations of one intrinsics table).
+    """
+    work = module_copy(module)
+    intrinsics = PROTECTIONS[protection](work) if protection else {}
+    memory = Memory()
+    executor = make_executor(
+        work, memory=memory, max_steps=max_steps, backend=backend)
+    executor.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
+    if intrinsics:
+        executor.register_intrinsics(intrinsics)
+    try:
+        result = executor.run("main", [])
+    except TrapError as exc:
+        return ("trap", type(exc).__name__, str(exc))
+    finals = {
+        name: memory.read_global(name, gvar.size)
+        for name, gvar in work.globals.items()
+    }
+    return ("ok", result.value, result.steps, dict(result.counts), finals)
+
+
+def check_backend_equivalence(
+    module: Module,
+    protection: Optional[str] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> List[Violation]:
+    """O4: the compiled backend must be observationally identical to the
+    reference interpreter on clean runs.
+
+    Compares the plain program and, when *protection* is given, the
+    protected program too: identical return value (NaN-aware), step
+    count, per-opcode counts and final global memory on success;
+    identical exception type and message on a trap.
+    """
+    violations: List[Violation] = []
+    for prot in [None] + ([protection] if protection else []):
+        pipe = (prot,) if prot else ()
+        label = prot or "plain"
+        ref = _observe_backend(module, prot, "ref", max_steps)
+        comp = _observe_backend(module, prot, "compiled", max_steps)
+        if ref[0] != comp[0]:
+
+            def _show(obs):
+                return (f"{obs[1]}: {obs[2]}" if obs[0] == "trap"
+                        else f"value {obs[1]!r}")
+
+            violations.append(Violation(
+                "o4", f"[{label}] ref run {ref[0]} ({_show(ref)}) but "
+                      f"compiled run {comp[0]} ({_show(comp)})", pipe))
+            continue
+        if ref[0] == "trap":
+            if ref[1:] != comp[1:]:
+                violations.append(Violation(
+                    "o4", f"[{label}] trap mismatch: ref raised "
+                          f"{ref[1]}({ref[2]!r}) but compiled raised "
+                          f"{comp[1]}({comp[2]!r})", pipe))
+            continue
+        _, r_value, r_steps, r_counts, r_globals = ref
+        _, c_value, c_steps, c_counts, c_globals = comp
+        if not _values_equal(r_value, c_value):
+            violations.append(Violation(
+                "o4", f"[{label}] return value {r_value!r} != {c_value!r}",
+                pipe))
+        if r_steps != c_steps:
+            violations.append(Violation(
+                "o4", f"[{label}] step count {r_steps} != {c_steps}", pipe))
+        if r_counts != c_counts:
+            diffs = sorted(
+                f"{op.value}: {r_counts.get(op, 0)} != {c_counts.get(op, 0)}"
+                for op in set(r_counts) | set(c_counts)
+                if r_counts.get(op, 0) != c_counts.get(op, 0)
+            )
+            violations.append(Violation(
+                "o4", f"[{label}] opcode counts diverged: "
+                      + "; ".join(diffs[:4]), pipe))
+        for name in r_globals:
+            if not outputs_equal(r_globals[name], c_globals.get(name, [])):
+                for idx, (g, o) in enumerate(
+                        zip(r_globals[name], c_globals.get(name, []))):
+                    if not _values_equal(g, o):
+                        violations.append(Violation(
+                            "o4", f"[{label}] @{name}[{idx}]: "
+                                  f"{g!r} != {o!r}", pipe))
+                        break
+                else:
+                    violations.append(Violation(
+                        "o4", f"[{label}] @{name}: contents diverged", pipe))
+                break
+    return violations
 
 
 # -- O3: fault metamorphic property ------------------------------------------

@@ -21,6 +21,7 @@ from .oracles import (
     CLEANUP_PASSES,
     PROTECTIONS,
     Violation,
+    check_backend_equivalence,
     check_fault_metamorphic,
     check_pipeline,
     check_roundtrip,
@@ -33,7 +34,7 @@ DEFAULT_CHUNK = 20
 #: Shadow-flip trials per O3 check.
 DEFAULT_FAULT_SAMPLES = 12
 
-ORACLES = ("all", "o1", "o2", "o3")
+ORACLES = ("all", "o1", "o2", "o3", "o4")
 
 _CLEANUP_NAMES = tuple(sorted(CLEANUP_PASSES))
 _PROTECTION_NAMES = tuple(sorted(PROTECTIONS))
@@ -139,6 +140,8 @@ def check_index(
         ))
         record.o3_landed = stats.get("landed", 0)
         record.o3_detected = stats.get("detected", 0)
+    if oracle in ("all", "o4"):
+        record.violations.extend(check_backend_equivalence(module, protection))
     return record
 
 
@@ -170,6 +173,8 @@ def failure_predicate(record: IndexRecord, seed: int, fault_samples: int):
                 module, record.protection, samples=fault_samples,
                 seed=stable_seed(seed, "difftest.faults", record.index),
             ))
+        if "o4" in failing:
+            found.extend(check_backend_equivalence(module, record.protection))
         return {v.oracle for v in found} >= failing
 
     return predicate

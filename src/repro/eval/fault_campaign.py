@@ -24,8 +24,8 @@ from ..runtime.errors import (
     SegfaultError,
     TrapError,
 )
+from ..runtime.backend import make_executor
 from ..runtime.faults import FaultPlan, Region, random_plan
-from ..runtime.interpreter import Interpreter
 from ..runtime.outcomes import Outcome, classify_output, outputs_equal
 from ..workloads.base import Workload, WorkloadInput, stable_seed
 from .schemes import PreparedProgram, fault_region, prepare
@@ -140,18 +140,20 @@ def _run_once(
     """One execution; returns (trap, output, loop_output, region_steps,
     detected)."""
     memory = workload.fresh_memory(prepared.module, inp)
-    interp = Interpreter(
+    # faulted trials (plan set) run on the reference interpreter; the
+    # golden and counting passes (plan None) take the compiled backend
+    executor = make_executor(
         prepared.module,
         memory=memory,
         max_steps=max_steps,
         fault_plan=plan,
         fault_region=region,
     )
-    interp.register_intrinsics(prepared.intrinsics)
+    executor.register_intrinsics(prepared.intrinsics)
     trap: Optional[str] = None
     detected = False
     try:
-        interp.run(prepared.main, inp.args)
+        executor.run(prepared.main, inp.args)
     except FaultDetectedError:
         detected = True
     except SegfaultError:
@@ -168,7 +170,7 @@ def _run_once(
     if trap is None:
         output = memory.read_global(*inp.output)
         loop_output = memory.read_global(*inp.loop_output)
-    return trap, output, loop_output, interp.region_steps, detected
+    return trap, output, loop_output, executor.region_steps, detected
 
 
 @dataclass
@@ -324,10 +326,10 @@ def _fault_free_steps(
     prepared: PreparedProgram, workload: Workload, inp: WorkloadInput
 ) -> int:
     memory = workload.fresh_memory(prepared.module, inp)
-    interp = Interpreter(prepared.module, memory=memory)
-    interp.register_intrinsics(prepared.intrinsics)
-    interp.run(prepared.main, inp.args)
-    return interp.steps
+    executor = make_executor(prepared.module, memory=memory)
+    executor.register_intrinsics(prepared.intrinsics)
+    executor.run(prepared.main, inp.args)
+    return executor.steps
 
 
 def figure9(

@@ -8,7 +8,8 @@ from ..core.config import PAPER_ACCEPTABLE_RANGES, RSkipConfig
 from ..core.manager import LoopProfile, SkipStats
 from ..core.training import collect_traces, enable_recording, train_profiles
 from ..ir.verifier import verify_module
-from ..runtime.interpreter import Interpreter, RunResult
+from ..runtime.backend import make_executor
+from ..runtime.interpreter import RunResult
 from ..runtime.outcomes import outputs_equal
 from ..runtime.scheduler import TimingModel
 from ..workloads.base import Workload, WorkloadInput
@@ -125,10 +126,13 @@ class Harness:
         module = prepared.module
         memory = self.workload.fresh_memory(module, inp)
         use_timing = self.timing if timing is None else timing
+        # timed runs need the reference interpreter's cycle model; untimed
+        # measurement runs go through the backend dispatch (compiled by
+        # default) — make_executor routes accordingly
         tm = TimingModel() if use_timing else None
-        interp = Interpreter(module, memory=memory, timing=tm)
-        interp.register_intrinsics(prepared.intrinsics)
-        result = interp.run(prepared.main, inp.args)
+        executor = make_executor(module, memory=memory, timing=tm)
+        executor.register_intrinsics(prepared.intrinsics)
+        result = executor.run(prepared.main, inp.args)
         output = memory.read_global(*inp.output)
         return result, output
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..core.training import slope_changes_of
-from ..runtime.interpreter import Interpreter
+from ..runtime.backend import make_executor
 from ..workloads.base import Workload
 from .harness import Harness
 from .schemes import fault_region, prepare
@@ -82,9 +82,9 @@ def loop_instruction_share(workload: Workload, scale: float, seed: int = 3) -> f
     region = fault_region(prepared)
     inp = workload.test_inputs(1, seed=seed, scale=scale)[0]
     memory = workload.fresh_memory(prepared.module, inp)
-    interp = Interpreter(prepared.module, memory=memory, fault_region=region)
-    interp.run(prepared.main, inp.args)
-    return interp.region_steps / interp.steps if interp.steps else 0.0
+    executor = make_executor(prepared.module, memory=memory, fault_region=region)
+    executor.run(prepared.main, inp.args)
+    return executor.region_steps / executor.steps if executor.steps else 0.0
 
 
 def figure2(

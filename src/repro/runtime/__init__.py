@@ -28,8 +28,22 @@ from .interpreter import (
     IntrinsicFn,
     MAX_CALL_DEPTH,
     OPCODES,
+    OPERAND_ARITY,
     RunResult,
     run_program,
+)
+from .compiler import (
+    CompiledExecutor,
+    CompiledModule,
+    clear_compile_cache,
+    compile_module,
+    module_fingerprint,
+)
+from .backend import (
+    BACKENDS,
+    default_backend,
+    make_executor,
+    set_default_backend,
 )
 
 __all__ = [
@@ -42,5 +56,8 @@ __all__ = [
     "DEFAULT_KIND_WEIGHTS", "FaultPlan", "Region",
     "flip_float", "flip_int", "flip_value", "random_plan",
     "DEFAULT_MAX_STEPS", "Interpreter", "IntrinsicFn", "MAX_CALL_DEPTH",
-    "OPCODES", "RunResult", "run_program",
+    "OPCODES", "OPERAND_ARITY", "RunResult", "run_program",
+    "CompiledExecutor", "CompiledModule", "clear_compile_cache",
+    "compile_module", "module_fingerprint",
+    "BACKENDS", "default_backend", "make_executor", "set_default_backend",
 ]

@@ -1,0 +1,84 @@
+"""Execution-backend dispatch.
+
+Two backends execute IR:
+
+* ``ref`` — the reference :class:`~repro.runtime.interpreter.Interpreter`:
+  tree-walking, instrumented (timing model, SEU fault injection,
+  profiling).  The semantics oracle.
+* ``compiled`` — the closure-compiling backend of
+  :mod:`repro.runtime.compiler`: clean mode only, observationally
+  identical and several times faster.
+
+:func:`make_executor` picks the backend: any *instrumented* request
+(a fault plan, a timing model, or a profile) always routes to the
+reference interpreter — the SEU model and cycle model stay bit-exact —
+while clean runs (golden runs, QoS training sweeps, difftest oracle
+re-execution, the unfaulted side of campaign trials) use the compiled
+backend unless the default says otherwise.
+
+The default backend is, in order: the value set via
+:func:`set_default_backend` (the CLI's ``--backend`` flag), the
+``REPRO_BACKEND`` environment variable (inherited by campaign pool
+workers), else ``compiled``.
+"""
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ..ir.module import Module
+from .compiler import CompiledExecutor
+from .interpreter import DEFAULT_MAX_STEPS, Interpreter
+from .memory import Memory
+
+BACKENDS = ("ref", "compiled")
+
+_default: Optional[str] = None
+
+
+def default_backend() -> str:
+    """The backend clean runs use when none is requested explicitly."""
+    if _default is not None:
+        return _default
+    env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    return env if env in BACKENDS else "compiled"
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend."""
+    global _default
+    if name is not None and name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")
+    _default = name
+
+
+def make_executor(
+    module: Module,
+    memory: Optional[Memory] = None,
+    timing=None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    fault_plan=None,
+    fault_region=None,
+    profile=None,
+    backend: Optional[str] = None,
+):
+    """An execution context for *module* on the right backend.
+
+    Instrumented runs (any of *fault_plan*, *timing*, *profile* set) are
+    always served by the reference interpreter; clean runs go to the
+    compiled backend unless ``backend="ref"`` (or the process default)
+    forces the reference.
+    """
+    if backend is None:
+        backend = default_backend()
+    elif backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if (fault_plan is not None or timing is not None or profile is not None
+            or backend == "ref"):
+        return Interpreter(
+            module, memory=memory, timing=timing, max_steps=max_steps,
+            fault_plan=fault_plan, fault_region=fault_region, profile=profile,
+        )
+    return CompiledExecutor(
+        module, memory=memory, max_steps=max_steps, fault_region=fault_region,
+    )

@@ -84,6 +84,27 @@ _PRED = {
 _HUGE_INT = 1 << 128
 _INT_MASK64 = (1 << 64) - 1
 
+#: Operand-count contract per opcode index, enforced at decode time.
+#: ``None`` means variadic (CALL/INTRIN take any number of arguments);
+#: a tuple lists the accepted counts (RET may be void).
+OPERAND_ARITY: List[Optional[Tuple[int, ...]]] = [None] * len(OPCODES)
+for _op, _n in {
+    Opcode.MOV: 1,
+    Opcode.ADD: 2, Opcode.SUB: 2, Opcode.MUL: 2,
+    Opcode.SDIV: 2, Opcode.SREM: 2,
+    Opcode.AND: 2, Opcode.OR: 2, Opcode.XOR: 2,
+    Opcode.SHL: 2, Opcode.LSHR: 2,
+    Opcode.FADD: 2, Opcode.FSUB: 2, Opcode.FMUL: 2, Opcode.FDIV: 2,
+    Opcode.FNEG: 1, Opcode.FABS: 1, Opcode.SQRT: 1, Opcode.EXP: 1,
+    Opcode.LOG: 1, Opcode.SIN: 1, Opcode.COS: 1, Opcode.FLOOR: 1,
+    Opcode.SITOFP: 1, Opcode.FPTOSI: 1,
+    Opcode.ICMP: 2, Opcode.FCMP: 2, Opcode.SELECT: 3,
+    Opcode.LOAD: 1, Opcode.STORE: 2, Opcode.ALLOC: 1,
+    Opcode.BR: 0, Opcode.CBR: 1,
+}.items():
+    OPERAND_ARITY[_CODE[_op]] = (_n,)
+OPERAND_ARITY[_CODE[Opcode.RET]] = (0, 1)
+
 DEFAULT_MAX_STEPS = 200_000_000
 MAX_CALL_DEPTH = 64
 #: Physical register file modelled by the SEU injector: flips landing on
@@ -205,6 +226,12 @@ class Interpreter:
                         assert isinstance(a, Const)
                         ops.append((False, a.value))
                 code = _CODE[instr.op]
+                want = OPERAND_ARITY[code]
+                if want is not None and len(ops) not in want:
+                    raise CoreDumpError(
+                        f"@{func.name}:{label}: {instr.op.value} expects "
+                        f"{' or '.join(map(str, want))} operand(s), got {len(ops)}"
+                    )
                 dest = instr.dest.name if instr.dest is not None else None
                 if instr.op is Opcode.BR:
                     extra = instr.labels[0]
@@ -306,223 +333,252 @@ class Interpreter:
         label = entry
         block_counts = self.block_counts
         fname = func.name
+        fault_plan = self.fault_plan
+        # steps/region_steps live in locals for the hot loop; the finally
+        # below writes them back on every exit (return, trap, hang) and
+        # nested calls sync through self, so callers — including fault
+        # campaigns inspecting a trapped run — always observe exact totals
+        steps = self.steps
+        region_steps = self.region_steps
 
-        while True:
-            if block_counts is not None:
-                key = (fname, label)
-                block_counts[key] = block_counts.get(key, 0) + 1
-            for code, dest, ops, extra, in_region in blocks[label]:
-                self.steps += 1
-                if self.steps > max_steps:
-                    raise HangError(self.steps)
-                counts[code] += 1
-                if in_region:
-                    self.region_steps += 1
-                    if self._fault_pending and self.region_steps - 1 == self.fault_plan.step:
-                        self._inject(regs)
+        try:
+            while True:
+                if block_counts is not None:
+                    key = (fname, label)
+                    block_counts[key] = block_counts.get(key, 0) + 1
+                for code, dest, ops, extra, in_region in blocks[label]:
+                    steps += 1
+                    if steps > max_steps:
+                        raise HangError(steps)
+                    counts[code] += 1
+                    if in_region:
+                        region_steps += 1
+                        if self._fault_pending and region_steps - 1 == fault_plan.step:
+                            self._inject(regs)
 
-                # ---- operand fetch ------------------------------------------
-                n = len(ops)
-                if n > 0:
-                    k, v = ops[0]
-                    a = regs[v] if k else v
-                    if n > 1:
-                        k, v = ops[1]
-                        b = regs[v] if k else v
+                    # ---- operand fetch --------------------------------------
+                    n = len(ops)
+                    if n > 0:
+                        k, v = ops[0]
+                        a = regs[v] if k else v
+                        if n > 1:
+                            k, v = ops[1]
+                            b = regs[v] if k else v
 
-                # ---- dispatch -----------------------------------------------
-                if code == _LOAD:
-                    if self._corrupt_next_mem is not None:
-                        a = self._corrupt_addr(a)
-                    val = memory.load(a)
-                    regs[dest] = val
-                    if tm:
-                        times[dest] = tm.load(a, times.get(ops[0][1], 0) if ops[0][0] else 0)
-                    continue
-                if code == _FMUL:
-                    regs[dest] = a * b
-                elif code == _FADD:
-                    regs[dest] = a + b
-                elif code == _FSUB:
-                    regs[dest] = a - b
-                elif code == _ADD:
-                    regs[dest] = a + b
-                elif code == _MOV:
-                    regs[dest] = a
-                elif code == _MUL:
-                    r = a * b
-                    if isinstance(r, int) and (r > _HUGE_INT or r < -_HUGE_INT):
-                        r &= _INT_MASK64
-                    regs[dest] = r
-                elif code == _SUB:
-                    regs[dest] = a - b
-                elif code == _ICMP or code == _FCMP:
-                    if extra == 2:
-                        r = a < b
-                    elif extra == 0:
-                        r = a == b
-                    elif extra == 4:
-                        r = a > b
-                    elif extra == 3:
-                        r = a <= b
-                    elif extra == 5:
-                        r = a >= b
-                    else:
-                        r = a != b
-                    regs[dest] = 1 if r else 0
-                elif code == _CBR:
-                    taken = a != 0 and a == a  # NaN condition falls through
-                    if self._invert_next_cbr:
-                        taken = not taken
-                        self._invert_next_cbr = False
-                    if tm:
-                        tm.branch(extra[0], taken, times.get(ops[0][1], 0) if ops[0][0] else 0)
-                    label = extra[1] if taken else extra[2]
-                    break
-                elif code == _BR:
-                    if tm:
-                        tm.op(Opcode.BR, 0)
-                    label = extra
-                    break
-                elif code == _STORE:
-                    if self._corrupt_next_mem is not None:
-                        b = self._corrupt_addr(b)
-                    memory.store(b, a)
-                    if tm:
-                        ready = 0
-                        if ops[0][0]:
-                            ready = times.get(ops[0][1], 0)
-                        if ops[1][0]:
-                            t2 = times.get(ops[1][1], 0)
-                            if t2 > ready:
-                                ready = t2
-                        tm.store(b, ready)
-                    continue
-                elif code == _RET:
-                    if tm:
-                        tm.op(Opcode.RET, 0)
-                    if n:
-                        rt = 0
-                        if tm and ops[0][0]:
-                            rt = times.get(ops[0][1], 0)
-                        return a, rt
-                    return None, 0
-                elif code == _CALL:
-                    callee = self.module.functions.get(extra)
-                    if callee is None:
-                        raise CoreDumpError(f"call to unknown function @{extra}")
-                    vals, vts = [], []
-                    for k, v in ops:
-                        vals.append(regs[v] if k else v)
-                        vts.append(times.get(v, 0) if (tm and k) else 0)
-                    if tm:
-                        tm.op(Opcode.CALL, max(vts) if vts else 0)
-                    rv, rt = self._run_function(callee, vals, vts, depth + 1)
-                    if dest is not None:
-                        regs[dest] = rv
+                    # ---- dispatch -------------------------------------------
+                    if code == _LOAD:
+                        if self._corrupt_next_mem is not None:
+                            a = self._corrupt_addr(a)
+                        val = memory.load(a)
+                        regs[dest] = val
                         if tm:
-                            times[dest] = rt
-                    continue
-                elif code == _INTRIN:
-                    fn = self.intrinsics.get(extra)
-                    if fn is None:
-                        raise CoreDumpError(f"unknown intrinsic {extra!r}")
-                    vals = tuple(regs[v] if k else v for k, v in ops)
-                    rv, charge = fn(self, vals)
-                    for op in charge:
-                        counts[_CODE[op]] += 1
-                    self.steps += len(charge)
-                    if tm:
+                            times[dest] = tm.load(a, times.get(ops[0][1], 0) if ops[0][0] else 0)
+                        continue
+                    if code == _FMUL:
+                        regs[dest] = a * b
+                    elif code == _FADD:
+                        regs[dest] = a + b
+                    elif code == _FSUB:
+                        regs[dest] = a - b
+                    elif code == _ADD:
+                        regs[dest] = a + b
+                    elif code == _MOV:
+                        regs[dest] = a
+                    elif code == _MUL:
+                        r = a * b
+                        if isinstance(r, int) and (r > _HUGE_INT or r < -_HUGE_INT):
+                            r &= _INT_MASK64
+                        regs[dest] = r
+                    elif code == _SUB:
+                        regs[dest] = a - b
+                    elif code == _ICMP or code == _FCMP:
+                        if extra == 2:
+                            r = a < b
+                        elif extra == 0:
+                            r = a == b
+                        elif extra == 4:
+                            r = a > b
+                        elif extra == 3:
+                            r = a <= b
+                        elif extra == 5:
+                            r = a >= b
+                        else:
+                            r = a != b
+                        regs[dest] = 1 if r else 0
+                    elif code == _CBR:
+                        taken = a != 0 and a == a  # NaN condition falls through
+                        if self._invert_next_cbr:
+                            taken = not taken
+                            self._invert_next_cbr = False
+                        if tm:
+                            tm.branch(extra[0], taken, times.get(ops[0][1], 0) if ops[0][0] else 0)
+                        label = extra[1] if taken else extra[2]
+                        break
+                    elif code == _BR:
+                        if tm:
+                            tm.op(Opcode.BR, 0)
+                        label = extra
+                        break
+                    elif code == _STORE:
+                        if self._corrupt_next_mem is not None:
+                            b = self._corrupt_addr(b)
+                        memory.store(b, a)
+                        if tm:
+                            ready = 0
+                            if ops[0][0]:
+                                ready = times.get(ops[0][1], 0)
+                            if ops[1][0]:
+                                t2 = times.get(ops[1][1], 0)
+                                if t2 > ready:
+                                    ready = t2
+                            tm.store(b, ready)
+                        continue
+                    elif code == _RET:
+                        if tm:
+                            tm.op(Opcode.RET, 0)
+                        if n:
+                            rt = 0
+                            if tm and ops[0][0]:
+                                rt = times.get(ops[0][1], 0)
+                            return a, rt
+                        return None, 0
+                    elif code == _CALL:
+                        callee = self.module.functions.get(extra)
+                        if callee is None:
+                            raise CoreDumpError(f"call to unknown function @{extra}")
+                        vals, vts = [], []
+                        for k, v in ops:
+                            vals.append(regs[v] if k else v)
+                            vts.append(times.get(v, 0) if (tm and k) else 0)
+                        if tm:
+                            tm.op(Opcode.CALL, max(vts) if vts else 0)
+                        self.steps = steps
+                        self.region_steps = region_steps
+                        try:
+                            rv, rt = self._run_function(callee, vals, vts, depth + 1)
+                        finally:
+                            steps = self.steps
+                            region_steps = self.region_steps
+                        if dest is not None:
+                            regs[dest] = rv
+                            if tm:
+                                times[dest] = rt
+                        continue
+                    elif code == _INTRIN:
+                        fn = self.intrinsics.get(extra)
+                        if fn is None:
+                            raise CoreDumpError(f"unknown intrinsic {extra!r}")
+                        vals = tuple(regs[v] if k else v for k, v in ops)
+                        self.steps = steps
+                        self.region_steps = region_steps
+                        try:
+                            rv, charge = fn(self, vals)
+                        finally:
+                            steps = self.steps
+                            region_steps = self.region_steps
+                        for op in charge:
+                            counts[_CODE[op]] += 1
+                        steps += len(charge)
+                        if tm:
+                            ready = 0
+                            for k, v in ops:
+                                if k:
+                                    t2 = times.get(v, 0)
+                                    if t2 > ready:
+                                        ready = t2
+                            t_end = tm.charge(charge, ready)
+                            tm.op(Opcode.INTRIN, ready)
+                            if dest is not None:
+                                times[dest] = t_end
+                        if dest is not None:
+                            regs[dest] = rv
+                        continue
+                    elif code == _SDIV:
+                        try:
+                            q = abs(a) // abs(b)
+                            regs[dest] = q if (a >= 0) == (b >= 0) else -q
+                        except ZeroDivisionError:
+                            raise CoreDumpError("integer division by zero") from None
+                    elif code == _SREM:
+                        try:
+                            regs[dest] = a - b * (abs(a) // abs(b)) * (1 if (a >= 0) == (b >= 0) else -1)
+                        except ZeroDivisionError:
+                            raise CoreDumpError("integer remainder by zero") from None
+                    elif code == _FDIV:
+                        try:
+                            regs[dest] = a / b
+                        except ZeroDivisionError:
+                            regs[dest] = math.nan if a == 0 else math.copysign(math.inf, a)
+                    elif code == _FNEG:
+                        regs[dest] = -a
+                    elif code == _FABS:
+                        regs[dest] = abs(a)
+                    elif code == _SQRT:
+                        regs[dest] = math.sqrt(a) if a >= 0 else math.nan
+                    elif code == _EXP:
+                        try:
+                            regs[dest] = math.exp(a)
+                        except OverflowError:
+                            regs[dest] = math.inf
+                    elif code == _LOG:
+                        try:
+                            regs[dest] = math.log(a)
+                        except ValueError:
+                            regs[dest] = math.nan
+                    elif code == _SIN:
+                        regs[dest] = math.sin(a) if math.isfinite(a) else math.nan
+                    elif code == _COS:
+                        regs[dest] = math.cos(a) if math.isfinite(a) else math.nan
+                    elif code == _FLOOR:
+                        regs[dest] = math.floor(a) if math.isfinite(a) else a
+                    elif code == _SITOFP:
+                        regs[dest] = float(a)
+                    elif code == _FPTOSI:
+                        try:
+                            regs[dest] = int(a)
+                        except (ValueError, OverflowError):
+                            raise CoreDumpError("float-to-int conversion trap") from None
+                    elif code == _SELECT:
+                        k, v = ops[2]
+                        c = regs[v] if k else v
+                        regs[dest] = b if (a != 0 and a == a) else c
+                    elif code == _AND:
+                        regs[dest] = int(a) & int(b)
+                    elif code == _OR:
+                        regs[dest] = int(a) | int(b)
+                    elif code == _XOR:
+                        regs[dest] = int(a) ^ int(b)
+                    elif code == _SHL:
+                        # same lazy-wrap policy as MUL: results may exceed 64
+                        # bits transiently, but are folded back once they pass
+                        # 2**128 so repeated shifts cannot grow without bound
+                        r = int(a) << (int(b) & 63)
+                        if r > _HUGE_INT or r < -_HUGE_INT:
+                            r &= _INT_MASK64
+                        regs[dest] = r
+                    elif code == _LSHR:
+                        regs[dest] = (int(a) & _INT_MASK64) >> (int(b) & 63)
+                    elif code == _ALLOC:
+                        regs[dest] = memory.allocate(int(a))
+                    else:  # pragma: no cover - all opcodes handled above
+                        raise CoreDumpError(f"unimplemented opcode index {code}")
+
+                    # ---- timing for the plain register-register ops ---------
+                    if tm and dest is not None:
                         ready = 0
                         for k, v in ops:
                             if k:
                                 t2 = times.get(v, 0)
                                 if t2 > ready:
                                     ready = t2
-                        t_end = tm.charge(charge, ready)
-                        tm.op(Opcode.INTRIN, ready)
-                        if dest is not None:
-                            times[dest] = t_end
-                    if dest is not None:
-                        regs[dest] = rv
-                    continue
-                elif code == _SDIV:
-                    try:
-                        q = abs(a) // abs(b)
-                        regs[dest] = q if (a >= 0) == (b >= 0) else -q
-                    except ZeroDivisionError:
-                        raise CoreDumpError("integer division by zero") from None
-                elif code == _SREM:
-                    try:
-                        regs[dest] = a - b * (abs(a) // abs(b)) * (1 if (a >= 0) == (b >= 0) else -1)
-                    except ZeroDivisionError:
-                        raise CoreDumpError("integer remainder by zero") from None
-                elif code == _FDIV:
-                    try:
-                        regs[dest] = a / b
-                    except ZeroDivisionError:
-                        regs[dest] = math.nan if a == 0 else math.copysign(math.inf, a)
-                elif code == _FNEG:
-                    regs[dest] = -a
-                elif code == _FABS:
-                    regs[dest] = abs(a)
-                elif code == _SQRT:
-                    regs[dest] = math.sqrt(a) if a >= 0 else math.nan
-                elif code == _EXP:
-                    try:
-                        regs[dest] = math.exp(a)
-                    except OverflowError:
-                        regs[dest] = math.inf
-                elif code == _LOG:
-                    try:
-                        regs[dest] = math.log(a)
-                    except ValueError:
-                        regs[dest] = math.nan
-                elif code == _SIN:
-                    regs[dest] = math.sin(a) if math.isfinite(a) else math.nan
-                elif code == _COS:
-                    regs[dest] = math.cos(a) if math.isfinite(a) else math.nan
-                elif code == _FLOOR:
-                    regs[dest] = math.floor(a) if math.isfinite(a) else a
-                elif code == _SITOFP:
-                    regs[dest] = float(a)
-                elif code == _FPTOSI:
-                    try:
-                        regs[dest] = int(a)
-                    except (ValueError, OverflowError):
-                        raise CoreDumpError("float-to-int conversion trap") from None
-                elif code == _SELECT:
-                    k, v = ops[2]
-                    c = regs[v] if k else v
-                    regs[dest] = b if (a != 0 and a == a) else c
-                elif code == _AND:
-                    regs[dest] = int(a) & int(b)
-                elif code == _OR:
-                    regs[dest] = int(a) | int(b)
-                elif code == _XOR:
-                    regs[dest] = int(a) ^ int(b)
-                elif code == _SHL:
-                    regs[dest] = int(a) << (int(b) & 63)
-                elif code == _LSHR:
-                    regs[dest] = (int(a) & _INT_MASK64) >> (int(b) & 63)
-                elif code == _ALLOC:
-                    regs[dest] = memory.allocate(int(a))
-                else:  # pragma: no cover - all opcodes handled above
-                    raise CoreDumpError(f"unimplemented opcode index {code}")
-
-                # ---- timing for the plain register-register ops -------------
-                if tm and dest is not None:
-                    ready = 0
-                    for k, v in ops:
-                        if k:
-                            t2 = times.get(v, 0)
-                            if t2 > ready:
-                                ready = t2
-                    times[dest] = tm.op(OPCODES[code], ready)
-            else:
-                raise CoreDumpError(
-                    f"block {label} of @{func.name} fell through without terminator"
-                )
+                        times[dest] = tm.op(OPCODES[code], ready)
+                else:
+                    raise CoreDumpError(
+                        f"block {label} of @{func.name} fell through without terminator"
+                    )
+        finally:
+            self.steps = steps
+            self.region_steps = region_steps
 
     def _corrupt_addr(self, addr):
         bit = self._corrupt_next_mem

@@ -27,6 +27,9 @@ from ..ir.values import Const, GlobalAddr, Reg, Value
 from .errors import CoreDumpError, HangError
 from .memory import Memory
 
+_HUGE_INT = 1 << 128
+_INT_MASK64 = (1 << 64) - 1
+
 
 @dataclass
 class TraceEvent:
@@ -175,7 +178,11 @@ class ReferenceInterpreter:
         elif op in (Opcode.SUB, Opcode.FSUB):
             regs[instr.dest.name] = val(instr.args[0]) - val(instr.args[1])
         elif op in (Opcode.MUL, Opcode.FMUL):
-            regs[instr.dest.name] = val(instr.args[0]) * val(instr.args[1])
+            r = val(instr.args[0]) * val(instr.args[1])
+            # lazy int64 wrap, same policy as the fast interpreter
+            if isinstance(r, int) and (r > _HUGE_INT or r < -_HUGE_INT):
+                r &= _INT_MASK64
+            regs[instr.dest.name] = r
         elif op is Opcode.SDIV:
             a, b = val(instr.args[0]), val(instr.args[1])
             if b == 0:
@@ -243,7 +250,10 @@ class ReferenceInterpreter:
         elif op is Opcode.XOR:
             regs[instr.dest.name] = int(val(instr.args[0])) ^ int(val(instr.args[1]))
         elif op is Opcode.SHL:
-            regs[instr.dest.name] = int(val(instr.args[0])) << (int(val(instr.args[1])) & 63)
+            r = int(val(instr.args[0])) << (int(val(instr.args[1])) & 63)
+            if r > _HUGE_INT or r < -_HUGE_INT:
+                r &= _INT_MASK64
+            regs[instr.dest.name] = r
         elif op is Opcode.LSHR:
             regs[instr.dest.name] = (int(val(instr.args[0])) & ((1 << 64) - 1)) >> (
                 int(val(instr.args[1])) & 63

@@ -1,0 +1,90 @@
+"""O4 (backend equivalence) oracle tests."""
+import dataclasses
+
+import pytest
+
+from repro.difftest import check_backend_equivalence, run_difftest
+from repro.difftest.generator import generate
+from repro.difftest.runner import ORACLES, check_index, plan_index
+from repro.ir import parse_module
+from repro.runtime import backend as backend_mod
+
+pytestmark = [pytest.mark.difftest, pytest.mark.backend]
+
+
+def test_o4_clean_on_generated_programs():
+    for index in range(25):
+        program = generate(0, index)
+        _, protection = plan_index(0, index)
+        violations = check_backend_equivalence(program.module, protection)
+        assert violations == [], violations[0].detail
+
+
+def test_o4_registered_with_runner():
+    assert "o4" in ORACLES
+    record = check_index(0, 3, oracle="o4")
+    assert record.violations == []
+
+
+def test_o4_report_clean():
+    report = run_difftest(seed=0, n=8, oracle="o4")
+    assert report.violations == []
+
+
+def test_o4_flags_step_divergence(monkeypatch):
+    """A backend that miscounts steps must produce an O4 violation."""
+    real = backend_mod.make_executor
+
+    class _Skewed:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def register_intrinsics(self, table):
+            self._inner.register_intrinsics(table)
+
+        def run(self, name, args):
+            result = self._inner.run(name, args)
+            return dataclasses.replace(result, steps=result.steps + 1)
+
+    def skewed(module, backend=None, **kwargs):
+        executor = real(module, backend=backend, **kwargs)
+        if backend == "compiled":
+            return _Skewed(executor)
+        return executor
+
+    monkeypatch.setattr("repro.difftest.oracles.make_executor", skewed)
+    module = parse_module(
+        "func @main() -> f64 {\nentry:\n  ret 1.0:f64\n}\n")
+    violations = check_backend_equivalence(module)
+    assert len(violations) == 1
+    assert "step count" in violations[0].detail
+
+
+def test_o4_flags_trap_divergence(monkeypatch):
+    """A backend that swallows a trap must produce an O4 violation."""
+    real = backend_mod.make_executor
+
+    class _Lenient:
+        def __init__(self, module, kwargs):
+            self._module = module
+            self._kwargs = kwargs
+
+        def register_intrinsics(self, table):
+            pass
+
+        def run(self, name, args):
+            clean = parse_module(
+                "func @main() -> f64 {\nentry:\n  ret 0.0:f64\n}\n")
+            return real(clean, backend="ref").run(name, args)
+
+    def lenient(module, backend=None, **kwargs):
+        if backend == "compiled":
+            return _Lenient(module, kwargs)
+        return real(module, backend=backend, **kwargs)
+
+    monkeypatch.setattr("repro.difftest.oracles.make_executor", lenient)
+    module = parse_module(
+        "func @main() -> f64 {\nentry:\n  %a = sdiv 1:i64, 0:i64\n"
+        "  %f = sitofp %a\n  ret %f\n}\n")
+    violations = check_backend_equivalence(module)
+    assert violations and "ref run trap" in violations[0].detail

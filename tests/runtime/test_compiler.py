@@ -1,0 +1,352 @@
+"""Golden per-opcode tests for the closure-compiled backend.
+
+Every case runs under both the reference :class:`Interpreter` and the
+:class:`CompiledExecutor` and asserts the full observable state matches:
+return value (NaN-aware), step count, per-opcode counts, region steps
+and final memory — or, on trap paths, the exact exception type and
+message.  Plus compile-cache identity and the backend dispatch rules.
+"""
+import math
+
+import pytest
+
+from repro.ir import Opcode, parse_module
+from repro.ir.printer import format_module
+from repro.runtime import (
+    BACKENDS,
+    CompiledExecutor,
+    CoreDumpError,
+    HangError,
+    Interpreter,
+    Memory,
+    SegfaultError,
+    clear_compile_cache,
+    compile_module,
+    make_executor,
+    module_fingerprint,
+    set_default_backend,
+)
+from repro.runtime.faults import FaultPlan
+
+from ..conftest import (
+    build_call_module,
+    build_dot_module,
+    build_rmw_module,
+    seed_memory,
+)
+
+pytestmark = pytest.mark.backend
+
+
+def module_of(body: str, ret_ty: str = "f64", params: str = ""):
+    return parse_module(
+        f"func @main({params}) -> {ret_ty} {{\nentry:\n{body}\n}}\n"
+    )
+
+
+def observe(cls, module, args=(), max_steps=1_000_000, intrinsics=None,
+            seed=False):
+    """One run reduced to a comparable tuple plus the memory it used."""
+    mem = seed_memory(module) if seed else Memory()
+    engine = cls(module, memory=mem, max_steps=max_steps)
+    if intrinsics:
+        engine.register_intrinsics(intrinsics)
+    try:
+        result = engine.run("main", list(args))
+    except Exception as exc:  # noqa: BLE001 - traps are part of the contract
+        return ("raised", type(exc).__name__, str(exc), exc.args), mem
+    return (
+        "ok", result.value, result.steps, dict(result.counts),
+        result.region_steps,
+    ), mem
+
+
+def assert_backends_agree(module, args=(), max_steps=1_000_000,
+                          intrinsics_factory=None, seed=False):
+    ref, ref_mem = observe(
+        Interpreter, module, args, max_steps,
+        intrinsics_factory() if intrinsics_factory else None, seed)
+    comp, comp_mem = observe(
+        CompiledExecutor, module, args, max_steps,
+        intrinsics_factory() if intrinsics_factory else None, seed)
+    if ref[0] == "ok" and isinstance(ref[1], float) and math.isnan(ref[1]):
+        assert comp[0] == "ok" and math.isnan(comp[1])
+        assert ref[2:] == comp[2:]
+    else:
+        assert ref == comp
+    assert ref_mem.size == comp_mem.size
+    for i, (a, b) in enumerate(zip(ref_mem.cells, comp_mem.cells)):
+        same = a == b or (
+            isinstance(a, float) and isinstance(b, float)
+            and math.isnan(a) and math.isnan(b)
+        )
+        assert same, f"memory cell {i}: {a!r} != {b!r}"
+    return ref
+
+
+#: (id, body, expected return value) — one golden case per opcode family.
+GOLDEN = [
+    ("mov", "  %a = mov 7:i64\n  %f = sitofp %a\n  ret %f", 7.0),
+    ("add", "  %a = add 40:i64, 2:i64\n  %f = sitofp %a\n  ret %f", 42.0),
+    ("sub", "  %a = sub 40:i64, 2:i64\n  %f = sitofp %a\n  ret %f", 38.0),
+    ("mul_wrap",
+     "  %a = mul 123456789123:i64, 987654321987:i64\n"
+     "  %b = mul %a, %a\n  %c = mul %b, %b\n  %d = srem %c, 1000:i64\n"
+     "  %f = sitofp %d\n  ret %f", 449.0),
+    ("sdiv", "  %a = sdiv -7:i64, 2:i64\n  %f = sitofp %a\n  ret %f", -3.0),
+    ("srem", "  %a = srem -7:i64, 2:i64\n  %f = sitofp %a\n  ret %f", -1.0),
+    ("fadd", "  %a = fadd 1.5:f64, 2.25:f64\n  ret %a", 3.75),
+    ("fsub", "  %a = fsub 1.5:f64, 2.25:f64\n  ret %a", -0.75),
+    ("fmul", "  %a = fmul 1.5:f64, 2.0:f64\n  ret %a", 3.0),
+    ("fdiv", "  %a = fdiv 3.0:f64, 2.0:f64\n  ret %a", 1.5),
+    ("fdiv_pole", "  %a = fdiv -1.0:f64, 0.0:f64\n  ret %a", -math.inf),
+    ("fdiv_nan", "  %a = fdiv 0.0:f64, 0.0:f64\n  ret %a", math.nan),
+    ("fneg", "  %a = fneg 1.5:f64\n  ret %a", -1.5),
+    ("fabs", "  %a = fabs -1.5:f64\n  ret %a", 1.5),
+    ("sqrt", "  %a = sqrt 2.25:f64\n  ret %a", 1.5),
+    ("sqrt_neg", "  %a = sqrt -4.0:f64\n  ret %a", math.nan),
+    ("exp", "  %a = exp 1.0:f64\n  ret %a", math.e),
+    ("exp_sat", "  %a = exp 1000.0:f64\n  ret %a", math.inf),
+    ("log", "  %a = log 1.0:f64\n  ret %a", 0.0),
+    ("log_sat", "  %a = log -1.0:f64\n  ret %a", math.nan),
+    ("sin", "  %a = sin 0.5:f64\n  ret %a", math.sin(0.5)),
+    ("sin_inf", "  %x = fdiv 1.0:f64, 0.0:f64\n  %a = sin %x\n  ret %a",
+     math.nan),
+    ("cos", "  %a = cos 0.5:f64\n  ret %a", math.cos(0.5)),
+    ("floor", "  %a = floor 2.75:f64\n  ret %a", 2.0),
+    ("floor_inf", "  %x = fdiv 1.0:f64, 0.0:f64\n  %a = floor %x\n  ret %a",
+     math.inf),
+    ("sitofp", "  %a = sitofp 3:i64\n  ret %a", 3.0),
+    ("fptosi", "  %a = fptosi 3.9:f64\n  %f = sitofp %a\n  ret %f", 3.0),
+    ("icmp", "  %a = icmp le 2:i64, 2:i64\n  %f = sitofp %a\n  ret %f", 1.0),
+    ("fcmp_nan",
+     "  %n = fdiv 0.0:f64, 0.0:f64\n  %a = fcmp lt %n, 1.0:f64\n"
+     "  %f = sitofp %a\n  ret %f", 0.0),
+    ("select",
+     "  %a = select 1:i64, 10.0:f64, 20.0:f64\n  ret %a", 10.0),
+    ("select_nan",
+     "  %n = fdiv 0.0:f64, 0.0:f64\n"
+     "  %a = select %n, 10.0:f64, 20.0:f64\n  ret %a", 20.0),
+    ("and", "  %a = and 12:i64, 10:i64\n  %f = sitofp %a\n  ret %f", 8.0),
+    ("or", "  %a = or 12:i64, 10:i64\n  %f = sitofp %a\n  ret %f", 14.0),
+    ("xor", "  %a = xor 12:i64, 10:i64\n  %f = sitofp %a\n  ret %f", 6.0),
+    ("shl", "  %a = shl 3:i64, 4:i64\n  %f = sitofp %a\n  ret %f", 48.0),
+    ("shl_wrap",
+     "  %a = shl 12345678901:i64, 60:i64\n  %b = shl %a, 60:i64\n"
+     "  %c = shl %b, 60:i64\n  %d = srem %c, 1000:i64\n"
+     "  %f = sitofp %d\n  ret %f", None),
+    ("lshr", "  %a = lshr -1:i64, 60:i64\n  %f = sitofp %a\n  ret %f", 15.0),
+    ("alloc_store_load",
+     "  %p = alloc 4:i64\n  %q = add %p, 2:i64\n"
+     "  store 2.5:f64, %q\n  %v = load %q\n  ret %v", 2.5),
+    ("br_cbr",
+     "  %i = mov 0:i64\n  br head\nhead:\n"
+     "  %i = add %i, 1:i64\n  %c = icmp lt %i, 5:i64\n"
+     "  cbr %c, head, done\ndone:\n  %f = sitofp %i\n  ret %f", 5.0),
+]
+
+
+@pytest.mark.parametrize("body,expected",
+                         [(c[1], c[2]) for c in GOLDEN],
+                         ids=[c[0] for c in GOLDEN])
+def test_golden_opcode(body, expected):
+    obs = assert_backends_agree(module_of(body))
+    assert obs[0] == "ok"
+    if expected is not None:
+        if isinstance(expected, float) and math.isnan(expected):
+            assert math.isnan(obs[1])
+        else:
+            assert obs[1] == pytest.approx(expected)
+
+
+TRAPS = [
+    ("div_zero", "  %a = sdiv 1:i64, 0:i64\n  %f = sitofp %a\n  ret %f",
+     CoreDumpError, "integer division by zero"),
+    ("rem_zero", "  %a = srem 1:i64, 0:i64\n  %f = sitofp %a\n  ret %f",
+     CoreDumpError, "integer remainder by zero"),
+    ("fptosi_inf",
+     "  %x = fdiv 1.0:f64, 0.0:f64\n  %a = fptosi %x\n"
+     "  %f = sitofp %a\n  ret %f",
+     CoreDumpError, "float-to-int conversion trap"),
+    ("fptosi_nan",
+     "  %x = fdiv 0.0:f64, 0.0:f64\n  %a = fptosi %x\n"
+     "  %f = sitofp %a\n  ret %f",
+     CoreDumpError, "float-to-int conversion trap"),
+    ("load_oob", "  %v = load 3:i64\n  ret %v",
+     SegfaultError, "segmentation fault at address 3"),
+    ("store_oob", "  store 1.0:f64, 2:i64\n  ret 0.0:f64",
+     SegfaultError, "segmentation fault at address 2"),
+]
+
+
+@pytest.mark.parametrize("body,exc_type,message",
+                         [(c[1], c[2], c[3]) for c in TRAPS],
+                         ids=[c[0] for c in TRAPS])
+def test_trap_parity(body, exc_type, message):
+    obs = assert_backends_agree(module_of(body))
+    assert obs[0] == "raised"
+    assert obs[1] == exc_type.__name__
+    assert obs[2] == message
+
+
+def test_hang_parity_exact_step():
+    src = "func @main() -> f64 {\nentry:\n  br entry\n}\n"
+    for budget in (1, 2, 100):
+        obs = assert_backends_agree(parse_module(src), max_steps=budget)
+        assert obs[1] == "HangError"
+        assert obs[2] == (f"program exceeded step budget "
+                          f"({budget + 1} dynamic instructions)")
+
+
+def test_hang_parity_mid_block():
+    # the hang lands inside a fused straight-line segment: the compiled
+    # backend must replay and surface the same exact step count
+    src = (
+        "func @main() -> f64 {\nentry:\n  %i = mov 0:i64\n  br loop\n"
+        "loop:\n  %i = add %i, 1:i64\n  %j = add %i, 2:i64\n"
+        "  %k = add %j, 3:i64\n  br loop\n}\n"
+    )
+    for budget in range(100, 110):
+        obs = assert_backends_agree(parse_module(src), max_steps=budget)
+        assert obs[1] == "HangError"
+        assert obs[2] == (f"program exceeded step budget "
+                          f"({budget + 1} dynamic instructions)")
+
+
+def test_trap_before_hang_in_same_segment():
+    # div-by-zero one step before the budget runs out must still trap,
+    # not hang, on both backends
+    src = (
+        "func @main() -> f64 {\nentry:\n  %i = mov 0:i64\n  br loop\n"
+        "loop:\n  %i = add %i, 1:i64\n  %z = sub %i, %i\n"
+        "  %q = sdiv %i, %z\n  br loop\n}\n"
+    )
+    # steps: mov=1 br=2 add=3 sub=4 sdiv=5; a budget of 5 lets the sdiv
+    # execute (and trap) while a budget of 4 hangs one step earlier
+    obs = assert_backends_agree(parse_module(src), max_steps=5)
+    assert obs[1] == "CoreDumpError"
+    assert obs[2] == "integer division by zero"
+    obs = assert_backends_agree(parse_module(src), max_steps=4)
+    assert obs[1] == "HangError"
+
+
+def test_call_depth_parity():
+    src = (
+        "func @main() -> f64 {\nentry:\n  %r = call @f() : f64\n  ret %r\n}\n"
+        "func @f() -> f64 {\nentry:\n  %r = call @f() : f64\n  ret %r\n}\n"
+    )
+    obs = assert_backends_agree(parse_module(src))
+    assert obs[1] == "CoreDumpError"
+    assert obs[2] == "call depth exceeded in @f"
+
+
+def test_unknown_callee_parity():
+    src = "func @main() -> f64 {\nentry:\n  %r = call @g() : f64\n  ret %r\n}\n"
+    obs = assert_backends_agree(parse_module(src))
+    assert obs[2] == "call to unknown function @g"
+
+
+def test_unknown_intrinsic_parity():
+    src = "func @main() -> f64 {\nentry:\n  %r = intrin miss() : f64\n  ret %r\n}\n"
+    obs = assert_backends_agree(parse_module(src))
+    assert obs[2] == "unknown intrinsic 'miss'"
+
+
+def test_intrinsic_charge_accounting():
+    def probe(engine, args):
+        # 3 charged predictor steps on top of the intrin itself
+        return args[0] * 2.0, (Opcode.MUL, Opcode.ADD, Opcode.MOV)
+
+    src = (
+        "func @main() -> f64 {\nentry:\n  %r = intrin probe(2.5:f64) : f64\n"
+        "  ret %r\n}\n"
+    )
+    obs = assert_backends_agree(
+        parse_module(src), intrinsics_factory=lambda: {"probe": probe})
+    assert obs[:3] == ("ok", 5.0, 5)
+    assert obs[3][Opcode.MUL] == 1 and obs[3][Opcode.INTRIN] == 1
+
+
+def test_arity_error_parity():
+    src = "func @main(%x: i64) -> f64 {\nentry:\n  ret 0.0:f64\n}\n"
+    obs = assert_backends_agree(parse_module(src), args=())
+    assert obs[1] == "TypeError"
+    assert obs[2] == "@main expects 1 arguments, got 0"
+
+
+@pytest.mark.parametrize(
+    "build,args",
+    [(build_dot_module, [4, 8]), (build_call_module, [8]),
+     (build_rmw_module, [4, 8])],
+    ids=["dot", "call", "rmw"])
+def test_workload_modules_agree(build, args):
+    obs = assert_backends_agree(build(), args=args, seed=True)
+    assert obs[0] == "ok"
+
+
+# -- compile cache ------------------------------------------------------------
+class TestCompileCache:
+    def test_same_module_hits_cache(self):
+        clear_compile_cache()
+        m = module_of("  ret 1.0:f64")
+        assert compile_module(m) is compile_module(m)
+
+    def test_identical_text_shares_fingerprint(self):
+        m1 = module_of("  ret 1.0:f64")
+        m2 = parse_module(format_module(m1))
+        assert module_fingerprint(m1) == module_fingerprint(m2)
+        clear_compile_cache()
+        assert compile_module(m1) is compile_module(m2)
+
+    def test_transform_recompiles(self):
+        clear_compile_cache()
+        m = module_of("  %a = fadd 1.0:f64, 2.0:f64\n  ret %a")
+        before = compile_module(m)
+        m.functions["main"].blocks["entry"].instrs.pop(0)
+        m.functions["main"].blocks["entry"].instrs.insert(
+            0, parse_module(
+                "func @t() -> f64 {\nentry:\n  %a = fadd 2.0:f64, 2.0:f64\n"
+                "  ret %a\n}\n"
+            ).functions["t"].blocks["entry"].instrs[0])
+        after = compile_module(m)
+        assert before is not after
+        assert CompiledExecutor(m).run("main", []).value == 4.0
+
+
+# -- backend dispatch ---------------------------------------------------------
+class TestDispatch:
+    def test_backends_tuple(self):
+        assert BACKENDS == ("ref", "compiled")
+
+    def test_clean_run_defaults_to_compiled(self):
+        m = module_of("  ret 1.0:f64")
+        assert isinstance(make_executor(m), CompiledExecutor)
+
+    def test_ref_backend_forces_interpreter(self):
+        m = module_of("  ret 1.0:f64")
+        assert isinstance(make_executor(m, backend="ref"), Interpreter)
+
+    def test_instrumented_run_always_ref(self):
+        m = module_of("  ret 1.0:f64")
+        plan = FaultPlan(step=0, kind="value", bit=1, pick=0.5)
+        assert isinstance(make_executor(m, fault_plan=plan), Interpreter)
+
+    def test_env_default(self, monkeypatch):
+        m = module_of("  ret 1.0:f64")
+        monkeypatch.setenv("REPRO_BACKEND", "ref")
+        assert isinstance(make_executor(m), Interpreter)
+
+    def test_set_default_backend(self):
+        m = module_of("  ret 1.0:f64")
+        set_default_backend("ref")
+        try:
+            assert isinstance(make_executor(m), Interpreter)
+        finally:
+            set_default_backend(None)
+        assert isinstance(make_executor(m), CompiledExecutor)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_backend("jit")
+        with pytest.raises(ValueError):
+            make_executor(module_of("  ret 1.0:f64"), backend="jit")
