@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test verify bench difftest
+.PHONY: test verify bench difftest report-demo
 
 ## tier-1 unit/integration suite
 test:
@@ -18,3 +18,8 @@ bench:
 ## full differential-testing sweep (all oracles)
 difftest:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --n 200
+
+## trace one workload run and render the observability report
+report-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro --scale 0.35 run blackscholes --scheme AR50 --trace-out demo-trace.jsonl
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro report demo-trace.jsonl

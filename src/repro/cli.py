@@ -13,6 +13,10 @@
     python -m repro costratio
     python -m repro difftest [--seed 0] [--n 200] [--oracle all] [--shrink]
                              [--jobs 4]
+    python -m repro run blackscholes --scheme AR50 --trace-out t.jsonl
+    python -m repro campaign lud --scheme AR100 --trials 200 --jobs 4 \\
+                             --trace-out t.jsonl
+    python -m repro report t.jsonl
     python -m repro all
 
 The global ``--backend {ref,compiled}`` flag selects the execution
@@ -229,7 +233,115 @@ def cmd_difftest(args) -> None:
         sys.exit(1)
 
 
+def cmd_run(args) -> None:
+    """One measured (workload, scheme) execution, optionally traced."""
+    from dataclasses import asdict
+
+    workload = get_workload(args.workload)
+    harness = Harness(workload, scale=args.scale, seed=args.seed)
+    sink = None
+    run_id = ""
+    if args.trace_out:
+        from .obs import JsonlSink, install_sink, run_id_for
+
+        run_id = run_id_for("run", workload.name, args.scheme,
+                            args.scale, args.seed)
+        sink = JsonlSink(args.trace_out)
+        install_sink(sink, run_id=run_id)
+    try:
+        with _timed(f"run: {workload.name} under {args.scheme}"):
+            inp = workload.test_inputs(1, seed=args.seed + 17,
+                                       scale=args.scale)[0]
+            golden = harness.run_scheme("UNSAFE", inp)
+            record = harness.run_scheme(args.scheme, inp,
+                                        golden=golden.output)
+            print(f"   steps={record.steps}  cycles={record.cycles}  "
+                  f"ipc={record.ipc:.2f}  correct={record.correct}")
+            if record.skip_rate is not None:
+                print(f"   skip rate {record.skip_rate:.1%}")
+    finally:
+        if sink is not None:
+            from .obs import remove_sink
+
+            remove_sink()
+            sink.close()
+    if sink is not None:
+        from .obs import RunManifest, manifest_path_for
+        from .runtime import default_backend
+        from .runtime.compiler import module_fingerprint
+
+        totals = {}
+        if record.stats is not None:
+            totals = {k: v for k, v in asdict(record.stats).items() if v}
+        prepared = harness.prepare_scheme(args.scheme)
+        RunManifest(
+            run=run_id,
+            command="run",
+            backend=default_backend(),
+            params={"workload": workload.name, "scheme": args.scheme,
+                    "scale": args.scale, "seed": args.seed},
+            fingerprints={
+                f"{workload.name}|{args.scheme}":
+                    module_fingerprint(prepared.module),
+            },
+            totals=totals,
+            events=sink.count,
+            spans=list(sink.spans),
+        ).write(args.trace_out)
+        print(f"   trace: {args.trace_out} ({sink.count} events), "
+              f"manifest: {manifest_path_for(args.trace_out)}")
+
+
+def cmd_campaign(args) -> None:
+    """One (workload, scheme) fault-injection campaign, optionally traced."""
+    from .eval import eta_printer, run_campaign_parallel
+    from .runtime import Outcome
+
+    workload = get_workload(args.workload)
+    sfi_scale = min(args.scale, 0.45)
+    profiles = None
+    if args.scheme.startswith("AR"):
+        profiles = _profile_source_factory(sfi_scale)(
+            workload, int(args.scheme[2:]) / 100.0
+        )
+    label = f"{args.trials} trials"
+    if args.jobs > 1:
+        label += f", {args.jobs} jobs"
+    with _timed(f"campaign: {workload.name} under {args.scheme} ({label})"):
+        result = run_campaign_parallel(
+            workload, args.scheme, trials=args.trials, seed=args.seed,
+            scale=sfi_scale, profiles=profiles, jobs=args.jobs,
+            checkpoint=args.checkpoint, resume=args.resume,
+            progress=eta_printer("campaign") if args.jobs > 1 else None,
+            trace_out=args.trace_out,
+        )
+        for outcome in Outcome:
+            count = result.tallies.get(outcome, 0)
+            if count:
+                print(f"   {outcome.name:<10} {count:>5}  "
+                      f"({count / result.trials:6.1%})")
+        print(f"   detected={result.detected}  caught={result.caught}  "
+              f"false negatives={result.false_negatives}")
+    if args.trace_out:
+        from .obs import manifest_path_for
+
+        print(f"   trace: {args.trace_out}, "
+              f"manifest: {manifest_path_for(args.trace_out)}")
+
+
 def cmd_report(args) -> None:
+    """Render a trace report, or (legacy) write the markdown results file."""
+    if getattr(args, "trace", None):
+        from .obs import RunManifest, load_trace, render_trace_report
+
+        events = load_trace(args.trace)
+        manifest = RunManifest.load(args.trace)
+        print(render_trace_report(events, manifest))
+        return
+    _cmd_report_markdown(args)
+
+
+def _cmd_report_markdown(args) -> None:
     """Run everything and write a markdown results report."""
     import contextlib
     import io
@@ -339,7 +451,38 @@ def build_parser() -> argparse.ArgumentParser:
     pall.add_argument("--trials", type=int, default=60)
     pall.add_argument("--inputs", type=int, default=10)
     pall.set_defaults(fn=cmd_all)
+    prun = sub.add_parser(
+        "run", help="run one workload under one scheme, optionally tracing"
+    )
+    prun.add_argument("workload")
+    prun.add_argument("--scheme", default="AR50")
+    prun.add_argument("--seed", type=int, default=1)
+    prun.add_argument("--trace-out", default=None, metavar="TRACE.jsonl",
+                      help="write observability events (JSONL) plus a run "
+                           "manifest alongside; render with `repro report "
+                           "TRACE.jsonl`")
+    prun.set_defaults(fn=cmd_run)
+    pca = sub.add_parser(
+        "campaign",
+        help="one (workload, scheme) fault-injection campaign",
+    )
+    pca.add_argument("workload")
+    pca.add_argument("--scheme", default="AR50")
+    pca.add_argument("--trials", type=int, default=100)
+    pca.add_argument("--seed", type=int, default=0)
+    pca.add_argument("--checkpoint", default=None)
+    pca.add_argument("--resume", action="store_true")
+    pca.add_argument("--trace-out", default=None, metavar="TRACE.jsonl",
+                     help="merge per-trial observability events from every "
+                          "worker shard into TRACE.jsonl (byte-identical "
+                          "for any --jobs) plus a run manifest")
+    pca.set_defaults(fn=cmd_campaign)
     prep = sub.add_parser("report")
+    prep.add_argument("trace", nargs="?", default=None,
+                      help="a trace written by --trace-out; renders per-loop "
+                           "skip timelines, QoS-disable causes and recovery "
+                           "activity (omit for the legacy markdown results "
+                           "report)")
     prep.add_argument("--trials", type=int, default=60)
     prep.add_argument("--inputs", type=int, default=10)
     prep.add_argument("--output", default="results.md")

@@ -30,6 +30,17 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..ir.instructions import Opcode
+from ..obs.events import (
+    EXEC,
+    PHASE_CUT,
+    QOS_DISABLE,
+    RECOMPUTE,
+    RECOVERY,
+    SKIP,
+    TP_ADJUST,
+    emit as obs_emit,
+    enabled as obs_enabled,
+)
 from .acceptance import within_range
 from .config import RSkipConfig
 from .interpolation import CutEvent, PhaseSlicer, validate_phase
@@ -65,6 +76,10 @@ _ENTER_CHARGE = (Opcode.MOV, Opcode.MOV)
 #: mask a predictor that stopped working, nor a bad warm-up phase condemn
 #: one that has since settled.
 QOS_RECENT_EXECUTIONS = 8
+
+#: Minimum memo attempts inside the recent window before the accuracy
+#: verdict is trusted (below it, the sample is too small to disable on).
+MEMO_QOS_MIN_ATTEMPTS = 64
 
 
 @dataclass
@@ -179,6 +194,14 @@ class LoopRuntime:
         self._recent_execs: Deque[Tuple[int, int]] = deque(
             maxlen=QOS_RECENT_EXECUTIONS
         )
+        #: (skipped_memo, memo_mispredictions) at the last ``enter``.
+        self._memo_enter_mark: Tuple[int, int] = (0, 0)
+        #: per-execution memo (attempts, hits) deltas of the most recent
+        #: executions — the memo-QoS disable judges accuracy over this
+        #: window, like the interpolation path, never whole-life counters.
+        self._memo_recent: Deque[Tuple[int, int]] = deque(
+            maxlen=QOS_RECENT_EXECUTIONS
+        )
         #: record mode captures per-execution output traces for offline
         #: training (`repro.core.training` flips this on); each loop
         #: execution appends a fresh sublist
@@ -204,6 +227,9 @@ class LoopRuntime:
         self._rv1 = None
         self._need2 = False
         self._enter_mark = (self.stats.elements, self.stats.skipped)
+        self._memo_enter_mark = (
+            self.stats.skipped_memo, self.stats.memo_mispredictions
+        )
 
     def exit(self) -> None:
         # QoS: disable a persistently useless predictor for future runs.
@@ -218,16 +244,45 @@ class LoopRuntime:
             self._recent_execs.append((d_elements, d_skipped))
         recent_elements = sum(e for e, _ in self._recent_execs)
         recent_skipped = sum(s for _, s in self._recent_execs)
-        if recent_elements >= 4 * self.config.window:
+        if not self.disabled and recent_elements >= 4 * self.config.window:
             if recent_skipped / recent_elements < self.config.interp_min_skip:
                 self.disabled = True
+                if obs_enabled():
+                    obs_emit(
+                        QOS_DISABLE, loop=self.key, predictor="interp",
+                        recent_elements=recent_elements,
+                        recent_skipped=recent_skipped,
+                        threshold=self.config.interp_min_skip,
+                    )
         # memoization QoS "simply monitors the occurrence of misprediction
-        # and disables its usage at poor run-time accuracy" (paper sec. 5)
-        attempts = stats.skipped_memo + stats.memo_mispredictions
-        if self.memo_active and attempts >= 64:
-            accuracy = stats.skipped_memo / attempts
-            if accuracy < self.config.memo_min_hit_rate:
-                self.memo_active = False
+        # and disables its usage at poor run-time accuracy" (paper sec. 5).
+        # Accuracy is judged over the same bounded recent window as the
+        # interpolation path: a long accurate prefix must not mask a memo
+        # table that a workload phase change has made stale.
+        d_hits = stats.skipped_memo - self._memo_enter_mark[0]
+        d_misses = stats.memo_mispredictions - self._memo_enter_mark[1]
+        if d_hits + d_misses > 0:
+            self._memo_recent.append((d_hits + d_misses, d_hits))
+        if self.memo_active:
+            recent_attempts = sum(a for a, _ in self._memo_recent)
+            recent_hits = sum(h for _, h in self._memo_recent)
+            if recent_attempts >= MEMO_QOS_MIN_ATTEMPTS:
+                accuracy = recent_hits / recent_attempts
+                if accuracy < self.config.memo_min_hit_rate:
+                    self.memo_active = False
+                    if obs_enabled():
+                        obs_emit(
+                            QOS_DISABLE, loop=self.key, predictor="memo",
+                            recent_attempts=recent_attempts,
+                            recent_hits=recent_hits,
+                            threshold=self.config.memo_min_hit_rate,
+                        )
+        if obs_enabled():
+            obs_emit(
+                EXEC, loop=self.key,
+                execution=stats.executions_pp + stats.executions_cp,
+                elements=d_elements, skipped=d_skipped,
+            )
 
     def reset(self) -> None:
         """Restore the just-constructed state.
@@ -257,6 +312,8 @@ class LoopRuntime:
         self.recording = None
         self._enter_mark = (0, 0)
         self._recent_execs.clear()
+        self._memo_enter_mark = (0, 0)
+        self._memo_recent.clear()
 
     # -- the observation path ------------------------------------------------
     def observe(self, element: Element) -> Tuple[int, List[Opcode]]:
@@ -277,6 +334,11 @@ class LoopRuntime:
             self.signatures.append(signature)
             new_tp = self.profile.qos.lookup(signature, self.slicer.tp)
             if new_tp != self.slicer.tp:
+                if obs_enabled():
+                    obs_emit(
+                        TP_ADJUST, loop=self.key, old=self.slicer.tp,
+                        new=new_tp, signature=signature,
+                    )
                 self.slicer.set_tp(new_tp)
             stats.tp_adjustments += 1
             self.slicer.slope_changes = []
@@ -309,6 +371,11 @@ class LoopRuntime:
     ) -> None:
         stats = self.stats
         stats.phases += 1
+        traced = obs_enabled()
+        if traced:
+            mark = (stats.skipped_temporal, stats.skipped_memo,
+                    stats.memo_mispredictions, stats.endpoint_recomputes,
+                    len(self.queue))
         by_index = {e.index: e for e in payloads}
         skipped, recompute = validate_phase(cut, self.config.acceptable_range)
 
@@ -353,6 +420,29 @@ class LoopRuntime:
             charge.extend(ENQUEUE_CHARGE)
             self.queue.append(element)
 
+        if traced:
+            d_temporal = stats.skipped_temporal - mark[0]
+            d_memo = stats.skipped_memo - mark[1]
+            d_memo_miss = stats.memo_mispredictions - mark[2]
+            d_endpoint = stats.endpoint_recomputes - mark[3]
+            queued = len(self.queue) - mark[4]
+            obs_emit(
+                PHASE_CUT, loop=self.key, phase=stats.phases,
+                start=cut.points[0].index, end=cut.points[-1].index,
+                points=len(cut.points), interior_failures=interior_failures,
+                memo_misses=d_memo_miss,
+            )
+            for predictor, count in (
+                ("interp", len(skipped)), ("temporal", d_temporal),
+                ("memo", d_memo),
+            ):
+                if count:
+                    obs_emit(SKIP, loop=self.key, phase=stats.phases,
+                             predictor=predictor, count=count)
+            if queued:
+                obs_emit(RECOMPUTE, loop=self.key, phase=stats.phases,
+                         count=queued, endpoints=d_endpoint)
+
     # -- the re-computation drain ---------------------------------------------
     def fetch(self) -> Tuple[int, List[Opcode]]:
         if not self.queue:
@@ -389,6 +479,9 @@ class LoopRuntime:
         # mismatch: the original and the redundant copy disagree —
         # a possible transient fault; majority vote over a third evaluation
         self.stats.recompute_mismatches += 1
+        if obs_enabled():
+            obs_emit(RECOVERY, loop=self.key, stage="detect",
+                     index=element.index)
         self._need2 = True
         self._rv1 = rv
         return rv, list(_RESOLVE_CHARGE)
@@ -403,16 +496,25 @@ class LoopRuntime:
         if rv1 == rv2:
             # both re-computations agree: the original value was corrupted
             self.stats.corrected_master += 1
+            if obs_enabled():
+                obs_emit(RECOVERY, loop=self.key, stage="vote",
+                         verdict="master", index=element.index)
             if self.temporal is not None:
                 self.temporal.record(element.index, rv1)
             return rv1, list(_RESOLVE2_CHARGE)
         if element.value == rv2:
             # the first re-computation was corrupted
             self.stats.corrected_shadow += 1
+            if obs_enabled():
+                obs_emit(RECOVERY, loop=self.key, stage="vote",
+                         verdict="shadow", index=element.index)
             if self.temporal is not None:
                 self.temporal.record(element.index, element.value)
             return element.value, list(_RESOLVE2_CHARGE)
         self.stats.unresolved_votes += 1
+        if obs_enabled():
+            obs_emit(RECOVERY, loop=self.key, stage="vote",
+                     verdict="unresolved", index=element.index)
         return rv2, list(_RESOLVE2_CHARGE)
 
 

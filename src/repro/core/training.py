@@ -12,6 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.events import (
+    TRAIN_LOOP,
+    emit as obs_emit,
+    enabled as obs_enabled,
+    span as obs_span,
+)
 from .acceptance import EPSILON
 from .config import RSkipConfig
 from .interpolation import simulate
@@ -118,29 +124,36 @@ def train_profiles(
     memo_wanted = set(memo_keys)
 
     for key, loop_traces in traces.items():
-        qos, default_tp = train_interpolation(loop_traces, config)
-        profile = LoopProfile(qos=qos, default_tp=default_tp)
+        with obs_span(f"train:{key}"):
+            qos, default_tp = train_interpolation(loop_traces, config)
+            profile = LoopProfile(qos=qos, default_tp=default_tp)
 
-        memo_bits = None
-        memo_accuracy = None
-        if key in memo_wanted and config.memoization:
-            X = [list(e.args) for trace in loop_traces for e in trace if e.args]
-            y = [e.value for trace in loop_traces for e in trace if e.args]
-            if X:
-                profile.memo = build_memo_table(X, y, config.memo_address_bits)
-                memo_bits = list(profile.memo.bits)
-                memo_accuracy = profile.memo.accuracy(X, y)
+            memo_bits = None
+            memo_accuracy = None
+            if key in memo_wanted and config.memoization:
+                X = [list(e.args) for trace in loop_traces for e in trace if e.args]
+                y = [e.value for trace in loop_traces for e in trace if e.args]
+                if X:
+                    profile.memo = build_memo_table(X, y, config.memo_address_bits)
+                    memo_bits = list(profile.memo.bits)
+                    memo_accuracy = profile.memo.accuracy(X, y)
 
         profiles[key] = profile
-        reports.append(
-            TrainingReport(
-                key=key,
-                executions=len(loop_traces),
-                elements=sum(len(t) for t in loop_traces),
-                default_tp=default_tp,
-                qos_entries=len(qos),
-                memo_bits=memo_bits,
-                memo_accuracy=memo_accuracy,
-            )
+        report = TrainingReport(
+            key=key,
+            executions=len(loop_traces),
+            elements=sum(len(t) for t in loop_traces),
+            default_tp=default_tp,
+            qos_entries=len(qos),
+            memo_bits=memo_bits,
+            memo_accuracy=memo_accuracy,
         )
+        reports.append(report)
+        if obs_enabled():
+            obs_emit(
+                TRAIN_LOOP, loop=key,
+                executions=report.executions, elements=report.elements,
+                default_tp=report.default_tp, qos_entries=report.qos_entries,
+                memo=report.memo_bits is not None,
+            )
     return profiles, reports

@@ -34,6 +34,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import RSkipConfig
 from ..core.manager import LoopProfile
+from ..obs.events import install_sink, remove_sink
+from ..obs.manifest import RunManifest, run_id_for
+from ..obs.sinks import JsonlSink, merge_traces
 from ..workloads.base import Workload, WorkloadInput
 from .fault_campaign import CampaignResult, campaign_context, run_trial_block
 from .schemes import prepare
@@ -96,16 +99,46 @@ def _run_chunk(
     config: Optional[RSkipConfig],
     profiles: Optional[Dict[str, LoopProfile]],
     inp: Optional[WorkloadInput],
+    trace_path: Optional[str] = None,
+    trace_run: str = "",
 ) -> Tuple[str, dict]:
-    """Execute one work unit; returns (task key, serialized chunk result)."""
+    """Execute one work unit; returns (task key, serialized chunk result).
+
+    With *trace_path* set, the chunk's trials run under a JSONL sink
+    writing that shard file — owned exclusively by this call, so no two
+    workers ever interleave writes into a shared fd.  The sink goes up
+    *after* the cached golden/counting runs (which are per-worker warmup,
+    not per-chunk work), keeping shard contents deterministic for any
+    worker count.  The chunk's wall-clock and module fingerprint ride
+    back on the result dict for the parent's run manifest.
+    """
     workload, prepared, inp, ctx = _worker_campaign(
         task, workload, config, profiles, inp
     )
-    result = run_trial_block(
-        prepared, workload, inp, ctx, task.scheme, task.seed,
-        task.start, task.count,
-    )
-    return task.key, result.to_dict()
+    if trace_path is None:
+        result = run_trial_block(
+            prepared, workload, inp, ctx, task.scheme, task.seed,
+            task.start, task.count,
+        )
+        return task.key, result.to_dict()
+
+    from ..runtime.compiler import module_fingerprint
+
+    sink = JsonlSink(trace_path)
+    install_sink(sink, run_id=trace_run)
+    t0 = time.perf_counter()
+    try:
+        result = run_trial_block(
+            prepared, workload, inp, ctx, task.scheme, task.seed,
+            task.start, task.count,
+        )
+    finally:
+        remove_sink()
+        sink.close()
+    data = result.to_dict()
+    data["elapsed_ms"] = (time.perf_counter() - t0) * 1000.0
+    data["fingerprint"] = module_fingerprint(prepared.module)
+    return task.key, data
 
 
 # -- checkpointing ----------------------------------------------------------
@@ -204,12 +237,19 @@ def run_campaigns(
     progress: Optional[ProgressFn] = None,
     chunk: int = DEFAULT_CHUNK,
     inp: Optional[WorkloadInput] = None,
+    trace_out: Optional[str] = None,
 ) -> Dict[Tuple[str, str], CampaignResult]:
     """Run a batch of campaigns — *groups* is (workload, scheme, profiles) —
     sharded into trial chunks, optionally over a process pool.
 
     Returns ``{(workload.name, scheme): CampaignResult}`` with tallies
     identical to the serial run at the same seed, for any *jobs*/*chunk*.
+
+    With *trace_out*, every work unit writes its observability events to
+    its own shard file under ``<trace_out>.shards/`` and the parent
+    merges them in task order into *trace_out* plus a run manifest —
+    merged traces are byte-identical for any *jobs*/*chunk* (shard files
+    are kept so a resumed campaign can still merge a complete trace).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -230,6 +270,22 @@ def run_campaigns(
             ))
 
     params_key = _params_key(trials, seed, scale, config)
+    trace_run = ""
+    shard_paths: Dict[str, str] = {}
+    if trace_out is not None:
+        # derived, not random: shards across any worker count (and
+        # re-runs at the same parameters) stamp the same run id
+        trace_run = run_id_for(
+            "campaign", params_key,
+            sorted((w.name, s) for w, s, _ in groups),
+        )
+        shard_dir = trace_out + ".shards"
+        os.makedirs(shard_dir, exist_ok=True)
+        for task in tasks:
+            shard_paths[task.key] = os.path.join(
+                shard_dir, task.key.replace("|", "_") + ".jsonl"
+            )
+
     chunks: Dict[str, dict] = {}
     if checkpoint is not None and resume:
         chunks = _load_checkpoint(checkpoint, params_key)
@@ -251,13 +307,16 @@ def run_campaigns(
             progress(done_trials, total_trials, time.monotonic() - started)
 
     def task_args(task: CampaignTask):
-        return (
+        args = (
             task,
             workload_by_name[task.workload],
             config,
             profiles_by_key[(task.workload, task.scheme)],
             inp,
         )
+        if trace_out is not None:
+            args += (shard_paths[task.key], trace_run)
+        return args
 
     map_chunks(
         _run_chunk,
@@ -283,7 +342,93 @@ def run_campaigns(
                 merged.merge(part)
         assert merged is not None
         results[(workload.name, scheme)] = merged
+
+    if trace_out is not None:
+        _merge_campaign_trace(
+            trace_out, trace_run, groups, tasks, chunks, results,
+            trials=trials, seed=seed, scale=scale, jobs=jobs,
+            chunk=chunk, config=config,
+        )
     return results
+
+
+def _merge_campaign_trace(
+    trace_out: str,
+    trace_run: str,
+    groups,
+    tasks: Sequence[CampaignTask],
+    chunks: Dict[str, dict],
+    results: Dict[Tuple[str, str], CampaignResult],
+    *,
+    trials: int,
+    seed: int,
+    scale: float,
+    jobs: int,
+    chunk: int,
+    config: Optional[RSkipConfig],
+) -> None:
+    """Merge per-chunk shard files into *trace_out* and write its manifest.
+
+    Shards are concatenated in task order — groups as given, chunks by
+    trial start — never completion order, so the merged trace is
+    byte-identical for any *jobs*.  A missing shard means the chunk came
+    from a checkpoint written by an untraced (or cleaned-up) run; the
+    merge fails loudly rather than produce a silently partial trace.
+    """
+    from ..runtime.backend import default_backend
+
+    shard_dir = trace_out + ".shards"
+    ordered: List[CampaignTask] = []
+    for workload, scheme, _profiles in groups:
+        ordered.extend(sorted(
+            (t for t in tasks
+             if t.workload == workload.name and t.scheme == scheme),
+            key=lambda t: t.start,
+        ))
+    merged_events = merge_traces(
+        [os.path.join(shard_dir, t.key.replace("|", "_") + ".jsonl")
+         for t in ordered],
+        trace_out,
+        missing_hint=(
+            "chunk was restored from a checkpoint that predates tracing; "
+            "delete the checkpoint file and re-run with --trace-out"
+        ),
+    )
+
+    spans = [
+        (f"shard:{t.key}", chunks[t.key]["elapsed_ms"])
+        for t in ordered if "elapsed_ms" in chunks[t.key]
+    ]
+    fingerprints: Dict[str, str] = {}
+    for t in ordered:
+        label = f"{t.workload}|{t.scheme}"
+        print_ = chunks[t.key].get("fingerprint")
+        if print_ and label not in fingerprints:
+            fingerprints[label] = print_
+    totals: Dict[str, int] = {"trials": 0, "caught": 0, "detected": 0,
+                              "false_negatives": 0}
+    for result in results.values():
+        totals["trials"] += result.trials
+        totals["caught"] += result.caught
+        totals["detected"] += result.detected
+        totals["false_negatives"] += result.false_negatives
+        for outcome, count in result.tallies.items():
+            name = getattr(outcome, "name", str(outcome))
+            totals[name] = totals.get(name, 0) + count
+
+    RunManifest(
+        run=trace_run,
+        command="campaign",
+        backend=default_backend(),
+        config=repr(config),
+        params={"trials": trials, "seed": seed, "scale": scale,
+                "jobs": jobs, "chunk": chunk,
+                "groups": [f"{w.name}|{s}" for w, s, _ in groups]},
+        fingerprints=fingerprints,
+        totals=totals,
+        events=merged_events,
+        spans=spans,
+    ).write(trace_out)
 
 
 def run_campaign_parallel(
@@ -300,12 +445,13 @@ def run_campaign_parallel(
     resume: bool = False,
     progress: Optional[ProgressFn] = None,
     chunk: int = DEFAULT_CHUNK,
+    trace_out: Optional[str] = None,
 ) -> CampaignResult:
     """One (workload, scheme) campaign on the parallel engine."""
     results = run_campaigns(
         [(workload, scheme, profiles)], trials=trials, seed=seed, scale=scale,
         config=config, jobs=jobs, checkpoint=checkpoint, resume=resume,
-        progress=progress, chunk=chunk, inp=inp,
+        progress=progress, chunk=chunk, inp=inp, trace_out=trace_out,
     )
     return results[(workload.name, scheme)]
 

@@ -17,6 +17,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import RSkipConfig
 from ..core.manager import LoopProfile
+from ..obs.events import (
+    TRIAL_OUTCOME,
+    emit as obs_emit,
+    enabled as obs_enabled,
+)
 from ..runtime.errors import (
     CoreDumpError,
     FaultDetectedError,
@@ -259,27 +264,36 @@ def run_trial_block(
         trap, output, loop_output, _, detected = _run_once(
             prepared, workload, inp, plan, ctx.region, ctx.max_steps
         )
+        caught = False
         if runtime is not None:
             if runtime.stats_delta(snapshot).recompute_mismatches > 0:
+                caught = True
                 result.caught += 1
+        false_negative = False
         if detected:
             result.detected += 1
-            result.tallies[Outcome.CORE_DUMP] += 1  # aborted execution
-            continue
-        if trap == "segfault":
-            result.tallies[Outcome.SEGFAULT] += 1
-            continue
-        if trap == "hang":
-            result.tallies[Outcome.HANG] += 1
-            continue
-        if trap == "coredump":
-            result.tallies[Outcome.CORE_DUMP] += 1
-            continue
-        outcome = classify_output(ctx.golden, output)
+            outcome = Outcome.CORE_DUMP  # aborted execution
+        elif trap == "segfault":
+            outcome = Outcome.SEGFAULT
+        elif trap == "hang":
+            outcome = Outcome.HANG
+        elif trap == "coredump":
+            outcome = Outcome.CORE_DUMP
+        else:
+            outcome = classify_output(ctx.golden, output)
+            if runtime is not None and not outputs_equal(
+                    ctx.golden_loop, loop_output):
+                false_negative = True
+                result.false_negatives += 1
+                result.fn_by_outcome[outcome] += 1
         result.tallies[outcome] += 1
-        if runtime is not None and not outputs_equal(ctx.golden_loop, loop_output):
-            result.false_negatives += 1
-            result.fn_by_outcome[outcome] += 1
+        if obs_enabled():
+            obs_emit(
+                TRIAL_OUTCOME,
+                workload=workload.name, scheme=prepared.scheme, trial=trial,
+                outcome=outcome.name, trap=trap, detected=detected,
+                caught=caught, false_negative=false_negative,
+            )
     return result
 
 

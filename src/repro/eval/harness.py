@@ -8,6 +8,7 @@ from ..core.config import PAPER_ACCEPTABLE_RANGES, RSkipConfig
 from ..core.manager import LoopProfile, SkipStats
 from ..core.training import collect_traces, enable_recording, train_profiles
 from ..ir.verifier import verify_module
+from ..obs.events import span as obs_span
 from ..runtime.backend import make_executor
 from ..runtime.interpreter import RunResult
 from ..runtime.outcomes import outputs_equal
@@ -74,8 +75,9 @@ class Harness:
         prepared = prepare(self.workload, rskip_label(self.config.acceptable_range),
                            self.config)
         enable_recording(prepared.application.runtime)
-        for inp in self.workload.training_inputs(self.train_count, self.seed, self.scale):
-            self._execute(prepared, inp, timing=False)
+        with obs_span(f"train.record:{self.workload.name}"):
+            for inp in self.workload.training_inputs(self.train_count, self.seed, self.scale):
+                self._execute(prepared, inp, timing=False)
         self._traces = collect_traces(prepared.application.runtime)
         self._memo_keys = [
             layout.key for layout in prepared.application.layouts
@@ -153,7 +155,8 @@ class Harness:
             # this run's stats delta — never the cumulative counters
             runtime.reset()
             before = runtime.total_stats()
-        result, output = self._execute(prepared, inp)
+        with obs_span(f"measure:{self.workload.name}:{prepared.scheme}"):
+            result, output = self._execute(prepared, inp)
         stats = None
         skip = None
         if runtime is not None:

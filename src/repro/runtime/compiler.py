@@ -52,6 +52,7 @@ from ..ir.instructions import Opcode
 from ..ir.module import Module
 from ..ir.printer import format_module
 from ..ir.values import Const, GlobalAddr, Reg
+from ..obs.events import enabled as obs_enabled, span as obs_span
 from .errors import CoreDumpError, HangError
 from .interpreter import (
     _CODE,
@@ -723,7 +724,13 @@ class CompiledExecutor:
         if self._G is None:
             mem = self.memory
             self._G = [mem.global_addr(n) for n in self._cm.global_names]
-        value = self._invoke(self._cm.function(func_name), list(args))
+        # the compiled backend only ever serves clean runs, so (unlike the
+        # reference interpreter) every run may carry a timing span
+        if obs_enabled():
+            with obs_span(f"compiled.run:@{func_name}"):
+                value = self._invoke(self._cm.function(func_name), list(args))
+        else:
+            value = self._invoke(self._cm.function(func_name), list(args))
         if self.fault_region is None:
             # region None means "everything is in region" for the reference
             # interpreter — every architectural step, never intrinsic charges

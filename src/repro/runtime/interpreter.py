@@ -25,6 +25,7 @@ from ..ir.function import Function
 from ..ir.instructions import CmpPred, Opcode
 from ..ir.module import Module
 from ..ir.values import Const, GlobalAddr, Reg
+from ..obs.events import enabled as obs_enabled, span as obs_span
 from .errors import CoreDumpError, HangError
 from .faults import FaultPlan, Region, flip_value
 from .memory import Memory
@@ -191,7 +192,13 @@ class Interpreter:
                 f"@{func_name} expects {len(func.params)} arguments, got {len(args)}"
             )
         times = [0] * len(args)
-        value, _ = self._run_function(func, list(args), times, depth=0)
+        # span clean runs only: faulted trials emit their own per-trial
+        # events and a per-run span would swamp the manifest
+        if self.fault_plan is None and obs_enabled():
+            with obs_span(f"ref.run:@{func_name}"):
+                value, _ = self._run_function(func, list(args), times, depth=0)
+        else:
+            value, _ = self._run_function(func, list(args), times, depth=0)
         tm = self.timing
         return RunResult(
             value=value,

@@ -1,0 +1,97 @@
+"""Regression: the memo-QoS disable must be windowed, not whole-life.
+
+Pre-fix, ``LoopRuntime.exit()`` judged memo accuracy over cumulative
+``skipped_memo + memo_mispredictions`` counters, so a long accurate
+prefix masked a predictor that a workload phase change had made stale —
+the exact failure the interpolation path's recent-execution window was
+built to avoid.  These tests drive the decision logic directly through
+the per-execution counters and pin the windowed behaviour.
+"""
+from repro.core import LoopProfile, LoopRuntime, MemoTable, RSkipConfig
+from repro.core.manager import MEMO_QOS_MIN_ATTEMPTS, QOS_RECENT_EXECUTIONS
+from repro.core.memoization import InputQuantizer
+
+
+def make_memo_runtime(**cfg_kwargs):
+    profile = LoopProfile(
+        memo=MemoTable([InputQuantizer([5.0])], [1], {(0,): 1.0, (1,): 10.0})
+    )
+    config = RSkipConfig(acceptable_range=0.2, **cfg_kwargs)
+    return LoopRuntime("test:memo-loop", config, profile)
+
+
+def memo_execution(runtime, hits=0, misses=0):
+    """One loop execution whose memo predictor saw *hits* and *misses*."""
+    runtime.enter()
+    runtime.stats.skipped_memo += hits
+    runtime.stats.memo_mispredictions += misses
+    runtime.exit()
+
+
+class TestWindowedMemoQoS:
+    def test_long_accurate_prefix_does_not_mask_stale_table(self):
+        """After a phase change makes the table stale, the memo predictor
+        must disable within the recent-execution window — however long
+        and accurate its earlier history was."""
+        runtime = make_memo_runtime()
+        per_exec = MEMO_QOS_MIN_ATTEMPTS  # every execution fills the window
+
+        for _ in range(50):  # long, perfectly accurate history
+            memo_execution(runtime, hits=per_exec)
+        assert runtime.memo_active
+
+        # stale-table phase: every prediction now misses.  Cumulative
+        # accuracy stays ~0.86 after a full window of misses (the pre-fix
+        # code never disables here); the windowed check must.
+        for n in range(1, QOS_RECENT_EXECUTIONS + 1):
+            memo_execution(runtime, misses=per_exec)
+            if not runtime.memo_active:
+                break
+        assert not runtime.memo_active, (
+            "stale memo predictor survived a full recent-execution window"
+        )
+        assert n <= QOS_RECENT_EXECUTIONS
+
+    def test_small_recent_sample_does_not_disable(self):
+        """Below MEMO_QOS_MIN_ATTEMPTS recent attempts the verdict is
+        withheld — a couple of misses must not kill the predictor."""
+        runtime = make_memo_runtime()
+        memo_execution(runtime, misses=MEMO_QOS_MIN_ATTEMPTS // 4)
+        assert runtime.memo_active
+
+    def test_accurate_recent_window_keeps_memo_enabled(self):
+        runtime = make_memo_runtime()
+        for _ in range(3 * QOS_RECENT_EXECUTIONS):
+            memo_execution(runtime, hits=MEMO_QOS_MIN_ATTEMPTS)
+        assert runtime.memo_active
+
+    def test_window_slides_past_old_executions(self):
+        """Executions older than the window must not influence the
+        verdict: misses followed by > window accurate executions leave a
+        fully accurate window."""
+        runtime = make_memo_runtime()
+        # seed misses that would poison a cumulative check of the same
+        # magnitude, but keep each execution below the disable sample
+        for _ in range(QOS_RECENT_EXECUTIONS):
+            memo_execution(runtime, misses=MEMO_QOS_MIN_ATTEMPTS // 2,
+                           hits=MEMO_QOS_MIN_ATTEMPTS // 2)
+        for _ in range(QOS_RECENT_EXECUTIONS):
+            memo_execution(runtime, hits=MEMO_QOS_MIN_ATTEMPTS)
+        assert runtime.memo_active
+        assert sum(h for _, h in runtime._memo_recent) == sum(
+            a for a, _ in runtime._memo_recent
+        )
+
+    def test_reset_clears_memo_window(self):
+        runtime = make_memo_runtime()
+        for _ in range(QOS_RECENT_EXECUTIONS):
+            memo_execution(runtime, misses=MEMO_QOS_MIN_ATTEMPTS)
+        assert not runtime.memo_active
+        runtime.reset()
+        assert runtime.memo_active
+        assert not runtime._memo_recent
+        assert runtime._memo_enter_mark == (0, 0)
+        # a fresh accurate run stays enabled after the reset
+        for _ in range(QOS_RECENT_EXECUTIONS):
+            memo_execution(runtime, hits=MEMO_QOS_MIN_ATTEMPTS)
+        assert runtime.memo_active

@@ -1,0 +1,12 @@
+import pytest
+
+from repro.obs import remove_sink
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_sink():
+    """The sink is process-global state: a test that fails mid-trace must
+    not poison every test after it."""
+    remove_sink()
+    yield
+    remove_sink()

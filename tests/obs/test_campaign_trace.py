@@ -1,0 +1,93 @@
+"""Campaign tracing: per-shard files, deterministic merge, manifests."""
+import os
+
+import pytest
+
+from repro.eval import Harness
+from repro.eval.campaign_engine import run_campaign_parallel, run_campaigns
+from repro.obs import RunManifest, load_trace
+from repro.workloads import get_workload
+
+SCALE = 0.35
+TRIALS = 10
+
+
+@pytest.fixture(scope="module")
+def conv1d():
+    return get_workload("conv1d")
+
+
+@pytest.fixture(scope="module")
+def conv1d_profiles(conv1d):
+    return Harness(conv1d, scale=SCALE, timing=False).profiles_for(1.0)
+
+
+def run_traced(conv1d, profiles, out, jobs, chunk=3):
+    result = run_campaign_parallel(
+        conv1d, "AR100", TRIALS, scale=SCALE, profiles=profiles,
+        jobs=jobs, chunk=chunk, trace_out=out,
+    )
+    with open(out, "rb") as handle:
+        return result, handle.read()
+
+
+class TestTraceByteIdentity:
+    def test_parallel_trace_matches_serial(self, conv1d, conv1d_profiles,
+                                           tmp_path):
+        """The headline contract: --jobs 1 and --jobs 2 produce
+        byte-identical merged traces AND identical tallies."""
+        serial, serial_bytes = run_traced(
+            conv1d, conv1d_profiles, str(tmp_path / "serial.jsonl"), jobs=1)
+        parallel, parallel_bytes = run_traced(
+            conv1d, conv1d_profiles, str(tmp_path / "parallel.jsonl"), jobs=2)
+        assert serial_bytes == parallel_bytes
+        assert serial_bytes  # a trace was actually written
+        assert dict(serial.tallies) == dict(parallel.tallies)
+        assert (serial.caught, serial.detected, serial.false_negatives) == \
+            (parallel.caught, parallel.detected, parallel.false_negatives)
+
+    def test_chunking_does_not_change_the_trace(self, conv1d, conv1d_profiles,
+                                                tmp_path):
+        _, a = run_traced(conv1d, conv1d_profiles,
+                          str(tmp_path / "c3.jsonl"), jobs=1, chunk=3)
+        _, b = run_traced(conv1d, conv1d_profiles,
+                          str(tmp_path / "c7.jsonl"), jobs=1, chunk=7)
+        assert a == b
+
+
+class TestTraceContents:
+    def test_shards_manifest_and_events(self, conv1d, conv1d_profiles,
+                                        tmp_path):
+        out = str(tmp_path / "trace.jsonl")
+        result, _ = run_traced(conv1d, conv1d_profiles, out, jobs=1, chunk=4)
+
+        shard_dir = out + ".shards"
+        shards = sorted(os.listdir(shard_dir))
+        assert len(shards) == 3  # 10 trials in chunks of 4 -> 4+4+2
+
+        events = load_trace(out)
+        assert [e.seq for e in events] == list(range(len(events)))
+        assert len({e.run for e in events}) == 1  # shards share one run id
+        trials = [e for e in events if e.kind == "trial-outcome"]
+        assert len(trials) == TRIALS
+        assert [e.payload["trial"] for e in trials] == list(range(TRIALS))
+        outcome_names = {o.name for o in result.tallies}
+        assert {e.payload["outcome"] for e in trials} == outcome_names
+
+        manifest = RunManifest.load(out)
+        assert manifest is not None
+        assert manifest.command == "campaign"
+        assert manifest.events == len(events)
+        assert manifest.totals["trials"] == TRIALS
+        assert manifest.run == events[0].run
+        assert len(manifest.spans) == 3  # one wall-clock span per shard
+        assert manifest.fingerprints  # module fingerprint recorded
+
+    def test_untraced_campaign_writes_nothing(self, conv1d, conv1d_profiles,
+                                              tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        run_campaigns(
+            [(conv1d, "AR100", conv1d_profiles)], trials=TRIALS, scale=SCALE,
+            jobs=1,
+        )
+        assert os.listdir(tmp_path) == []

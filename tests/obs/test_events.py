@@ -1,0 +1,87 @@
+"""The emit/enabled/span contracts of the event layer."""
+import pytest
+
+from repro.obs import (
+    Event,
+    MemorySink,
+    emit,
+    enabled,
+    install_sink,
+    remove_sink,
+    sink_installed,
+    span,
+)
+
+
+class TestEmit:
+    def test_disabled_by_default(self):
+        assert not enabled()
+        emit("skip", loop="main:l", count=1)  # dropped, not an error
+
+    def test_events_reach_the_sink(self):
+        with sink_installed(MemorySink(), run_id="r1") as sink:
+            assert enabled()
+            emit("skip", loop="main:l", count=3)
+            emit("exec", elements=10, skipped=4)
+        event = sink.events[0]
+        assert (event.kind, event.loop, event.run) == ("skip", "main:l", "r1")
+        assert event.payload == {"count": 3}
+        assert sink.events[1].loop is None
+
+    def test_seq_is_monotonic_and_restarts_per_install(self):
+        with sink_installed(MemorySink()) as first:
+            for _ in range(5):
+                emit("skip")
+        with sink_installed(MemorySink()) as second:
+            emit("skip")
+        assert [e.seq for e in first.events] == [0, 1, 2, 3, 4]
+        assert second.events[0].seq == 0
+
+    def test_second_install_raises(self):
+        install_sink(MemorySink())
+        with pytest.raises(RuntimeError, match="already installed"):
+            install_sink(MemorySink())
+        remove_sink()
+
+    def test_remove_returns_the_sink(self):
+        sink = MemorySink()
+        install_sink(sink)
+        assert remove_sink() is sink
+        assert remove_sink() is None
+
+
+class TestSpan:
+    def test_noop_without_sink(self):
+        with span("anything"):
+            pass  # must not raise, must not require a sink
+
+    def test_records_label_and_elapsed(self):
+        with sink_installed(MemorySink()) as sink:
+            with span("work"):
+                pass
+        assert len(sink.spans) == 1
+        label, ms = sink.spans[0]
+        assert label == "work" and ms >= 0.0
+
+    def test_spans_never_enter_the_event_stream(self):
+        """Wall-clock lives in the manifest channel only — the trace body
+        stays deterministic."""
+        with sink_installed(MemorySink()) as sink:
+            with span("work"):
+                emit("exec", elements=1, skipped=0)
+        assert [e.kind for e in sink.events] == ["exec"]
+
+
+class TestEventSerialization:
+    def test_roundtrip(self):
+        event = Event(7, "run1", "qos-disable", "main:l",
+                      {"predictor": "memo", "recent_attempts": 64})
+        assert Event.from_line(event.to_line()) == event
+
+    def test_canonical_line_is_stable(self):
+        """Key order and separators are pinned: equal events serialize to
+        identical bytes, the foundation of trace byte-identity."""
+        a = Event(0, "r", "skip", "l", {"b": 1, "a": 2})
+        b = Event(0, "r", "skip", "l", {"a": 2, "b": 1})
+        assert a.to_line() == b.to_line()
+        assert " " not in a.to_line()

@@ -1,0 +1,83 @@
+"""Trace-report rendering on synthetic event streams."""
+from repro.obs import Event, RunManifest, render_trace_report
+from repro.obs.report import _timeline
+
+
+def ev(seq, kind, loop=None, **payload):
+    return Event(seq, "run1", kind, loop, payload)
+
+
+def synthetic_trace():
+    return [
+        ev(0, "exec", "main:l", execution=1, elements=100, skipped=80),
+        ev(1, "exec", "main:l", execution=2, elements=100, skipped=20),
+        ev(2, "phase-cut", "main:l", phase=1, start=0, end=9, points=10,
+           interior_failures=1, memo_misses=0),
+        ev(3, "skip", "main:l", predictor="interp", count=40, phase=1),
+        ev(4, "skip", "main:l", predictor="memo", count=10, phase=1),
+        ev(5, "recompute", "main:l", count=5, endpoints=2, phase=1),
+        ev(6, "tp-adjust", "main:l", old=30.0, new=15.0, signature="s1"),
+        ev(7, "qos-disable", "main:l", predictor="memo",
+           recent_attempts=64, recent_hits=8, threshold=0.5),
+        ev(8, "recovery", "main:l", stage="detect", index=3),
+        ev(9, "recovery", "main:l", stage="vote", verdict="master", index=3),
+        ev(10, "trial-outcome", workload="conv1d", scheme="AR100", trial=0,
+           outcome="CORRECT", trap=None, detected=False, caught=True,
+           false_negative=False),
+        ev(11, "trial-outcome", workload="conv1d", scheme="AR100", trial=1,
+           outcome="SDC", trap=None, detected=False, caught=False,
+           false_negative=True),
+        ev(12, "train-loop", "main:l", executions=5, elements=500,
+           default_tp=30.0, qos_entries=4, memo=True),
+    ]
+
+
+class TestRenderTraceReport:
+    def test_all_sections_render(self):
+        text = render_trace_report(synthetic_trace())
+        assert "trace: 13 events" in text
+        assert "-- per-loop activity --" in text
+        assert "skip-rate timeline" in text
+        assert "QOS DISABLE [memo] at seq 7" in text
+        assert "recent_attempts=64" in text  # the disable cause is spelled out
+        assert "tp adjustments 1: 30.0 -> … -> 15.0" in text
+        assert "recovery: 1 mismatches, 1 votes (master=1)" in text
+        assert "-- SFI trials --" in text
+        assert "conv1d/AR100: 2 trials" in text
+        assert "CORRECT=1, SDC=1" in text
+        assert "false negatives 1" in text
+        assert "-- offline training --" in text
+        assert "5 traces, 500 elements" in text
+
+    def test_manifest_summary(self):
+        manifest = RunManifest(
+            run="r1", command="run", backend="compiled",
+            params={"scale": 0.35, "config": "hidden"},
+            fingerprints={"conv1d|AR100": "a" * 64},
+            spans=[("train:main:l", 12.5)],
+        )
+        text = render_trace_report(synthetic_trace(), manifest)
+        assert "command=run backend=compiled" in text
+        assert "scale=0.35" in text
+        assert "config" not in text.split("manifest:")[1].splitlines()[0]
+        assert "module conv1d|AR100: aaaaaaaaaaaaaaaa…" in text
+        assert "train:main:l" in text
+
+    def test_empty_trace_renders(self):
+        assert render_trace_report([]).startswith("trace: 0 events")
+
+
+class TestTimeline:
+    def test_one_char_per_execution_when_short(self):
+        assert len(_timeline([0.0, 0.5, 1.0])) == 3
+        assert _timeline([0.0])[0] == " "
+        assert _timeline([1.0])[0] == "@"
+
+    def test_long_runs_bucket_to_width(self):
+        assert len(_timeline([0.5] * 500, width=60)) == 60
+
+    def test_monotone_rates_render_monotone(self):
+        chars = _timeline([i / 9 for i in range(10)])
+        ramp = " .:-=+*#@"
+        assert [ramp.index(c) for c in chars] == sorted(
+            ramp.index(c) for c in chars)

@@ -1,0 +1,127 @@
+"""Sinks, shard merging and run manifests."""
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    Event,
+    JsonlSink,
+    MemorySink,
+    RunManifest,
+    emit,
+    manifest_path_for,
+    merge_traces,
+    read_trace,
+    run_id_for,
+    sink_installed,
+)
+
+
+class TestMemorySink:
+    def test_ring_is_bounded_and_counts_drops(self):
+        sink = MemorySink(capacity=4)
+        for i in range(10):
+            sink.write(Event(i, "r", "skip"))
+        assert len(sink.events) == 4
+        assert sink.dropped == 6
+        assert [e.seq for e in sink.events] == [6, 7, 8, 9]  # oldest first out
+
+    def test_kinds_histogram(self):
+        sink = MemorySink()
+        for kind in ("skip", "skip", "exec"):
+            sink.write(Event(0, "r", kind))
+        assert sink.kinds() == {"skip": 2, "exec": 1}
+
+
+class TestJsonlSink:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with sink_installed(JsonlSink(path)) as sink:
+            emit("skip", loop="main:l", count=2)
+            emit("trial-outcome", outcome="SDC", trial=3)
+        sink.close()
+        assert sink.count == 2
+        events = read_trace(path)
+        assert [e.kind for e in events] == ["skip", "trial-outcome"]
+        assert events[1].payload == {"outcome": "SDC", "trial": 3}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "t.jsonl")
+        JsonlSink(path).close()
+        assert os.path.exists(path)
+
+
+class TestMergeTraces:
+    def _shard(self, tmp_path, name, kinds):
+        path = str(tmp_path / name)
+        with JsonlSink(path) as sink:
+            for i, kind in enumerate(kinds):
+                sink.write(Event(i, "run", kind))
+        return path
+
+    def test_reseq_is_monotonic_across_shards(self, tmp_path):
+        a = self._shard(tmp_path, "a.jsonl", ["skip", "exec"])
+        b = self._shard(tmp_path, "b.jsonl", ["recovery"])
+        out = str(tmp_path / "merged.jsonl")
+        count = merge_traces([a, b], out)
+        merged = read_trace(out)
+        assert count == 3
+        assert [e.seq for e in merged] == [0, 1, 2]
+        assert [e.kind for e in merged] == ["skip", "exec", "recovery"]
+
+    def test_equal_content_merges_byte_identically(self, tmp_path):
+        """However events were sharded, equal content in equal order makes
+        equal bytes — what pins parallel == serial campaign traces."""
+        kinds = ["skip", "exec", "recovery", "phase-cut"]
+        one = self._shard(tmp_path, "whole.jsonl", kinds)
+        first = self._shard(tmp_path, "h1.jsonl", kinds[:2])
+        second = self._shard(tmp_path, "h2.jsonl", kinds[2:])
+        out_a, out_b = str(tmp_path / "a.out"), str(tmp_path / "b.out")
+        merge_traces([one], out_a)
+        merge_traces([first, second], out_b)
+        with open(out_a, "rb") as fa, open(out_b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_missing_shard_fails_loudly_with_hint(self, tmp_path):
+        a = self._shard(tmp_path, "a.jsonl", ["skip"])
+        out = str(tmp_path / "merged.jsonl")
+        with pytest.raises(FileNotFoundError, match="delete the checkpoint"):
+            merge_traces([a, str(tmp_path / "gone.jsonl")], out,
+                         missing_hint="delete the checkpoint")
+        assert not os.path.exists(out)
+        assert not os.path.exists(out + ".tmp")
+
+
+class TestRunManifest:
+    def test_write_load_roundtrip(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        RunManifest(
+            run="abc123", command="run", backend="compiled",
+            params={"scale": 0.35}, fingerprints={"w|AR50": "f" * 64},
+            totals={"elements": 100}, events=7, spans=[("train:l", 1.5)],
+        ).write(trace)
+        loaded = RunManifest.load(trace)
+        assert loaded.run == "abc123"
+        assert loaded.params == {"scale": 0.35}
+        assert loaded.spans == [("train:l", 1.5)]
+        assert loaded.events == 7
+        assert loaded.written_at > 0
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert RunManifest.load(str(tmp_path / "none.jsonl")) is None
+
+    def test_version_mismatch_raises(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        path = manifest_path_for(trace)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": 999, "run": "x", "command": "run"}, handle)
+        with pytest.raises(ValueError, match="unsupported manifest version"):
+            RunManifest.load(trace)
+
+
+class TestRunId:
+    def test_deterministic_and_parameter_sensitive(self):
+        assert run_id_for("run", "lud", 0.35) == run_id_for("run", "lud", 0.35)
+        assert run_id_for("run", "lud", 0.35) != run_id_for("run", "lud", 0.45)
+        assert len(run_id_for("x")) == 12
