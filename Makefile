@@ -8,8 +8,11 @@ test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 ## tier-1 suite + backend-equivalence smoke (O4 over 60 generated programs)
+## + artifact-cache byte-identity over the checked-in corpus (off vs on)
 verify: test
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --oracle o4 --n 60
+	PYTHONPATH=$(PYTHONPATH) REPRO_CACHE=off $(PYTHON) -m repro cache-check
+	PYTHONPATH=$(PYTHONPATH) REPRO_CACHE=on $(PYTHON) -m repro cache-check
 
 ## regenerate every table & figure
 bench:

@@ -92,6 +92,7 @@ def test_ablation_core_width(benchmark, bench_scale):
     overhead, while a wide core hides much of it (the paper's IPC
     argument, Figure 7d, as a sensitivity study)."""
     from repro.eval import prepare
+    from repro.pipeline import SWIFT_R, UNSAFE
     from repro.runtime import Interpreter, TimingModel
     from repro.workloads import get_workload
 
@@ -100,7 +101,7 @@ def test_ablation_core_width(benchmark, bench_scale):
 
     def overhead(preset):
         out = {}
-        for scheme in ("UNSAFE", "SWIFT-R"):
+        for scheme in (UNSAFE, SWIFT_R):
             prepared = prepare(workload, scheme)
             memory = workload.fresh_memory(prepared.module, inp)
             tm = TimingModel.from_preset(preset)
@@ -108,7 +109,7 @@ def test_ablation_core_width(benchmark, bench_scale):
             interp.register_intrinsics(prepared.intrinsics)
             interp.run(prepared.main, inp.args)
             out[scheme] = tm.cycles
-        return out["SWIFT-R"] / out["UNSAFE"]
+        return out[SWIFT_R] / out[UNSAFE]
 
     def sweep():
         return {p: overhead(p) for p in ("inorder-2", "ooo-4", "ooo-8")}

@@ -12,10 +12,9 @@ tallies are identical for any value).
 import os
 
 from repro.eval import Harness, figure9, reporting
+from repro.pipeline import PAPER_SCHEMES as SCHEMES
 from repro.runtime import Outcome
 from repro.workloads import ALL_WORKLOADS
-
-SCHEMES = ("UNSAFE", "SWIFT-R", "AR20", "AR50", "AR80", "AR100")
 
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 

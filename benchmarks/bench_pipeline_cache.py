@@ -1,0 +1,164 @@
+"""Pipeline artifact-cache effectiveness: cold vs warm protection time.
+
+Protecting a module (cleanup pipeline + scheme passes) is the expensive
+compile-time stage that campaign workers, difftest oracles and
+benchmarks repeat hundreds of times on identical inputs.  The
+fingerprint-keyed artifact cache replaces that work with a parse of the
+stored IR text plus a runtime rebuild — this bench pins how much that
+buys, per scheme, over the checked-in difftest corpus, and the same for
+the trained-profile artifact.
+
+``python benchmarks/bench_pipeline_cache.py`` writes the numbers to
+``BENCH_pipeline_cache.json`` at the repository root; the pytest wrapper
+asserts a warm cache is measurably faster than protecting from scratch.
+"""
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from repro.eval import Harness
+from repro.ir.parser import parse_module
+from repro.pipeline import ArtifactCache, protect
+from repro.workloads import get_workload
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "difftest", "corpus")
+SCHEMES = ("SWIFT-R", "AR20")
+REPEATS = int(os.environ.get("REPRO_BENCH_CACHE_REPEATS", "5"))
+
+#: Contract: a warm cache must at least halve scheme-application time
+#: (geomean across corpus programs and schemes).
+REQUIRED_SPEEDUP = 2.0
+
+
+def corpus_texts():
+    out = {}
+    for filename in sorted(os.listdir(CORPUS_DIR)):
+        if filename.endswith(".ir"):
+            with open(os.path.join(CORPUS_DIR, filename),
+                      encoding="utf-8") as handle:
+                out[filename[:-3]] = handle.read()
+    return out
+
+
+def measure_protection():
+    """cold (cache bypassed) vs warm (hit) protect() time per program."""
+    results = {}
+    for name, text in corpus_texts().items():
+        per_scheme = {}
+        for scheme in SCHEMES:
+            holder = {}
+
+            def parse_fresh():
+                # parsing stays outside the timed region on both paths;
+                # cold protection mutates in place, so every run needs a
+                # fresh module
+                holder["module"] = parse_module(text)
+
+            cold_ms = _run_best(
+                lambda: protect(holder["module"], scheme, optimize=True,
+                                use_cache=False),
+                setup=parse_fresh,
+            )
+
+            cache = ArtifactCache()
+            protect(parse_module(text), scheme, optimize=True, cache=cache)
+            warm_ms = _run_best(
+                lambda: protect(holder["module"], scheme, optimize=True,
+                                cache=cache),
+                setup=parse_fresh,
+            )
+            assert cache.hits >= 1
+            per_scheme[scheme] = {
+                "cold_ms": round(cold_ms, 3),
+                "warm_ms": round(warm_ms, 3),
+                "speedup": round(cold_ms / warm_ms, 2) if warm_ms else 0.0,
+            }
+        results[name] = per_scheme
+    return results
+
+
+def _run_best(fn, setup=None, repeats=REPEATS):
+    """Best wall-clock milliseconds over *repeats* timed runs."""
+    best = None
+    for _ in range(repeats + 1):
+        if setup is not None:
+            setup()
+        t0 = time.perf_counter()
+        fn()
+        elapsed = (time.perf_counter() - t0) * 1e3
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_training(scale=0.4):
+    """Trained-profile artifact: full training vs a cache hit."""
+    workload = get_workload("blackscholes")
+
+    cold = Harness(workload, scale=scale, timing=False, train_count=2)
+    t0 = time.perf_counter()
+    cold.profiles_for(0.2)  # fills the process-wide mem cache
+    cold_ms = (time.perf_counter() - t0) * 1e3
+
+    warm = Harness(workload, scale=scale, timing=False, train_count=2)
+    t0 = time.perf_counter()
+    warm.profiles_for(0.2)
+    warm_ms = (time.perf_counter() - t0) * 1e3
+    return {
+        "workload": workload.name,
+        "cold_ms": round(cold_ms, 3),
+        "warm_ms": round(warm_ms, 3),
+        "speedup": round(cold_ms / warm_ms, 2) if warm_ms else 0.0,
+    }
+
+
+def _geomean_speedup(protection):
+    speedups = [row["speedup"]
+                for per_scheme in protection.values()
+                for row in per_scheme.values()]
+    return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+
+
+def write_baseline(path="BENCH_pipeline_cache.json"):
+    protection = measure_protection()
+    training = measure_training()
+    payload = {
+        "benchmark": "pipeline artifact cache",
+        "unit": "milliseconds per protection (best of N)",
+        "repeats": REPEATS,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "protection_geomean_speedup": round(_geomean_speedup(protection), 2),
+        "protection": protection,
+        "trained_profiles": training,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_warm_cache_measurably_faster():
+    protection = measure_protection()
+    geomean = _geomean_speedup(protection)
+    print("\n== pipeline artifact cache ==")
+    for name, per_scheme in protection.items():
+        for scheme, row in per_scheme.items():
+            print(f"  {name} {scheme}: cold {row['cold_ms']:.2f}ms  "
+                  f"warm {row['warm_ms']:.2f}ms  ({row['speedup']:.2f}x)")
+    print(f"  geomean speedup: {geomean:.2f}x")
+    assert geomean >= REQUIRED_SPEEDUP
+
+
+def test_trained_profile_cache_hit_skips_training():
+    row = measure_training()
+    print(f"\n== trained-profile cache == cold {row['cold_ms']:.1f}ms  "
+          f"warm {row['warm_ms']:.1f}ms  ({row['speedup']:.2f}x)")
+    assert row["warm_ms"] < row["cold_ms"]
+
+
+if __name__ == "__main__":
+    payload = write_baseline()
+    print(json.dumps(payload, indent=2))

@@ -19,16 +19,27 @@ Package map (see DESIGN.md for the full inventory):
 * ``repro.runtime`` — interpreter, timing model, memory, fault injector
 * ``repro.transforms`` — SWIFT, SWIFT-R, DCE, constant folding
 * ``repro.core`` — RSkip: transform, predictors, runtime management, training
+* ``repro.pipeline`` — scheme registry, pass manager, artifact cache
 * ``repro.workloads`` — the nine Table 1 benchmarks
 * ``repro.eval`` — every figure and table of the evaluation
 """
-from . import analysis, core, eval, ir, runtime, transforms, workloads
+from . import analysis, core, eval, ir, pipeline, runtime, transforms, workloads
 from .driver import CompiledProgram, SCHEMES, compile_protected
+from .pipeline import (
+    SchemeDescriptor,
+    canonical_scheme,
+    get_scheme,
+    protect,
+    scheme_names,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "analysis", "core", "eval", "ir", "runtime", "transforms", "workloads",
+    "analysis", "core", "eval", "ir", "pipeline", "runtime", "transforms",
+    "workloads",
     "CompiledProgram", "SCHEMES", "compile_protected",
+    "SchemeDescriptor", "canonical_scheme", "get_scheme", "protect",
+    "scheme_names",
     "__version__",
 ]

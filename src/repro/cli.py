@@ -13,6 +13,8 @@
     python -m repro costratio
     python -m repro difftest [--seed 0] [--n 200] [--oracle all] [--shrink]
                              [--jobs 4]
+    python -m repro schemes
+    python -m repro cache-check [--corpus difftest/corpus]
     python -m repro run blackscholes --scheme AR50 --trace-out t.jsonl
     python -m repro campaign lud --scheme AR100 --trials 200 --jobs 4 \\
                              --trace-out t.jsonl
@@ -44,7 +46,26 @@ from .eval import (
     section73,
     table1,
 )
+from .pipeline.registry import PAPER_SCHEMES, canonical_scheme, get_scheme, scheme_names
 from .workloads import ALL_WORKLOADS, get_workload
+
+
+def _scheme_arg(value: str) -> str:
+    """argparse type for ``--scheme``: any registry spelling, canonicalized.
+
+    The accepted set comes from the scheme registry, so the CLI can never
+    drift from the schemes the library actually implements.
+    """
+    try:
+        return canonical_scheme(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+_SCHEME_HELP = (
+    f"protection scheme: one of {', '.join(scheme_names())} "
+    f"(any AR<k>; lowercase aliases like 'swift-r' and 'rskip' accepted)"
+)
 
 
 def _timed(label):
@@ -120,7 +141,7 @@ def _profile_source_factory(scale):
 def cmd_figure9(args) -> None:
     from .eval import eta_printer
 
-    schemes = ("UNSAFE", "SWIFT-R", "AR20", "AR50", "AR80", "AR100")
+    schemes = PAPER_SCHEMES
     sfi_scale = min(args.scale, 0.45)  # injection runs use smaller problems
     resume = getattr(args, "resume", False)
     checkpoint = getattr(args, "checkpoint", None)
@@ -233,6 +254,86 @@ def cmd_difftest(args) -> None:
         sys.exit(1)
 
 
+def cmd_schemes(args) -> None:
+    """List every registered protection scheme from the registry."""
+    from .pipeline import CLEANUP_PIPELINE, all_descriptors
+
+    print("registered protection schemes "
+          "(canonical name first; any alias is accepted everywhere):")
+    for desc in all_descriptors():
+        aliases = ", ".join(a for a in desc.aliases if a != desc.name)
+        passes = " -> ".join(desc.passes) if desc.passes else "(none)"
+        params = []
+        if desc.acceptable_range is not None:
+            params.append(f"acceptable_range={desc.acceptable_range:g}")
+        if desc.needs_training:
+            params.append("needs_training")
+        if desc.needs_runtime:
+            params.append("needs_runtime")
+        print(f"  {desc.name:<8} {desc.description}")
+        print(f"           aliases: {aliases or '-'}")
+        print(f"           passes:  {passes}")
+        if params:
+            print(f"           params:  {', '.join(params)}")
+    print(f"  (AR<k> is accepted for any integer k; 'rskip' resolves to "
+          f"the config's acceptable range)")
+    print(f"  cleanup pipeline before protection when optimizing: "
+          f"{' -> '.join(CLEANUP_PIPELINE)}")
+
+
+def cmd_cache_check(args) -> None:
+    """Byte-identity audit: cached vs uncached protection over the corpus."""
+    import glob
+
+    from .pipeline import ArtifactCache, protect, selfcheck_byte_identity
+    from .ir.parser import parse_module
+    from .ir.printer import format_module
+
+    paths = sorted(glob.glob(os.path.join(args.corpus, "*.ir")))
+    if not paths:
+        print(f"cache-check: no .ir programs under {args.corpus}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    problems: List[str] = []
+    with _timed(f"cache-check: {len(paths)} corpus programs "
+                f"x {{SWIFT, SWIFT-R, AR20}} x {{off, miss, hit, disk}}"):
+        for path in paths:
+            name = os.path.basename(path)
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            for problem in selfcheck_byte_identity(text):
+                problems.append(f"{name}: {problem}")
+
+            # disk tier: fill through one cache instance, read back through
+            # a fresh one sharing only the directory (cross-process shape)
+            import tempfile
+
+            with tempfile.TemporaryDirectory(prefix="repro-cache-") as tmp:
+                baseline = protect(parse_module(text), "AR20",
+                                   optimize=True, use_cache=False)
+                writer = ArtifactCache(directory=tmp)
+                protect(parse_module(text), "AR20", optimize=True,
+                        cache=writer)
+                reader = ArtifactCache(directory=tmp)
+                hit = protect(parse_module(text), "AR20", optimize=True,
+                              cache=reader)
+                if not hit.cache_hit or reader.disk_hits != 1:
+                    problems.append(
+                        f"{name}: disk store did not serve the re-protection")
+                elif (format_module(hit.module)
+                        != format_module(baseline.module)):
+                    problems.append(
+                        f"{name}: disk-cache module differs from uncached")
+        for problem in problems:
+            print(f"   MISMATCH {problem}")
+        if not problems:
+            print(f"   all protected modules byte-identical with the "
+                  f"cache off, cold, warm and disk-backed")
+    if problems:
+        sys.exit(1)
+
+
 def cmd_run(args) -> None:
     """One measured (workload, scheme) execution, optionally traced."""
     from dataclasses import asdict
@@ -299,10 +400,11 @@ def cmd_campaign(args) -> None:
 
     workload = get_workload(args.workload)
     sfi_scale = min(args.scale, 0.45)
+    descriptor = get_scheme(args.scheme)
     profiles = None
-    if args.scheme.startswith("AR"):
+    if descriptor.needs_training:
         profiles = _profile_source_factory(sfi_scale)(
-            workload, int(args.scheme[2:]) / 100.0
+            workload, descriptor.acceptable_range
         )
     label = f"{args.trials} trials"
     if args.jobs > 1:
@@ -447,6 +549,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory shrunk counterexamples are written to "
                           "(default difftest/corpus)")
     pdt.set_defaults(fn=cmd_difftest)
+    psch = sub.add_parser(
+        "schemes",
+        help="list registered protection schemes, aliases and pass lists",
+    )
+    psch.set_defaults(fn=cmd_schemes)
+    pcc = sub.add_parser(
+        "cache-check",
+        help="verify cached and uncached protection are byte-identical "
+             "over the difftest corpus",
+    )
+    pcc.add_argument("--corpus", default="difftest/corpus",
+                     help="directory of .ir programs to audit "
+                          "(default difftest/corpus)")
+    pcc.set_defaults(fn=cmd_cache_check)
     pall = sub.add_parser("all")
     pall.add_argument("--trials", type=int, default=60)
     pall.add_argument("--inputs", type=int, default=10)
@@ -455,7 +571,8 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run one workload under one scheme, optionally tracing"
     )
     prun.add_argument("workload")
-    prun.add_argument("--scheme", default="AR50")
+    prun.add_argument("--scheme", type=_scheme_arg, default="AR50",
+                      help=_SCHEME_HELP)
     prun.add_argument("--seed", type=int, default=1)
     prun.add_argument("--trace-out", default=None, metavar="TRACE.jsonl",
                       help="write observability events (JSONL) plus a run "
@@ -467,7 +584,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="one (workload, scheme) fault-injection campaign",
     )
     pca.add_argument("workload")
-    pca.add_argument("--scheme", default="AR50")
+    pca.add_argument("--scheme", type=_scheme_arg, default="AR50",
+                     help=_SCHEME_HELP)
     pca.add_argument("--trials", type=int, default=100)
     pca.add_argument("--seed", type=int, default=0)
     pca.add_argument("--checkpoint", default=None)

@@ -79,6 +79,34 @@ class TargetLayout:
             out.append(self.cp)
         return out
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (the artifact cache stores layouts alongside the
+        printed module, since layouts are not part of the textual IR)."""
+        return {
+            "key": self.key, "ctx_id": self.ctx_id, "mode": self.mode,
+            "rmw": self.rmw, "wrapper": self.wrapper,
+            "loop_labels": list(self.loop_labels),
+            "pp_labels": list(self.pp_labels),
+            "body": self.body, "dup": self.dup, "callee": self.callee,
+            "callee_dup": self.callee_dup, "cp": self.cp,
+            "n_args": self.n_args,
+            "kind": self.kind.name if self.kind is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TargetLayout":
+        kind = data.get("kind")
+        return cls(
+            key=data["key"], ctx_id=data["ctx_id"], mode=data["mode"],
+            rmw=data["rmw"], wrapper=data["wrapper"],
+            loop_labels=list(data["loop_labels"]),
+            pp_labels=list(data.get("pp_labels", [])),
+            body=data.get("body"), dup=data.get("dup"),
+            callee=data.get("callee"), callee_dup=data.get("callee_dup"),
+            cp=data.get("cp"), n_args=data.get("n_args", 0),
+            kind=PatternKind[kind] if kind is not None else None,
+        )
+
 
 @dataclass
 class RskipApplication:
@@ -661,6 +689,24 @@ def apply_rskip(
             excluded.update(layout.unprotected_funcs)
         apply_swift_r(module, exclude_funcs=excluded)
 
+    return rebuild_application(module, layouts, config, profiles, ar_overrides)
+
+
+def rebuild_application(
+    module: Module,
+    layouts: List[TargetLayout],
+    config: Optional[RSkipConfig] = None,
+    profiles: Optional[Dict[str, LoopProfile]] = None,
+    ar_overrides: Optional[Dict[str, float]] = None,
+) -> RskipApplication:
+    """Construct a fresh runtime application over an already-transformed
+    module.  The module surgery is a pure function of the input IR, so a
+    cached transformed module plus its layouts is enough to rebuild the
+    (stateful, never-cached) run-time manager with the caller's config,
+    profiles and pragma overrides."""
+    config = config or RSkipConfig()
+    profiles = profiles or {}
+    ar_overrides = ar_overrides or {}
     runtime = RskipRuntime(config)
     for layout in layouts:
         runtime.add_loop(

@@ -41,8 +41,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.config import RSkipConfig
-from ..core.rskip import apply_rskip
 from ..ir.function import Function
 from ..ir.instructions import CmpPred, Opcode
 from ..ir.module import Module
@@ -50,18 +48,14 @@ from ..ir.parser import ParseError, parse_module
 from ..ir.printer import format_module
 from ..ir.values import Reg
 from ..ir.verifier import VerificationError, verify_module
+from ..pipeline.passes import CLEANUP_PASSES, PROTECTIONS
 from ..runtime.backend import make_executor
 from ..runtime.errors import FaultDetectedError, TrapError
 from ..runtime.faults import FaultPlan, Region, flip_value
 from ..runtime.interpreter import Interpreter
 from ..runtime.memory import Memory
 from ..runtime.outcomes import outputs_equal
-from ..transforms.cse import run_cse_module
-from ..transforms.dce import run_dce_module
-from ..transforms.licm import run_licm_module
-from ..transforms.clone import duplicate_into_module
-from ..transforms.simplify import run_simplify_module
-from ..transforms.swift import DETECT_INTRINSIC, apply_swift, apply_swift_r
+from ..transforms.swift import DETECT_INTRINSIC
 from ..workloads.base import stable_seed
 
 DEFAULT_MAX_STEPS = 5_000_000
@@ -152,47 +146,13 @@ def _state_diff(base: ExecResult, other: ExecResult) -> Optional[str]:
     return None
 
 
-# -- the pass registry -------------------------------------------------------
-def _clone_pass(module: Module) -> object:
-    """Clone main into a renamed sibling (exercises the renaming machinery;
-    the clone is never called, so semantics must be untouched)."""
-    if "main" in module.functions and "main.ck" not in module.functions:
-        duplicate_into_module(module, "main", "main.ck")
-    return None
-
-
-#: Semantics-preserving cleanup passes, applied in place.
-CLEANUP_PASSES: Dict[str, Callable[[Module], object]] = {
-    "dce": run_dce_module,
-    "cse": run_cse_module,
-    "licm": run_licm_module,
-    "simplify": run_simplify_module,
-    "clone": _clone_pass,
-}
-
-
-def _apply_swift(module: Module) -> dict:
-    apply_swift(module)
-    return {}
-
-
-def _apply_swift_r(module: Module) -> dict:
-    apply_swift_r(module)
-    return {}
-
-
-def _apply_rskip(module: Module) -> dict:
-    app = apply_rskip(module, RSkipConfig())
-    return app.intrinsics()
-
-
-#: Protection transforms: name -> in-place application returning the
-#: intrinsics table the protected module needs at run time.
-PROTECTIONS: Dict[str, Callable[[Module], dict]] = {
-    "swift": _apply_swift,
-    "swift-r": _apply_swift_r,
-    "rskip": _apply_rskip,
-}
+# -- the pass tables ---------------------------------------------------------
+# CLEANUP_PASSES and PROTECTIONS are re-exported verbatim from
+# repro.pipeline.passes — the process-wide single source of truth for
+# named passes.  O1 below resolves its pipeline stages through those
+# tables, so a scheme registered there is automatically fuzzable here
+# (and tests that monkeypatch a broken pass into the shared dict hit
+# every consumer at once).
 
 
 # -- O1: pipeline equivalence -------------------------------------------------

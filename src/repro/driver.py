@@ -13,6 +13,10 @@ It mirrors the paper's system overview: cleanup passes, target detection,
 the RSkip transform (or a baseline), and the run-time management hookup —
 "the system takes unreliable source code as an input and generates a
 lightweight resilient executable".
+
+Scheme resolution and pass sequencing live in :mod:`repro.pipeline`;
+the driver keeps its documented **in-place** contract (the input module
+IS the protected module), so it always bypasses the artifact cache.
 """
 from __future__ import annotations
 
@@ -21,28 +25,15 @@ from typing import Dict, Iterable, Optional
 
 from .core.config import RSkipConfig
 from .core.manager import LoopProfile
-from .core.rskip import RskipApplication, apply_rskip
+from .core.rskip import RskipApplication
 from .ir.module import Module
 from .ir.verifier import verify_module
-from .runtime.errors import FaultDetectedError
+from .pipeline import protect
+from .pipeline.registry import DRIVER_SCHEMES as SCHEMES  # noqa: F401
+from .pipeline.registry import get_scheme
 from .runtime.interpreter import Interpreter
 from .runtime.memory import Memory
-from .transforms.cse import run_cse_module
-from .transforms.dce import run_dce_module
-from .transforms.licm import run_licm_module
-from .transforms.simplify import run_simplify_module
-from .transforms.swift import (
-    ALL_SYNC_POINTS,
-    DETECT_INTRINSIC,
-    apply_swift,
-    apply_swift_r,
-)
-
-SCHEMES = ("none", "swift", "swift-r", "rskip")
-
-
-def _swift_detected(interp, args):
-    raise FaultDetectedError("SWIFT detected a transient fault")
+from .transforms.swift import ALL_SYNC_POINTS
 
 
 @dataclass
@@ -80,43 +71,27 @@ def compile_protected(
 ) -> CompiledProgram:
     """Protect *module* in place and return the compiled program.
 
-    ``scheme`` is one of ``"none"`` (cleanup only), ``"swift"``
-    (duplication + detection), ``"swift-r"`` (triplication + recovery) or
-    ``"rskip"`` (prediction-based protection; pass trained *profiles* from
-    `repro.core.training` for best skip rates).
+    ``scheme`` accepts any registry spelling: ``"none"``/``"UNSAFE"``
+    (cleanup only), ``"swift"`` (duplication + detection), ``"swift-r"``
+    (triplication + recovery) or ``"rskip"``/``"AR<k>"`` (prediction-based
+    protection; pass trained *profiles* from `repro.core.training` for
+    best skip rates).  Unknown names raise with the full alias list.
     """
-    if scheme not in SCHEMES:
-        raise ValueError(f"unknown scheme {scheme!r}; choose one of {SCHEMES}")
+    descriptor = get_scheme(scheme, config)
 
-    optimizations: Dict[str, int] = {}
-    if optimize:
-        optimizations["constfold"] = run_simplify_module(module)
-        optimizations["licm"] = run_licm_module(module)
-        optimizations["cse"] = run_cse_module(module)
-        optimizations["dce"] = run_dce_module(module)
-        if verify:
-            verify_module(module)
-
-    intrinsics: Dict[str, object] = {}
-    application: Optional[RskipApplication] = None
-
-    if scheme == "swift":
-        apply_swift(module, sync_points=sync_points)
-        intrinsics[DETECT_INTRINSIC] = _swift_detected
-    elif scheme == "swift-r":
-        apply_swift_r(module, sync_points=sync_points)
-    elif scheme == "rskip":
-        application = apply_rskip(
-            module, config, profiles, ar_overrides=ar_overrides
-        )
-        intrinsics.update(application.intrinsics())
-
+    program = protect(
+        module, descriptor,
+        config=config, profiles=profiles,
+        optimize=optimize, verify=verify,
+        sync_points=sync_points, ar_overrides=ar_overrides,
+        use_cache=False,
+    )
     if verify:
         verify_module(module)
     return CompiledProgram(
-        module=module,
+        module=program.module,
         scheme=scheme,
-        intrinsics=intrinsics,
-        application=application,
-        optimizations=optimizations,
+        intrinsics=program.intrinsics,
+        application=program.application,
+        optimizations=program.optimizations,
     )

@@ -37,6 +37,7 @@ from ..core.manager import LoopProfile
 from ..obs.events import install_sink, remove_sink
 from ..obs.manifest import RunManifest, run_id_for
 from ..obs.sinks import JsonlSink, merge_traces
+from ..pipeline.registry import canonical_scheme
 from ..workloads.base import Workload, WorkloadInput
 from .fault_campaign import CampaignResult, campaign_context, run_trial_block
 from .schemes import prepare
@@ -256,6 +257,13 @@ def run_campaigns(
     chunk = max(1, int(chunk))
     _WORKER_CACHE.clear()
 
+    # scheme spellings feed per-trial seeds, shard names and result keys:
+    # canonicalize once so every alias produces byte-identical campaigns
+    groups = [
+        (workload, canonical_scheme(scheme, config), profiles)
+        for workload, scheme, profiles in groups
+    ]
+
     workload_by_name = {w.name: w for w, _, _ in groups}
     profiles_by_key: Dict[Tuple[str, str], Optional[Dict[str, LoopProfile]]] = {
         (w.name, s): p for w, s, p in groups
@@ -453,7 +461,7 @@ def run_campaign_parallel(
         config=config, jobs=jobs, checkpoint=checkpoint, resume=resume,
         progress=progress, chunk=chunk, inp=inp, trace_out=trace_out,
     )
-    return results[(workload.name, scheme)]
+    return results[(workload.name, canonical_scheme(scheme, config))]
 
 
 def eta_printer(label: str = "campaign") -> ProgressFn:

@@ -29,6 +29,7 @@ from ..runtime.errors import (
     SegfaultError,
     TrapError,
 )
+from ..pipeline.registry import PAPER_SCHEMES, canonical_scheme, get_scheme
 from ..runtime.backend import make_executor
 from ..runtime.faults import FaultPlan, Region, random_plan
 from ..runtime.outcomes import Outcome, classify_output, outputs_equal
@@ -320,6 +321,9 @@ def run_campaign(
     *prepared* program gives the same result as a fresh one: the runtime
     is reset before every execution.
     """
+    # canonicalize up front: the scheme spelling feeds per-trial seeds, so
+    # "swift-r" and "SWIFT-R" must tally identically
+    scheme = canonical_scheme(scheme, config)
     if jobs > 1 or checkpoint is not None:
         from .campaign_engine import run_campaign_parallel
 
@@ -348,7 +352,7 @@ def _fault_free_steps(
 
 def figure9(
     workloads: Sequence[Workload],
-    schemes: Sequence[str] = ("UNSAFE", "SWIFT-R", "AR20", "AR50", "AR80", "AR100"),
+    schemes: Sequence[str] = PAPER_SCHEMES,
     trials: int = 100,
     seed: int = 0,
     scale: float = 0.45,
@@ -372,10 +376,11 @@ def figure9(
     groups = []
     for workload in workloads:
         for scheme in schemes:
+            descriptor = get_scheme(scheme, config)
             profiles = None
-            if scheme.startswith("AR") and profile_source is not None:
-                profiles = profile_source(workload, int(scheme[2:]) / 100.0)
-            groups.append((workload, scheme, profiles))
+            if descriptor.needs_training and profile_source is not None:
+                profiles = profile_source(workload, descriptor.acceptable_range)
+            groups.append((workload, descriptor.name, profiles))
 
     if jobs > 1 or checkpoint is not None:
         from .campaign_engine import run_campaigns

@@ -5,10 +5,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import RSkipConfig
+from ..pipeline.registry import PAPER_SCHEMES, UNSAFE
 from ..workloads.base import Workload
 from .harness import Harness
 
-PERF_SCHEMES = ("SWIFT-R", "AR20", "AR50", "AR80", "AR100")
+#: Figure 7's x-axis: every paper scheme except the UNSAFE baseline
+#: (which is always run as the normalization reference).
+PERF_SCHEMES = tuple(s for s in PAPER_SCHEMES if s != UNSAFE)
 
 
 @dataclass

@@ -4,6 +4,11 @@ The evaluation compares (Figure 7/9): ``UNSAFE`` (no protection),
 ``SWIFT`` (duplication, detection only — extra, not in the paper's
 figures), ``SWIFT-R`` (the baseline: triplication + voting recovery) and
 ``RSkip`` at AR20/AR50/AR80/AR100.
+
+Scheme names, aliases and pass lists live in
+:mod:`repro.pipeline.registry`; this module re-exports the evaluation's
+historical vocabulary and adapts workload objects onto
+:func:`repro.pipeline.protect`.
 """
 from __future__ import annotations
 
@@ -13,27 +18,19 @@ from typing import Dict, List, Optional
 from ..analysis.patterns import TargetLoop, detect_target_loops
 from ..core.config import RSkipConfig
 from ..core.manager import LoopProfile, RskipRuntime
-from ..core.rskip import RskipApplication, apply_rskip
+from ..core.rskip import RskipApplication
 from ..ir.module import Module
-from ..runtime.errors import FaultDetectedError
+from ..pipeline import protect
+from ..pipeline.registry import (  # noqa: F401  (re-exported vocabulary)
+    PAPER_SCHEMES,
+    SWIFT,
+    SWIFT_R,
+    UNSAFE,
+    get_scheme,
+    rskip_label,
+)
 from ..runtime.faults import Region
-from ..transforms.swift import DETECT_INTRINSIC, apply_swift, apply_swift_r
 from ..workloads.base import Workload
-
-UNSAFE = "UNSAFE"
-SWIFT = "SWIFT"
-SWIFT_R = "SWIFT-R"
-
-
-def rskip_label(acceptable_range: float) -> str:
-    return f"AR{int(round(acceptable_range * 100))}"
-
-#: The scheme order of the paper's figures.
-PAPER_SCHEMES = (UNSAFE, SWIFT_R, "AR20", "AR50", "AR80", "AR100")
-
-
-def _swift_detected(interp, args):
-    raise FaultDetectedError("SWIFT detected a transient fault")
 
 
 @dataclass
@@ -62,36 +59,29 @@ def prepare(
 ) -> PreparedProgram:
     """Build the workload's module and apply the requested scheme.
 
-    For RSkip schemes, pass the scheme as ``"AR20"``-style label or supply
-    *config* directly.
+    *scheme* accepts any registry spelling (``"AR20"``, ``"swift-r"``,
+    ``"rskip"``…); an explicit RSkip *config* may also stand in for the
+    scheme label.  Protection goes through the pipeline's artifact cache,
+    so preparing the same workload × scheme twice reuses the transformed
+    module text (the run-time manager is always rebuilt fresh).
     """
     module = workload.build()
-    original_targets = detect_target_loops(module.get_function(workload.main), module)
+    original_targets = detect_target_loops(
+        module.get_function(workload.main), module)
 
-    if scheme == UNSAFE:
-        return PreparedProgram(scheme, module, {}, None, original_targets, workload.main)
+    try:
+        descriptor = get_scheme(scheme, config)
+    except ValueError:
+        if config is None:
+            raise
+        # historical affordance: an unknown label with an explicit RSkip
+        # config means "rskip at this config's acceptable range"
+        descriptor = get_scheme(rskip_label(config.acceptable_range))
 
-    if scheme == SWIFT:
-        apply_swift(module)
-        return PreparedProgram(
-            scheme, module, {DETECT_INTRINSIC: _swift_detected}, None,
-            original_targets, workload.main,
-        )
-
-    if scheme == SWIFT_R:
-        apply_swift_r(module)
-        return PreparedProgram(scheme, module, {}, None, original_targets, workload.main)
-
-    if scheme.startswith("AR"):
-        ar = int(scheme[2:]) / 100.0
-        config = (config or RSkipConfig()).with_ar(ar)
-    elif config is None:
-        raise ValueError(f"unknown scheme {scheme!r}")
-
-    app = apply_rskip(module, config, profiles)
+    program = protect(module, descriptor, config=config, profiles=profiles)
     return PreparedProgram(
-        rskip_label(config.acceptable_range), module, app.intrinsics(), app,
-        original_targets, workload.main,
+        program.scheme, program.module, program.intrinsics,
+        program.application, original_targets, workload.main,
     )
 
 

@@ -10,10 +10,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import RSkipConfig
+from ..pipeline.registry import get_scheme
 from ..workloads.base import Workload
 from .fault_campaign import run_campaign
 from .harness import Harness
-from .perf import Figure7Result, figure7
+from .perf import Figure7Result, figure7, PERF_SCHEMES
 
 
 @dataclass
@@ -29,7 +30,7 @@ class TradeoffRow:
 
 def section73(
     workloads: Sequence[Workload],
-    schemes: Sequence[str] = ("SWIFT-R", "AR20", "AR50", "AR80", "AR100"),
+    schemes: Sequence[str] = PERF_SCHEMES,
     trials: int = 60,
     perf_scale: float = 0.6,
     sfi_scale: float = 0.45,
@@ -58,9 +59,10 @@ def section73(
     for scheme in schemes:
         rates = []
         for workload in workloads:
+            descriptor = get_scheme(scheme, config)
             profiles = None
-            if scheme.startswith("AR"):
-                profiles = profile_source(workload, int(scheme[2:]) / 100.0)
+            if descriptor.needs_training:
+                profiles = profile_source(workload, descriptor.acceptable_range)
             campaign = run_campaign(
                 workload, scheme, trials, seed=seed, scale=sfi_scale,
                 config=config, profiles=profiles, jobs=jobs,

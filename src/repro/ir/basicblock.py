@@ -23,6 +23,12 @@ class BasicBlock:
         self.instrs.append(instr)
         return instr
 
+    def clone(self) -> "BasicBlock":
+        """An independent copy; operand values are shared (immutable)."""
+        block = BasicBlock(self.label)
+        block.instrs = [instr.copy() for instr in self.instrs]
+        return block
+
     @property
     def terminator(self) -> Optional[Instr]:
         if self.instrs and self.instrs[-1].is_terminator:

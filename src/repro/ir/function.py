@@ -52,6 +52,22 @@ class Function:
             label = f"{hint}.{self._label_counter}"
         return label
 
+    def clone(self) -> "Function":
+        """A structurally independent copy of this function.
+
+        Blocks and instructions are fresh objects; registers, constants
+        and attr values are shared (treated as immutable throughout the
+        transform layer — rewrites always build new operand tuples).
+        """
+        func = Function(self.name, self.params, self.ret_type)
+        for label in self._block_order:
+            func.blocks[label] = self.blocks[label].clone()
+        func._block_order = list(self._block_order)
+        func._reg_counter = self._reg_counter
+        func._label_counter = self._label_counter
+        func.attrs = dict(self.attrs)
+        return func
+
     # -- access ----------------------------------------------------------
     @property
     def entry(self) -> BasicBlock:

@@ -65,6 +65,18 @@ class Module:
         self.globals[name] = gvar
         return gvar
 
+    def clone(self) -> "Module":
+        """A structurally independent copy: transforms on the clone never
+        touch the original.  Globals are shared (immutable after
+        construction), so cloning costs one :meth:`Instr.copy` per
+        instruction — much cheaper than a print/parse round trip, and
+        prints byte-identically to the original."""
+        module = Module(self.name)
+        module.globals = dict(self.globals)
+        for name, func in self.functions.items():
+            module.functions[name] = func.clone()
+        return module
+
     def __contains__(self, name: str) -> bool:
         return name in self.functions
 

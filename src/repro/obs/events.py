@@ -47,10 +47,11 @@ QOS_DISABLE = "qos-disable"      #: a predictor was disabled (interp / memo)
 EXEC = "exec"                    #: one loop execution's (elements, skipped)
 TRIAL_OUTCOME = "trial-outcome"  #: one SFI trial's classification
 TRAIN_LOOP = "train-loop"        #: offline training finished one loop
+PASS_RUN = "pass-run"            #: one compiler pass ran (in/out instr counts)
 
 KINDS = (
     SKIP, RECOMPUTE, RECOVERY, PHASE_CUT, TP_ADJUST, QOS_DISABLE,
-    EXEC, TRIAL_OUTCOME, TRAIN_LOOP,
+    EXEC, TRIAL_OUTCOME, TRAIN_LOOP, PASS_RUN,
 )
 
 

@@ -1,0 +1,53 @@
+"""Scheme registry, pass pipeline and artifact cache (DESIGN.md §7).
+
+The single source of truth for protection schemes: what they are called
+(:mod:`.registry`), what passes they run (:mod:`.passes`), and how their
+products are memoized (:mod:`.cache`, :mod:`.protect`).
+"""
+from .cache import (
+    ArtifactCache,
+    artifact_key,
+    cache_dir,
+    cache_mode,
+    get_cache,
+    reset_cache,
+)
+from .passes import (
+    CLEANUP_PASSES,
+    CLEANUP_PIPELINE,
+    PROTECTION_APPLIERS,
+    PROTECTIONS,
+    PassRun,
+    PassVerificationError,
+    ProtectContext,
+    module_instr_count,
+    pass_names,
+    run_pipeline,
+)
+from .protect import ProtectedProgram, protect, selfcheck_byte_identity
+from .registry import (
+    DRIVER_SCHEMES,
+    PAPER_SCHEMES,
+    SWIFT,
+    SWIFT_R,
+    UNSAFE,
+    SchemeDescriptor,
+    all_descriptors,
+    alias_help,
+    canonical_scheme,
+    get_scheme,
+    rskip_label,
+    scheme_names,
+)
+
+__all__ = [
+    "ArtifactCache", "artifact_key", "cache_dir", "cache_mode",
+    "get_cache", "reset_cache",
+    "CLEANUP_PASSES", "CLEANUP_PIPELINE", "PROTECTION_APPLIERS",
+    "PROTECTIONS", "PassRun", "PassVerificationError", "ProtectContext",
+    "module_instr_count", "pass_names", "run_pipeline",
+    "ProtectedProgram", "protect", "selfcheck_byte_identity",
+    "DRIVER_SCHEMES", "PAPER_SCHEMES", "SWIFT", "SWIFT_R", "UNSAFE",
+    "SchemeDescriptor", "all_descriptors", "alias_help",
+    "canonical_scheme", "get_scheme", "rskip_label", "scheme_names",
+]

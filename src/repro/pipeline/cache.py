@@ -1,0 +1,222 @@
+"""Fingerprint-keyed artifact cache for pipeline products.
+
+Protecting a module is deterministic: the same input text through the
+same pass list always yields the same output text (the print/parse
+fixpoint oracle O2 pins this).  Campaign workers, difftest oracles and
+benchmarks therefore re-derive identical artifacts hundreds of times.
+This cache memoizes them, keyed by **module fingerprint × scheme
+descriptor hash** (plus whatever else shaped the artifact — pass list,
+sync points, training parameters), with two tiers:
+
+* an in-process LRU (:class:`ArtifactCache`), always on when caching is
+  enabled;
+* an optional on-disk store under ``.repro-cache/`` (one JSON file per
+  key, atomic write-then-rename) that survives processes — useful for
+  repeated campaign/benchmark invocations.
+
+Payloads are JSON-safe dicts.  Protected modules are stored as printed
+IR text and re-materialized on hit (parse once per key, structural
+clones afterwards), so a cached artifact is byte-identical to a fresh
+one *by construction* (O2 again).  Entries embed the full key:
+if a module changes, its fingerprint changes, the key changes, and the
+stale entry simply never resolves — invalidation is structural.
+
+Configuration is environment-driven so every entry point (CLI, pytest,
+campaign workers) agrees without plumbing:
+
+* ``REPRO_CACHE`` — ``off`` (no caching), ``mem`` (in-process LRU, the
+  default), ``on`` (LRU + disk store);
+* ``REPRO_CACHE_DIR`` — disk store location (default ``.repro-cache``).
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Optional
+
+#: Bump when payload layout changes; stale on-disk entries become misses.
+CACHE_VERSION = 1
+
+#: Default on-disk store location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+MODE_OFF = "off"
+MODE_MEM = "mem"
+MODE_DISK = "on"
+
+_MODE_ALIASES = {
+    "off": MODE_OFF, "0": MODE_OFF, "false": MODE_OFF, "no": MODE_OFF,
+    "mem": MODE_MEM, "memory": MODE_MEM, "": MODE_MEM,
+    "on": MODE_DISK, "disk": MODE_DISK, "1": MODE_DISK, "true": MODE_DISK,
+    "yes": MODE_DISK,
+}
+
+
+def cache_mode() -> str:
+    """The configured cache mode (``off`` / ``mem`` / ``on``)."""
+    raw = os.environ.get("REPRO_CACHE", MODE_MEM).strip().lower()
+    mode = _MODE_ALIASES.get(raw)
+    if mode is None:
+        raise ValueError(
+            f"bad REPRO_CACHE value {raw!r}; choose off, mem, or on"
+        )
+    return mode
+
+
+def cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+
+
+def artifact_key(*parts) -> str:
+    """Stable digest over JSON-safe key *parts* (order matters)."""
+    def norm(part):
+        if isinstance(part, (tuple, set, frozenset)):
+            return sorted(part) if isinstance(part, (set, frozenset)) else list(part)
+        return part
+
+    payload = json.dumps([norm(p) for p in parts],
+                         sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """In-process LRU over JSON-safe payloads, with an optional disk tier.
+
+    ``get`` returns a deep-ish copy-free payload — callers must treat the
+    returned dict as immutable (the protect layer only reads it).  Disk
+    entries are validated against :data:`CACHE_VERSION` and their own
+    embedded key; anything corrupt or stale is treated as a miss and
+    removed.
+    """
+
+    def __init__(self, capacity: int = 64, directory: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.directory = directory
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.puts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        if self.directory is not None:
+            entry = self._read_disk(key)
+            if entry is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                self._remember(key, entry)
+                return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict) -> None:
+        self.puts += 1
+        self._remember(key, payload)
+        if self.directory is not None:
+            self._write_disk(key, payload)
+
+    def _remember(self, key: str, payload: dict) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def _read_disk(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except OSError:
+            return None
+        except ValueError:
+            # unparseable entry (truncated write, manual edit): drop it so
+            # it cannot shadow a future valid write-then-crash sequence
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("version") != CACHE_VERSION
+            or record.get("key") != key
+            or not isinstance(record.get("payload"), dict)
+        ):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        return record["payload"]
+
+    def _write_disk(self, key: str, payload: dict) -> None:
+        record = {"version": CACHE_VERSION, "key": key, "payload": payload}
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key[:12]}-", suffix=".tmp", dir=self.directory)
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle, separators=(",", ":"))
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # a read-only or full disk degrades to memory-only caching
+            pass
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries), "capacity": self.capacity,
+            "hits": self.hits, "misses": self.misses,
+            "disk_hits": self.disk_hits, "puts": self.puts,
+            "directory": self.directory,
+        }
+
+
+_cache: Optional[ArtifactCache] = None
+_cache_signature = None
+
+
+def get_cache() -> Optional[ArtifactCache]:
+    """The process-wide cache per the current environment, or ``None``
+    when caching is off.  Re-reads the environment on every call so tests
+    and subprocesses can flip ``REPRO_CACHE`` without import-order games;
+    the instance is rebuilt only when the configuration changes."""
+    global _cache, _cache_signature
+    mode = cache_mode()
+    if mode == MODE_OFF:
+        return None
+    directory = cache_dir() if mode == MODE_DISK else None
+    signature = (mode, directory)
+    if _cache is None or _cache_signature != signature:
+        _cache = ArtifactCache(directory=directory)
+        _cache_signature = signature
+    return _cache
+
+
+def reset_cache() -> None:
+    """Drop the process-wide cache (tests; campaign workers at startup)."""
+    global _cache, _cache_signature
+    _cache = None
+    _cache_signature = None

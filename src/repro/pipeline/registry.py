@@ -1,0 +1,200 @@
+"""The scheme registry: one declarative source of truth for protection
+schemes.
+
+Historically the repo kept four divergent scheme tables — the driver's
+``("none", "swift", "swift-r", "rskip")``, the evaluation's
+``UNSAFE``/``SWIFT-R``/``AR<k>`` labels, the difftest transform dicts and
+the CLI choices — and each layer re-implemented name parsing.  This
+module replaces all of them with :class:`SchemeDescriptor` records:
+canonical name, accepted aliases, the ordered pass list the scheme runs,
+its parameters (acceptable range), and what it needs at run time
+(trained profiles, the RSkip runtime manager).
+
+Canonical names are the paper's labels: ``UNSAFE``, ``SWIFT``,
+``SWIFT-R`` and ``AR<k>`` for the RSkip family (``AR20`` == acceptable
+range 0.2).  :func:`canonical_scheme` maps every historical spelling onto
+them — case-insensitively, so ``"swift-r"`` and ``"SWIFT-R"`` are the
+same scheme — and raises with the full alias list on anything unknown.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.config import RSkipConfig
+
+#: Bump when descriptor semantics change — part of every descriptor hash,
+#: so artifact-cache entries from an older pipeline never resolve.
+REGISTRY_VERSION = 1
+
+UNSAFE = "UNSAFE"
+SWIFT = "SWIFT"
+SWIFT_R = "SWIFT-R"
+
+#: The scheme order of the paper's figures.
+PAPER_SCHEMES = (UNSAFE, SWIFT_R, "AR20", "AR50", "AR80", "AR100")
+
+#: The compiler driver's historical spellings (one alias per family);
+#: kept as the stable `repro.SCHEMES` export.
+DRIVER_SCHEMES = ("none", "swift", "swift-r", "rskip")
+
+
+def rskip_label(acceptable_range: float) -> str:
+    """Paper-style label for an acceptable range, e.g. ``0.2 -> "AR20"``."""
+    return f"AR{int(round(acceptable_range * 100))}"
+
+
+@dataclass(frozen=True)
+class SchemeDescriptor:
+    """One protection scheme, declaratively.
+
+    ``passes`` is the ordered list of protection-stage pass names (see
+    :mod:`repro.pipeline.passes`); cleanup passes are orthogonal and
+    prepended by callers that optimize.  ``acceptable_range`` is set for
+    the RSkip family only.
+    """
+
+    name: str
+    aliases: Tuple[str, ...]
+    passes: Tuple[str, ...]
+    acceptable_range: Optional[float] = None
+    needs_training: bool = False
+    needs_runtime: bool = False
+    description: str = ""
+
+    @property
+    def is_rskip(self) -> bool:
+        return self.acceptable_range is not None
+
+    def descriptor_hash(self) -> str:
+        """Stable digest of everything that identifies this scheme —
+        one axis of the artifact-cache key."""
+        payload = json.dumps(
+            {
+                "version": REGISTRY_VERSION,
+                "name": self.name,
+                "passes": list(self.passes),
+                "acceptable_range": self.acceptable_range,
+                "needs_training": self.needs_training,
+                "needs_runtime": self.needs_runtime,
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+_STATIC: Dict[str, SchemeDescriptor] = {
+    UNSAFE: SchemeDescriptor(
+        name=UNSAFE,
+        aliases=("UNSAFE", "none"),
+        passes=(),
+        description="no protection (baseline and golden-output source)",
+    ),
+    SWIFT: SchemeDescriptor(
+        name=SWIFT,
+        aliases=("SWIFT", "swift"),
+        passes=("swift",),
+        description="instruction duplication + detection-only checkers",
+    ),
+    SWIFT_R: SchemeDescriptor(
+        name=SWIFT_R,
+        aliases=("SWIFT-R", "swift-r"),
+        passes=("swift-r",),
+        description="instruction triplication + majority-vote recovery",
+    ),
+}
+
+_AR_PATTERN = re.compile(r"^ar(\d{1,3})$")
+
+#: lowercase alias -> canonical name (the RSkip family is handled by
+#: pattern + the ``rskip`` default-config alias, not this table)
+_ALIASES: Dict[str, str] = {
+    alias.lower(): desc.name
+    for desc in _STATIC.values()
+    for alias in desc.aliases
+}
+
+
+def _rskip_descriptor(percent: int) -> SchemeDescriptor:
+    return SchemeDescriptor(
+        name=f"AR{percent}",
+        aliases=(f"AR{percent}", f"ar{percent}", "rskip"),
+        passes=("rskip",),
+        acceptable_range=percent / 100.0,
+        needs_training=True,
+        needs_runtime=True,
+        description=(
+            f"prediction-based protection at acceptable range "
+            f"{percent / 100.0:g} (PP/CP outlining + SWIFT-R skeleton)"
+        ),
+    )
+
+
+def alias_help() -> str:
+    """Human-readable alias table for unknown-scheme errors."""
+    parts = [
+        f"{desc.name} (aliases: {', '.join(a for a in desc.aliases if a != desc.name)})"
+        for desc in _STATIC.values()
+    ]
+    parts.append("AR<k> for any integer k (aliases: ar<k>; 'rskip' = the "
+                 "config's acceptable range, AR20 by default; the AR "
+                 "sweep goes past 100)")
+    return "; ".join(parts)
+
+
+def canonical_scheme(
+    name: Union[str, SchemeDescriptor],
+    config: Optional[RSkipConfig] = None,
+) -> str:
+    """Map any accepted spelling onto the canonical scheme name.
+
+    ``"rskip"`` resolves to the AR label of *config* (the default
+    :class:`RSkipConfig` when none is given).  Unknown names raise
+    ``ValueError`` carrying the full alias list.
+    """
+    if isinstance(name, SchemeDescriptor):
+        return name.name
+    key = str(name).strip().lower()
+    canon = _ALIASES.get(key)
+    if canon is not None:
+        return canon
+    if key == "rskip":
+        ar = (config or RSkipConfig()).acceptable_range
+        return rskip_label(ar)
+    match = _AR_PATTERN.match(key)
+    if match:
+        return f"AR{int(match.group(1))}"
+    raise ValueError(
+        f"unknown scheme {name!r}; known schemes: {alias_help()}"
+    )
+
+
+def get_scheme(
+    name: Union[str, SchemeDescriptor],
+    config: Optional[RSkipConfig] = None,
+) -> SchemeDescriptor:
+    """The descriptor behind any accepted scheme spelling."""
+    if isinstance(name, SchemeDescriptor):
+        return name
+    canon = canonical_scheme(name, config)
+    static = _STATIC.get(canon)
+    if static is not None:
+        return static
+    return _rskip_descriptor(int(canon[2:]))
+
+
+def scheme_names(include_paper_ars: bool = True) -> Tuple[str, ...]:
+    """Canonical names for listings: the static schemes plus (by default)
+    the paper's four AR points."""
+    names = tuple(_STATIC)
+    if include_paper_ars:
+        names += tuple(s for s in PAPER_SCHEMES if s.startswith("AR"))
+    return names
+
+
+def all_descriptors() -> Tuple[SchemeDescriptor, ...]:
+    """Descriptors for :func:`scheme_names` — what ``repro schemes`` lists."""
+    return tuple(get_scheme(name) for name in scheme_names())

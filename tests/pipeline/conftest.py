@@ -1,0 +1,16 @@
+"""Pipeline-suite fixtures: keep the process-wide artifact cache clean.
+
+These tests flip ``REPRO_CACHE``/``REPRO_CACHE_DIR`` and fill caches on
+purpose; resetting around each test keeps them order-independent and
+keeps warm entries from leaking into the rest of the suite.
+"""
+import pytest
+
+from repro.pipeline import reset_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    reset_cache()
+    yield
+    reset_cache()
