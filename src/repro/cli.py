@@ -21,9 +21,11 @@
     python -m repro report t.jsonl
     python -m repro all
 
-The global ``--backend {ref,compiled}`` flag selects the execution
+The global ``--backend {ref,compiled,batch}`` flag selects the execution
 backend for clean runs (default ``compiled``); instrumented runs always
-use the reference interpreter.
+use the reference interpreter.  ``batch`` additionally routes campaign
+trial chunks through the lane-vectorized batch engine
+(``repro.runtime.batch``), which runs every trial of a chunk in lockstep.
 """
 from __future__ import annotations
 
@@ -488,7 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for fault-injection campaigns "
                              "(default 1 = serial; results are identical for "
                              "any value)")
-    parser.add_argument("--backend", choices=("ref", "compiled"),
+    parser.add_argument("--backend", choices=("ref", "compiled", "batch"),
                         default=None,
                         help="execution backend for clean (uninstrumented) "
                              "runs: 'compiled' (default) is the closure-"
@@ -533,11 +535,12 @@ def build_parser() -> argparse.ArgumentParser:
     pdt.add_argument("--seed", type=int, default=0)
     pdt.add_argument("--n", type=int, default=100,
                      help="programs to generate and check (default 100)")
-    pdt.add_argument("--oracle", choices=("all", "o1", "o2", "o3", "o4"),
+    pdt.add_argument("--oracle", choices=("all", "o1", "o2", "o3", "o4", "o5"),
                      default="all",
                      help="o1=pipeline equivalence, o2=print/parse fixpoint, "
                           "o3=fault metamorphic property, o4=backend "
-                          "equivalence (default all)")
+                          "equivalence, o5=batch-lane equivalence "
+                          "(default all)")
     pdt.add_argument("--jobs", type=int, default=1,
                      help="worker processes; the report is byte-identical "
                           "for any value (default 1)")

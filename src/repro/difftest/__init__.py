@@ -14,6 +14,7 @@ from .oracles import (
     PROTECTIONS,
     Violation,
     check_backend_equivalence,
+    check_batch_equivalence,
     check_fault_metamorphic,
     check_pipeline,
     check_roundtrip,
@@ -27,6 +28,7 @@ __all__ = [
     "SHAPES", "GeneratedProgram", "generate", "generate_module",
     "CLEANUP_PASSES", "PROTECTIONS", "Violation",
     "check_backend_equivalence",
+    "check_batch_equivalence",
     "check_fault_metamorphic", "check_pipeline", "check_roundtrip",
     "execute_module", "module_copy",
     "DifftestReport", "render_report", "run_difftest",

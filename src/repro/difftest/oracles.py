@@ -1,6 +1,6 @@
 """Differential oracles over generated IR programs.
 
-Four machine-checked properties:
+Five machine-checked properties:
 
 * **O1 — pipeline equivalence** (:func:`check_pipeline`): any pipeline of
   cleanup passes ({dce, cse, licm, simplify, clone}) optionally followed
@@ -21,6 +21,14 @@ Four machine-checked properties:
   the same message.  Checked on the plain program and again after a
   protection transform (fresh copies per backend, so runtime-stateful
   intrinsics like the RSkip predictor stay independent).
+
+* **O5 — batch-lane equivalence** (:func:`check_batch_equivalence`): the
+  lane-vectorized batch engine (:mod:`repro.runtime.batch`) must agree
+  lane-for-lane with the reference interpreter — lane *i* of a batched
+  chunk reproduces trial *i*'s outcome class, trap kind, detection flag,
+  step and region-step counts, return value and final global memory.
+  Checked on the plain program and again under a protection transform
+  (per-lane module copies, so stateful intrinsics stay per-trial).
 
 * **O3 — fault metamorphic property** (:func:`check_fault_metamorphic`):
   a single bit flip injected into the *redundant* (shadow) stream of a
@@ -50,8 +58,14 @@ from ..ir.values import Reg
 from ..ir.verifier import VerificationError, verify_module
 from ..pipeline.passes import CLEANUP_PASSES, PROTECTIONS
 from ..runtime.backend import make_executor
-from ..runtime.errors import FaultDetectedError, TrapError
-from ..runtime.faults import FaultPlan, Region, flip_value
+from ..runtime.errors import (
+    CoreDumpError,
+    FaultDetectedError,
+    HangError,
+    SegfaultError,
+    TrapError,
+)
+from ..runtime.faults import FaultPlan, Region, flip_value, random_plan
 from ..runtime.interpreter import Interpreter
 from ..runtime.memory import Memory
 from ..runtime.outcomes import outputs_equal
@@ -59,6 +73,10 @@ from ..transforms.swift import DETECT_INTRINSIC
 from ..workloads.base import stable_seed
 
 DEFAULT_MAX_STEPS = 5_000_000
+
+#: Lanes per O5 batch — more than the batch engine's small-group cutoff,
+#: so the check exercises the lockstep machine, not just its scalar tail.
+DEFAULT_BATCH_LANES = 8
 
 #: Shadow-register suffixes of the duplication transforms.
 _SHADOW_SUFFIXES = (".sw1", ".sw2")
@@ -68,7 +86,7 @@ _SHADOW_SUFFIXES = (".sw1", ".sw2")
 class Violation:
     """One oracle failure, serializable for cross-process reporting."""
 
-    oracle: str  # "o1" | "o2" | "o3" | "o4"
+    oracle: str  # "o1" | "o2" | "o3" | "o4" | "o5"
     detail: str
     pipeline: Tuple[str, ...] = ()
 
@@ -339,6 +357,139 @@ def check_backend_equivalence(
                     violations.append(Violation(
                         "o4", f"[{label}] @{name}: contents diverged", pipe))
                 break
+    return violations
+
+
+# -- O5: batch-lane equivalence ----------------------------------------------
+def _observe_ref_trial(
+    module: Module,
+    protection: Optional[str],
+    plan: Optional[FaultPlan],
+    region: Region,
+    max_steps: int,
+) -> tuple:
+    """One (possibly faulted) reference-interpreter trial, reduced to a
+    comparable tuple.  Fresh module copy and intrinsics per call, so
+    stateful protection runtimes stay per-trial."""
+    work = module_copy(module)
+    intrinsics = PROTECTIONS[protection](work) if protection else {}
+    memory = Memory()
+    interp = Interpreter(
+        work, memory=memory, max_steps=max_steps,
+        fault_plan=plan, fault_region=region)
+    interp.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
+    if intrinsics:
+        interp.register_intrinsics(intrinsics)
+    trap = None
+    detected = False
+    value = None
+    try:
+        value = interp.run("main", []).value
+    except FaultDetectedError:
+        detected = True
+    except SegfaultError:
+        trap = "segfault"
+    except HangError:
+        trap = "hang"
+    except (CoreDumpError, TrapError):
+        trap = "coredump"
+    except (OverflowError, MemoryError, RecursionError):
+        trap = "coredump"
+    finals = {}
+    if trap is None:
+        finals = {name: memory.read_global(name, gvar.size)
+                  for name, gvar in work.globals.items()}
+    return (trap, detected, interp.steps, interp.region_steps, value, finals)
+
+
+def check_batch_equivalence(
+    module: Module,
+    protection: Optional[str] = None,
+    lanes: int = DEFAULT_BATCH_LANES,
+    seed: int = 0,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> List[Violation]:
+    """O5: the lane-vectorized batch engine must be observationally
+    identical, lane for lane, to per-trial reference execution.
+
+    Draws one fault plan per lane (over a region spanning the whole
+    program), runs every plan once on the reference interpreter and once
+    as a lane of a single batched run, and compares each lane's outcome:
+    trap kind, detection flag, step and region-step counts, return value
+    and final global memory.  Checked on the plain program and, when
+    *protection* is given, on the protected program (per-lane module
+    copies keep stateful intrinsic runtimes per-trial on both sides).
+    """
+    from ..runtime.batch import BatchExecutor
+
+    violations: List[Violation] = []
+    for prot in [None] + ([protection] if protection else []):
+        pipe = (prot,) if prot else ()
+        label = prot or "plain"
+        region = Region(funcs=tuple(module.functions))
+        # clean counting run: region steps for plan drawing, and a hang
+        # budget so faulted lanes cannot run to the full fuzz limit
+        _, _, clean_steps, region_steps, _, _ = _observe_ref_trial(
+            module, prot, None, region, max_steps)
+        budget = min(max_steps, max(clean_steps * 8, 10_000))
+        plans: List[Optional[FaultPlan]] = []
+        for lane in range(lanes):
+            if region_steps > 0:
+                rng = random.Random(stable_seed(seed, "difftest.batch", lane))
+                plans.append(random_plan(rng, region_steps))
+            else:
+                plans.append(None)
+
+        ref_rows = [
+            _observe_ref_trial(module, prot, plan, region, budget)
+            for plan in plans
+        ]
+
+        works = [module_copy(module) for _ in range(lanes)]
+        tables = []
+        for work in works:
+            table = {DETECT_INTRINSIC: _swift_detect}
+            if prot:
+                table.update(PROTECTIONS[prot](work))
+            tables.append(table)
+        batch_module = works[0]
+        template = Memory()
+        template.load_globals(batch_module)
+        executor = BatchExecutor(
+            batch_module, template, lanes, fault_plans=plans,
+            fault_region=region, max_steps=budget, intrinsics=tables)
+        results = executor.run("main", [])
+
+        for lane in range(lanes):
+            trap_r, det_r, steps_r, rsteps_r, val_r, fin_r = ref_rows[lane]
+            res = results[lane]
+            got = (res.trap, res.detected, res.steps, res.region_steps)
+            want = (trap_r, det_r, steps_r, rsteps_r)
+            if got != want:
+                violations.append(Violation(
+                    "o5", f"[{label}] lane {lane}: ref (trap={trap_r}, "
+                          f"detected={det_r}, steps={steps_r}, "
+                          f"region_steps={rsteps_r}) but batch "
+                          f"(trap={res.trap}, detected={res.detected}, "
+                          f"steps={res.steps}, "
+                          f"region_steps={res.region_steps})", pipe))
+                continue
+            if trap_r is not None:
+                continue
+            if not _values_equal(val_r, res.value):
+                violations.append(Violation(
+                    "o5", f"[{label}] lane {lane}: return value "
+                          f"{val_r!r} != {res.value!r}", pipe))
+                continue
+            lane_mem = executor.lane_memory(lane)
+            for name, gvar in batch_module.globals.items():
+                if not outputs_equal(
+                        fin_r.get(name, []),
+                        lane_mem.read_global(name, gvar.size)):
+                    violations.append(Violation(
+                        "o5", f"[{label}] lane {lane}: @{name}: contents "
+                              f"diverged from the reference trial", pipe))
+                    break
     return violations
 
 

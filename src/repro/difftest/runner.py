@@ -22,6 +22,7 @@ from .oracles import (
     PROTECTIONS,
     Violation,
     check_backend_equivalence,
+    check_batch_equivalence,
     check_fault_metamorphic,
     check_pipeline,
     check_roundtrip,
@@ -34,7 +35,7 @@ DEFAULT_CHUNK = 20
 #: Shadow-flip trials per O3 check.
 DEFAULT_FAULT_SAMPLES = 12
 
-ORACLES = ("all", "o1", "o2", "o3", "o4")
+ORACLES = ("all", "o1", "o2", "o3", "o4", "o5")
 
 _CLEANUP_NAMES = tuple(sorted(CLEANUP_PASSES))
 _PROTECTION_NAMES = tuple(sorted(PROTECTIONS))
@@ -142,6 +143,10 @@ def check_index(
         record.o3_detected = stats.get("detected", 0)
     if oracle in ("all", "o4"):
         record.violations.extend(check_backend_equivalence(module, protection))
+    if oracle in ("all", "o5"):
+        record.violations.extend(check_batch_equivalence(
+            module, protection,
+            seed=stable_seed(seed, "difftest.batch", index)))
     return record
 
 
@@ -175,6 +180,10 @@ def failure_predicate(record: IndexRecord, seed: int, fault_samples: int):
             ))
         if "o4" in failing:
             found.extend(check_backend_equivalence(module, record.protection))
+        if "o5" in failing:
+            found.extend(check_batch_equivalence(
+                module, record.protection,
+                seed=stable_seed(seed, "difftest.batch", record.index)))
         return {v.oracle for v in found} >= failing
 
     return predicate

@@ -39,7 +39,12 @@ from ..obs.manifest import RunManifest, run_id_for
 from ..obs.sinks import JsonlSink, merge_traces
 from ..pipeline.registry import canonical_scheme
 from ..workloads.base import Workload, WorkloadInput
-from .fault_campaign import CampaignResult, campaign_context, run_trial_block
+from .fault_campaign import (
+    CampaignResult,
+    campaign_context,
+    run_trial_block,
+    run_trial_block_batch,
+)
 from .schemes import prepare
 
 #: Trials per work unit.  Small enough that campaigns load-balance and
@@ -116,12 +121,23 @@ def _run_chunk(
     workload, prepared, inp, ctx = _worker_campaign(
         task, workload, config, profiles, inp
     )
+    from ..runtime.backend import default_backend
+
+    if default_backend() == "batch":
+        # one engine chunk maps 1:1 to one lane batch
+        def _block():
+            return run_trial_block_batch(
+                prepared, workload, inp, ctx, task.scheme, task.seed,
+                task.start, task.count, config=config, profiles=profiles,
+            )
+    else:
+        def _block():
+            return run_trial_block(
+                prepared, workload, inp, ctx, task.scheme, task.seed,
+                task.start, task.count,
+            )
     if trace_path is None:
-        result = run_trial_block(
-            prepared, workload, inp, ctx, task.scheme, task.seed,
-            task.start, task.count,
-        )
-        return task.key, result.to_dict()
+        return task.key, _block().to_dict()
 
     from ..runtime.compiler import module_fingerprint
 
@@ -129,10 +145,7 @@ def _run_chunk(
     install_sink(sink, run_id=trace_run)
     t0 = time.perf_counter()
     try:
-        result = run_trial_block(
-            prepared, workload, inp, ctx, task.scheme, task.seed,
-            task.start, task.count,
-        )
+        result = _block()
     finally:
         remove_sink()
         sink.close()

@@ -30,7 +30,7 @@ from ..runtime.errors import (
     TrapError,
 )
 from ..pipeline.registry import PAPER_SCHEMES, canonical_scheme, get_scheme
-from ..runtime.backend import make_executor
+from ..runtime.backend import default_backend, make_executor
 from ..runtime.faults import FaultPlan, Region, random_plan
 from ..runtime.outcomes import Outcome, classify_output, outputs_equal
 from ..workloads.base import Workload, WorkloadInput, stable_seed
@@ -38,6 +38,11 @@ from .schemes import PreparedProgram, fault_region, prepare
 
 #: Budget multiplier over the fault-free step count before declaring Hang.
 HANG_FACTOR = 8
+
+#: Lane-slab width of the batch backend's serial trial path.  Parallel
+#: engine chunks (DEFAULT_CHUNK trials) map 1:1 to batches; a serial
+#: campaign slabs its block into batches of at most this many lanes.
+BATCH_LANES = 256
 
 
 @dataclass
@@ -102,6 +107,14 @@ class CampaignResult:
         self.false_negatives += other.false_negatives
         self.caught += other.caught
         self.fn_by_outcome.update(other.fn_by_outcome)
+        if (self.region_steps and other.region_steps
+                and self.region_steps != other.region_steps):
+            # chunks of one campaign share a golden counting run; a
+            # region-step mismatch means the chunks came from different
+            # campaign configurations and their tallies must not be mixed
+            raise ValueError(
+                f"cannot merge campaign chunks with differing region_steps "
+                f"({self.region_steps} != {other.region_steps})")
         if self.region_steps == 0:
             self.region_steps = other.region_steps
 
@@ -179,6 +192,45 @@ def _run_once(
     return trap, output, loop_output, executor.region_steps, detected
 
 
+def _run_once_batch(
+    prepared: PreparedProgram,
+    workload: Workload,
+    inp: WorkloadInput,
+    plans: Sequence[FaultPlan],
+    region: Optional[Region],
+    max_steps: int,
+    intrinsics=None,
+) -> List[Tuple[Optional[str], List[float], List[float], int, bool]]:
+    """A whole trial chunk as one lane-vectorized execution.
+
+    Returns one ``(trap, output, loop_output, region_steps, detected)``
+    tuple per plan — element *i* is byte-identical to what
+    :func:`_run_once` returns for ``plans[i]`` (difftest oracle O5).
+    *intrinsics* is a single shared table or one table per lane; it
+    defaults to the prepared program's table.
+    """
+    from ..runtime.batch import BatchExecutor
+
+    template = workload.fresh_memory(prepared.module, inp)
+    executor = BatchExecutor(
+        prepared.module, template, len(plans), fault_plans=list(plans),
+        fault_region=region, max_steps=max_steps,
+        intrinsics=intrinsics if intrinsics is not None else prepared.intrinsics,
+    )
+    lane_results = executor.run(prepared.main, inp.args)
+    rows = []
+    for i, res in enumerate(lane_results):
+        output: List[float] = []
+        loop_output: List[float] = []
+        if res.trap is None:
+            lane_mem = executor.lane_memory(i)
+            output = lane_mem.read_global(*inp.output)
+            loop_output = lane_mem.read_global(*inp.loop_output)
+        rows.append((res.trap, output, loop_output, res.region_steps,
+                     res.detected))
+    return rows
+
+
 @dataclass
 class CampaignContext:
     """Fault-free reference state of one (workload, scheme, input) campaign:
@@ -234,6 +286,56 @@ def trial_seed(seed: int, workload: str, scheme: str, trial_index: int) -> int:
     return stable_seed(seed, workload, scheme, trial_index)
 
 
+def _tally_trial(
+    result: CampaignResult,
+    ctx: CampaignContext,
+    runtime,
+    snapshot,
+    trap: Optional[str],
+    output: List[float],
+    loop_output: List[float],
+    detected: bool,
+    workload_name: str,
+    scheme_label: str,
+    trial: int,
+) -> None:
+    """Classify one finished trial into *result*.
+
+    Shared by the serial and batch block runners, so a campaign's
+    tallies are independent of which engine executed the trials.
+    """
+    caught = False
+    if runtime is not None:
+        if runtime.stats_delta(snapshot).recompute_mismatches > 0:
+            caught = True
+            result.caught += 1
+    false_negative = False
+    if detected:
+        result.detected += 1
+        outcome = Outcome.CORE_DUMP  # aborted execution
+    elif trap == "segfault":
+        outcome = Outcome.SEGFAULT
+    elif trap == "hang":
+        outcome = Outcome.HANG
+    elif trap == "coredump":
+        outcome = Outcome.CORE_DUMP
+    else:
+        outcome = classify_output(ctx.golden, output)
+        if runtime is not None and not outputs_equal(
+                ctx.golden_loop, loop_output):
+            false_negative = True
+            result.false_negatives += 1
+            result.fn_by_outcome[outcome] += 1
+    result.tallies[outcome] += 1
+    if obs_enabled():
+        obs_emit(
+            TRIAL_OUTCOME,
+            workload=workload_name, scheme=scheme_label, trial=trial,
+            outcome=outcome.name, trap=trap, detected=detected,
+            caught=caught, false_negative=false_negative,
+        )
+
+
 def run_trial_block(
     prepared: PreparedProgram,
     workload: Workload,
@@ -265,35 +367,79 @@ def run_trial_block(
         trap, output, loop_output, _, detected = _run_once(
             prepared, workload, inp, plan, ctx.region, ctx.max_steps
         )
-        caught = False
-        if runtime is not None:
-            if runtime.stats_delta(snapshot).recompute_mismatches > 0:
-                caught = True
-                result.caught += 1
-        false_negative = False
-        if detected:
-            result.detected += 1
-            outcome = Outcome.CORE_DUMP  # aborted execution
-        elif trap == "segfault":
-            outcome = Outcome.SEGFAULT
-        elif trap == "hang":
-            outcome = Outcome.HANG
-        elif trap == "coredump":
-            outcome = Outcome.CORE_DUMP
+        _tally_trial(
+            result, ctx, runtime, snapshot, trap, output, loop_output,
+            detected, workload.name, prepared.scheme, trial,
+        )
+    return result
+
+
+def run_trial_block_batch(
+    prepared: PreparedProgram,
+    workload: Workload,
+    inp: WorkloadInput,
+    ctx: CampaignContext,
+    scheme: str,
+    seed: int,
+    start: int,
+    count: int,
+    config: Optional[RSkipConfig] = None,
+    profiles: Optional[Dict[str, LoopProfile]] = None,
+    lanes: int = BATCH_LANES,
+) -> CampaignResult:
+    """:func:`run_trial_block` on the lane-vectorized batch engine.
+
+    Trials run in slabs of at most *lanes* lanes, each slab one
+    :class:`~repro.runtime.batch.BatchExecutor` run; per-trial seeding
+    makes the tallies byte-identical to the serial block.  Stateless
+    schemes share the chunk's prepared program across lanes; runtime-
+    stateful schemes (RSkip) prepare one program per lane so trials stay
+    isolated and ``caught`` still comes from a per-trial stats delta.
+    """
+    import gc
+
+    result = CampaignResult(workload.name, prepared.scheme, count)
+    result.region_steps = ctx.region_steps
+    stateful = prepared.runtime is not None
+
+    for chunk_start in range(0, count, lanes):
+        n = min(lanes, count - chunk_start)
+        plans = []
+        for trial in range(start + chunk_start, start + chunk_start + n):
+            rng = random.Random(trial_seed(seed, workload.name, scheme, trial))
+            plans.append(random_plan(rng, ctx.region_steps))
+        if stateful:
+            preps = [prepare(workload, scheme, config, profiles)
+                     for _ in range(n)]
+            snapshots = []
+            for p in preps:
+                p.runtime.reset()
+                snapshots.append(p.runtime.total_stats())
+            tables = [p.intrinsics for p in preps]
+            slab_prepared = preps[0]
         else:
-            outcome = classify_output(ctx.golden, output)
-            if runtime is not None and not outputs_equal(
-                    ctx.golden_loop, loop_output):
-                false_negative = True
-                result.false_negatives += 1
-                result.fn_by_outcome[outcome] += 1
-        result.tallies[outcome] += 1
-        if obs_enabled():
-            obs_emit(
-                TRIAL_OUTCOME,
-                workload=workload.name, scheme=prepared.scheme, trial=trial,
-                outcome=outcome.name, trap=trap, detected=detected,
-                caught=caught, false_negative=false_negative,
+            preps = None
+            snapshots = [None] * n
+            tables = prepared.intrinsics
+            slab_prepared = prepared
+        # lane execution allocates heavily but briefly; keep the cyclic
+        # collector out of the hot loop
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            rows = _run_once_batch(
+                slab_prepared, workload, inp, plans, ctx.region,
+                ctx.max_steps, intrinsics=tables,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        for i, (trap, output, loop_output, _, detected) in enumerate(rows):
+            _tally_trial(
+                result, ctx,
+                preps[i].runtime if preps is not None else None,
+                snapshots[i], trap, output, loop_output, detected,
+                workload.name, prepared.scheme, start + chunk_start + i,
             )
     return result
 
@@ -337,6 +483,11 @@ def run_campaign(
     if prepared is None:
         prepared = prepare(workload, scheme, config, profiles)
     ctx = campaign_context(prepared, workload, inp)
+    if default_backend() == "batch":
+        return run_trial_block_batch(
+            prepared, workload, inp, ctx, scheme, seed, 0, trials,
+            config=config, profiles=profiles,
+        )
     return run_trial_block(prepared, workload, inp, ctx, scheme, seed, 0, trials)
 
 

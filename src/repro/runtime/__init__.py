@@ -39,6 +39,7 @@ from .compiler import (
     compile_module,
     module_fingerprint,
 )
+from .batch import BatchExecutor, LaneResult
 from .backend import (
     BACKENDS,
     default_backend,
@@ -59,5 +60,6 @@ __all__ = [
     "OPCODES", "OPERAND_ARITY", "RunResult", "run_program",
     "CompiledExecutor", "CompiledModule", "clear_compile_cache",
     "compile_module", "module_fingerprint",
+    "BatchExecutor", "LaneResult",
     "BACKENDS", "default_backend", "make_executor", "set_default_backend",
 ]

@@ -1,6 +1,6 @@
 """Execution-backend dispatch.
 
-Two backends execute IR:
+Three backends execute IR:
 
 * ``ref`` — the reference :class:`~repro.runtime.interpreter.Interpreter`:
   tree-walking, instrumented (timing model, SEU fault injection,
@@ -8,6 +8,14 @@ Two backends execute IR:
 * ``compiled`` — the closure-compiling backend of
   :mod:`repro.runtime.compiler`: clean mode only, observationally
   identical and several times faster.
+* ``batch`` — the lane-vectorized batch engine of
+  :mod:`repro.runtime.batch`: runs a whole block of fault-injection
+  trials in lockstep over one instruction stream.  It applies at the
+  campaign-chunk level (``repro.eval.fault_campaign`` routes trial
+  blocks through it when it is the default backend); a single
+  :func:`make_executor` call cannot express "many trials", so here
+  ``batch`` behaves like ``compiled`` for clean runs and like ``ref``
+  for instrumented ones.
 
 :func:`make_executor` picks the backend: any *instrumented* request
 (a fault plan, a timing model, or a profile) always routes to the
@@ -31,7 +39,7 @@ from .compiler import CompiledExecutor
 from .interpreter import DEFAULT_MAX_STEPS, Interpreter
 from .memory import Memory
 
-BACKENDS = ("ref", "compiled")
+BACKENDS = ("ref", "compiled", "batch")
 
 _default: Optional[str] = None
 

@@ -17,6 +17,7 @@ Memory cells at rest are never touched: the paper assumes ECC DRAM/caches.
 """
 from __future__ import annotations
 
+import math
 import random
 import struct
 from dataclasses import dataclass
@@ -41,11 +42,19 @@ def flip_int(value: int, bit: int) -> int:
 
 
 def flip_float(value: float, bit: int) -> float:
-    """Flip *bit* of an IEEE-754 double."""
+    """Flip *bit* of an IEEE-754 double.
+
+    A value that cannot round-trip through a 64-bit double (e.g. a
+    Python bignum reaching the float flipper) is returned unchanged —
+    the flip is architecturally masked, like flips of non-numeric
+    register state.  It must *not* be replaced by a zeroed bit pattern:
+    that would turn a masked fault into a fabricated corruption that no
+    modelled SEU could produce.
+    """
     try:
         raw = struct.unpack("<Q", struct.pack("<d", value))[0]
-    except (OverflowError, ValueError):  # pragma: no cover - defensive
-        raw = 0
+    except (OverflowError, ValueError, struct.error):
+        return value
     raw ^= 1 << (bit & 63)
     return struct.unpack("<d", struct.pack("<Q", raw))[0]
 
@@ -84,6 +93,16 @@ def random_plan(
     executes *region_steps* dynamic instructions."""
     if region_steps <= 0:
         raise ValueError("region executes no instructions; nothing to inject into")
+    total = 0.0
+    for _name, w in kind_weights:
+        if w <= 0:
+            raise ValueError(
+                f"kind_weights entries must be positive, got {_name}={w!r}")
+        total += w
+    if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+        raise ValueError(
+            f"kind_weights must sum to 1.0, got {total!r}; a silent "
+            f"renormalization would skew the drawn fault mix")
     x = rng.random()
     kind = kind_weights[-1][0]
     acc = 0.0

@@ -1,0 +1,117 @@
+"""Batch-backend campaigns and chunk merging.
+
+The lane-vectorized block runner must tally byte-identically to the
+serial one — same trials, same seeds, same `CampaignResult` — for both
+stateless and runtime-stateful schemes, through both the direct block
+API and the `--backend batch` routing in `run_campaign`.  Plus the
+`CampaignResult.merge` regression: chunks from different campaign
+configurations (mismatched non-zero ``region_steps``) must refuse to
+merge instead of silently keeping the first chunk's value.
+"""
+import pytest
+
+from repro.eval.fault_campaign import (
+    CampaignResult,
+    campaign_context,
+    run_campaign,
+    run_trial_block,
+    run_trial_block_batch,
+)
+from repro.eval.schemes import prepare
+from repro.pipeline.registry import canonical_scheme
+from repro.runtime.backend import set_default_backend
+from repro.workloads import get_workload
+
+SCALE = 0.35
+SEED = 5
+
+
+class TestMergeRegression:
+    def _chunk(self, trials, region_steps):
+        result = CampaignResult("conv1d", "UNSAFE", trials)
+        result.region_steps = region_steps
+        return result
+
+    def test_mismatched_region_steps_rejected(self):
+        """Chunks with different non-zero region_steps come from different
+        campaign configurations; merging them used to silently keep the
+        first chunk's value and mix incompatible tallies."""
+        a = self._chunk(10, 1400)
+        with pytest.raises(ValueError, match="region_steps"):
+            a.merge(self._chunk(10, 900))
+        assert a.trials == 20  # counts folded before the guard fired
+
+    def test_matching_region_steps_merge(self):
+        a = self._chunk(10, 1400)
+        a.merge(self._chunk(15, 1400))
+        assert (a.trials, a.region_steps) == (25, 1400)
+
+    def test_zero_region_steps_adopted(self):
+        a = self._chunk(10, 0)
+        a.merge(self._chunk(10, 1400))
+        assert a.region_steps == 1400
+        a.merge(self._chunk(5, 0))  # resumed empty chunk: still fine
+        assert (a.trials, a.region_steps) == (25, 1400)
+
+
+def _blocks(workload_name, scheme_name, count, **batch_kwargs):
+    workload = get_workload(workload_name)
+    scheme = canonical_scheme(scheme_name, None)
+    inp = workload.test_inputs(1, seed=SEED + 17, scale=SCALE)[0]
+    prepared = prepare(workload, scheme)
+    ctx = campaign_context(prepared, workload, inp)
+    serial = run_trial_block(
+        prepared, workload, inp, ctx, scheme, SEED, 0, count)
+    batch = run_trial_block_batch(
+        prepared, workload, inp, ctx, scheme, SEED, 0, count, **batch_kwargs)
+    return serial, batch
+
+
+class TestBatchBlock:
+    def test_stateless_scheme_tallies_identical(self):
+        serial, batch = _blocks("conv1d", "UNSAFE", 24)
+        assert batch.to_dict() == serial.to_dict()
+
+    def test_stateful_scheme_tallies_identical(self):
+        """RSkip carries per-trial predictor state; the batch runner must
+        keep trials isolated (per-lane prepared programs) so ``caught``
+        and the false-negative split still match the serial block."""
+        serial, batch = _blocks("conv1d", "AR50", 16)
+        assert batch.to_dict() == serial.to_dict()
+
+    def test_single_lane_batch_equals_plain_trial(self):
+        serial, batch = _blocks("conv1d", "UNSAFE", 1)
+        assert batch.to_dict() == serial.to_dict()
+
+    def test_slab_width_does_not_change_tallies(self):
+        """Trials are seeded per-trial, so slicing one block into many
+        small lane slabs must reproduce the single-slab tallies."""
+        serial, batch = _blocks("conv1d", "UNSAFE", 17, lanes=7)
+        assert batch.to_dict() == serial.to_dict()
+
+
+class TestBackendRouting:
+    def test_run_campaign_routes_through_batch_backend(self):
+        workload = get_workload("conv1d")
+        reference = run_campaign(workload, "UNSAFE", 20, seed=SEED,
+                                 scale=SCALE)
+        set_default_backend("batch")
+        try:
+            batched = run_campaign(workload, "UNSAFE", 20, seed=SEED,
+                                   scale=SCALE)
+        finally:
+            set_default_backend(None)
+        assert batched.to_dict() == reference.to_dict()
+
+
+@pytest.mark.slow
+class TestFullScaleBatch:
+    def test_full_width_slab_tallies_identical(self):
+        """A block wider than one 256-lane slab, checked against the
+        serial runner trial for trial."""
+        serial, batch = _blocks("conv1d", "UNSAFE", 300)
+        assert batch.to_dict() == serial.to_dict()
+
+    def test_stateful_full_batch(self):
+        serial, batch = _blocks("sgemm", "SWIFT-R", 60)
+        assert batch.to_dict() == serial.to_dict()

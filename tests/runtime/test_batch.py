@@ -1,0 +1,190 @@
+"""Lane semantics of the batch engine (`repro.runtime.batch`).
+
+Every observable of a batched lane — return value, trap kind, step and
+region-step counts, final memory — must match what the reference
+interpreter produces for the same program and fault plan run alone.
+The difftest O5 oracle fuzzes this property; these tests pin the named
+divergence-handling cases: a lane trapping while the rest of the batch
+runs on, every lane hanging against the step budget, and a single-lane
+batch degenerating to a plain trial.
+"""
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_module
+from repro.runtime.batch import SCALAR_CUTOFF, BatchExecutor
+from repro.runtime.errors import HangError, SegfaultError
+from repro.runtime.faults import FaultPlan, Region
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.memory import Memory
+
+LOOP_SUM = """
+module batch_loop_sum
+
+global @a 8 f64 = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+global @out 8 f64
+
+func @main() -> f64 {
+entry:
+  %ap = mov @a
+  %op = mov @out
+  %sum = mov 0.0:f64
+  %i = mov 0:i64
+  br head
+head:
+  %c = icmp lt %i, 8:i64
+  cbr %c, body, exit
+body:
+  %addr = add %ap, %i
+  %x = load %addr : f64
+  %oaddr = add %op, %i
+  store %x, %oaddr
+  %nsum = fadd %sum, %x
+  %sum = mov %nsum
+  %ni = add %i, 1:i64
+  %i = mov %ni
+  br head
+exit:
+  ret %sum
+}
+"""
+
+SPIN = """
+module batch_spin
+
+func @main() -> f64 {
+entry:
+  %i = mov 0:i64
+  br head
+head:
+  %c = icmp lt %i, 1:i64
+  cbr %c, head, exit
+exit:
+  ret 0.0:f64
+}
+"""
+
+
+def _load(text):
+    module = parse_module(text)
+    verify_module(module)
+    return module
+
+
+def _region(module):
+    return Region(funcs=tuple(module.functions))
+
+
+def _ref_trial(module, plan, region, max_steps=100_000):
+    """One reference-interpreter trial, reduced to the lane observables."""
+    memory = Memory()
+    interp = Interpreter(
+        module, memory=memory, max_steps=max_steps,
+        fault_plan=plan, fault_region=region)
+    trap = None
+    value = None
+    try:
+        value = interp.run("main", []).value
+    except SegfaultError:
+        trap = "segfault"
+    except HangError:
+        trap = "hang"
+    return trap, value, interp.steps, interp.region_steps, memory
+
+
+class TestCleanLanes:
+    def test_all_lanes_reproduce_the_interpreter(self):
+        module = _load(LOOP_SUM)
+        _, value, steps, rsteps, memory = _ref_trial(
+            module, None, _region(module))
+        lanes = SCALAR_CUTOFF + 4  # force the lockstep path
+        executor = BatchExecutor(module, Memory(), lanes,
+                                 fault_region=_region(module))
+        for res in executor.run("main", []):
+            assert res.trap is None and not res.detected
+            assert res.finished
+            assert res.value == value == pytest.approx(36.0)
+            assert (res.steps, res.region_steps) == (steps, rsteps)
+        for lane in range(lanes):
+            assert executor.lane_memory(lane).read_global("out", 8) == \
+                memory.read_global("out", 8)
+
+    def test_single_lane_batch_is_a_plain_trial(self):
+        module = _load(LOOP_SUM)
+        region = _region(module)
+        plan = FaultPlan(step=9, kind="value", bit=13, pick=0.4)
+        trap, value, steps, rsteps, memory = _ref_trial(module, plan, region)
+        executor = BatchExecutor(module, Memory(), 1, fault_plans=[plan],
+                                 fault_region=region, max_steps=100_000)
+        (res,) = executor.run("main", [])
+        assert (res.trap, res.value, res.steps, res.region_steps) == \
+            (trap, value, steps, rsteps)
+        if trap is None:
+            assert executor.lane_memory(0).read_global("out", 8) == \
+                memory.read_global("out", 8)
+
+
+class TestDivergence:
+    def test_lane0_traps_while_the_rest_run_on(self):
+        """An address fault segfaults lane 0; the surviving lanes must
+        retire it and still finish with the clean answer and step count."""
+        module = _load(LOOP_SUM)
+        region = _region(module)
+        # bit 22 lands the next memory access far outside the template
+        trap_plan = FaultPlan(step=6, kind="addr", bit=22)
+        ref_rows = [_ref_trial(module, trap_plan, region),
+                    _ref_trial(module, None, region)]
+        assert ref_rows[0][0] == "segfault"
+
+        lanes = SCALAR_CUTOFF + 4
+        plans = [trap_plan] + [None] * (lanes - 1)
+        executor = BatchExecutor(module, Memory(), lanes, fault_plans=plans,
+                                 fault_region=region, max_steps=100_000)
+        results = executor.run("main", [])
+        trap_r, _, steps_r, rsteps_r, _ = ref_rows[0]
+        assert (results[0].trap, results[0].steps, results[0].region_steps) \
+            == (trap_r, steps_r, rsteps_r)
+        _, value_c, steps_c, rsteps_c, memory_c = ref_rows[1]
+        for lane in range(1, lanes):
+            res = results[lane]
+            assert res.trap is None and res.finished
+            assert res.value == value_c
+            assert (res.steps, res.region_steps) == (steps_c, rsteps_c)
+            assert executor.lane_memory(lane).read_global("out", 8) == \
+                memory_c.read_global("out", 8)
+
+    def test_all_lanes_hang_against_the_step_budget(self):
+        """A batch whose every lane spins must charge each lane exactly
+        the hang budget — not multiply it by the lane count, and not run
+        past it — mirroring the serial HANG_FACTOR cutoff per trial."""
+        module = _load(SPIN)
+        budget = 500
+        trap, _, steps, _, _ = _ref_trial(module, None, _region(module),
+                                          max_steps=budget)
+        assert trap == "hang"
+
+        lanes = SCALAR_CUTOFF + 4
+        executor = BatchExecutor(module, Memory(), lanes,
+                                 fault_region=_region(module),
+                                 max_steps=budget)
+        for res in executor.run("main", []):
+            assert res.trap == "hang" and not res.finished
+            assert res.steps == steps  # the interpreter's exact cutoff
+
+
+class TestConstruction:
+    def test_zero_lanes_rejected(self):
+        module = _load(LOOP_SUM)
+        with pytest.raises(ValueError, match="at least one lane"):
+            BatchExecutor(module, Memory(), 0)
+
+    def test_plan_count_must_match_lanes(self):
+        module = _load(LOOP_SUM)
+        with pytest.raises(ValueError, match="per lane"):
+            BatchExecutor(module, Memory(), 4, fault_plans=[None] * 3)
+
+    def test_unfinished_lane_memory_rejected(self):
+        module = _load(LOOP_SUM)
+        executor = BatchExecutor(module, Memory(), 2)
+        with pytest.raises(ValueError, match="not finished"):
+            executor.lane_memory(0)

@@ -316,7 +316,17 @@ class TestCompileCache:
 # -- backend dispatch ---------------------------------------------------------
 class TestDispatch:
     def test_backends_tuple(self):
-        assert BACKENDS == ("ref", "compiled")
+        assert BACKENDS == ("ref", "compiled", "batch")
+
+    def test_batch_default_keeps_single_run_dispatch(self):
+        """The batch backend applies at the campaign-chunk level; a
+        single make_executor call behaves like compiled/ref dispatch."""
+        m = module_of("  ret 1.0:f64")
+        assert isinstance(
+            make_executor(m, backend="batch"), CompiledExecutor)
+        plan = FaultPlan(step=0, kind="value", bit=1, pick=0.5)
+        assert isinstance(
+            make_executor(m, backend="batch", fault_plan=plan), Interpreter)
 
     def test_clean_run_defaults_to_compiled(self):
         m = module_of("  ret 1.0:f64")

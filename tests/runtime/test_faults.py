@@ -74,6 +74,28 @@ class TestPlans:
         assert kinds.count("branch") > 20
         assert kinds.count("addr") > 20
 
+    def test_malformed_kind_weights_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError, match="kind_weights"):
+            random_plan(rng, 100, kind_weights=(("value", 0.5), ("branch", 0.2)))
+        with pytest.raises(ValueError, match="kind_weights"):
+            random_plan(rng, 100, kind_weights=(("value", 1.5), ("branch", -0.5)))
+        with pytest.raises(ValueError, match="kind_weights"):
+            random_plan(rng, 100, kind_weights=(("value", 0.0), ("branch", 1.0)))
+
+    def test_default_kind_weights_still_accepted(self):
+        rng = random.Random(0)
+        plan = random_plan(rng, 100, kind_weights=DEFAULT_KIND_WEIGHTS)
+        assert plan.kind in ("value", "branch", "addr")
+
+    def test_flip_float_unpackable_value_is_masked(self):
+        """A register whose value cannot round-trip through an IEEE-754
+        double (a Python bignum reaching the float flipper) is left
+        unchanged rather than silently zeroed: the flip is
+        architecturally masked."""
+        huge = 10**400
+        assert flip_float(huge, 13) == huge
+
     def test_empty_region_rejected(self):
         with pytest.raises(ValueError):
             random_plan(random.Random(0), 0)
