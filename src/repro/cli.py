@@ -256,6 +256,23 @@ def cmd_difftest(args) -> None:
         sys.exit(1)
 
 
+def cmd_skipmap(args) -> None:
+    """Exhaustive skip-site model checking rendered as a per-scheme table."""
+    from .eval.skipmap import render_skipmap, skip_vulnerability_table
+
+    t0 = time.time()
+    table = skip_vulnerability_table(
+        seed=args.seed,
+        programs=args.programs,
+        site_cap=args.site_cap,
+        burst_len=args.burst_len,
+    )
+    # timing on stderr: stdout stays deterministic
+    print(f"skipmap: {args.programs} program(s) in {time.time() - t0:.1f}s",
+          file=sys.stderr)
+    print(render_skipmap(table))
+
+
 def cmd_schemes(args) -> None:
     """List every registered protection scheme from the registry."""
     from .pipeline import CLEANUP_PIPELINE, all_descriptors
@@ -535,11 +552,13 @@ def build_parser() -> argparse.ArgumentParser:
     pdt.add_argument("--seed", type=int, default=0)
     pdt.add_argument("--n", type=int, default=100,
                      help="programs to generate and check (default 100)")
-    pdt.add_argument("--oracle", choices=("all", "o1", "o2", "o3", "o4", "o5"),
+    pdt.add_argument("--oracle",
+                     choices=("all", "o1", "o2", "o3", "o4", "o5", "o6"),
                      default="all",
                      help="o1=pipeline equivalence, o2=print/parse fixpoint, "
                           "o3=fault metamorphic property, o4=backend "
-                          "equivalence, o5=batch-lane equivalence "
+                          "equivalence, o5=batch-lane equivalence, "
+                          "o6=exhaustive single-skip model checking "
                           "(default all)")
     pdt.add_argument("--jobs", type=int, default=1,
                      help="worker processes; the report is byte-identical "
@@ -552,6 +571,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory shrunk counterexamples are written to "
                           "(default difftest/corpus)")
     pdt.set_defaults(fn=cmd_difftest)
+    psk = sub.add_parser(
+        "skipmap",
+        help="enumerate every single-skip site of bounded generated "
+             "programs and tabulate per-scheme outcomes",
+    )
+    psk.add_argument("--seed", type=int, default=0)
+    psk.add_argument("--programs", type=int, default=3,
+                     help="generated programs to model-check (default 3)")
+    psk.add_argument("--site-cap", type=int, default=400,
+                     help="exhaustive-enumeration ceiling; larger dynamic "
+                          "streams are stride-sampled (default 400)")
+    psk.add_argument("--burst-len", type=int, default=1,
+                     help="drop this many consecutive instructions per "
+                          "site (default 1 = single skip)")
+    psk.set_defaults(fn=cmd_skipmap)
     psch = sub.add_parser(
         "schemes",
         help="list registered protection schemes, aliases and pass lists",

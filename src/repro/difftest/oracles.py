@@ -1,6 +1,6 @@
 """Differential oracles over generated IR programs.
 
-Five machine-checked properties:
+Six machine-checked properties:
 
 * **O1 — pipeline equivalence** (:func:`check_pipeline`): any pipeline of
   cleanup passes ({dce, cse, licm, simplify, clone}) optionally followed
@@ -29,6 +29,16 @@ Five machine-checked properties:
   step and region-step counts, return value and final global memory.
   Checked on the plain program and again under a protection transform
   (per-lane module copies, so stateful intrinsics stay per-trial).
+
+* **O6 — exhaustive single-skip model checking**
+  (:func:`check_skip_exhaustive`): a counting pre-run names every
+  in-region dynamic instruction of a bounded program; one skip plan per
+  site then *proves* per-scheme skip coverage instead of sampling it —
+  each site's detected/masked/sdc/trap/hang classification must be
+  byte-identical between per-trial reference execution and one batched
+  lane slab, and under the duplication schemes a skip whose victim is a
+  shadow instruction must never be silent corruption (the instruction-
+  skip analogue of O3's shadow-flip property).
 
 * **O3 — fault metamorphic property** (:func:`check_fault_metamorphic`):
   a single bit flip injected into the *redundant* (shadow) stream of a
@@ -66,7 +76,7 @@ from ..runtime.errors import (
     TrapError,
 )
 from ..runtime.faults import FaultPlan, Region, flip_value, random_plan
-from ..runtime.interpreter import Interpreter
+from ..runtime.interpreter import OPCODES, Interpreter
 from ..runtime.memory import Memory
 from ..runtime.outcomes import outputs_equal
 from ..transforms.swift import DETECT_INTRINSIC
@@ -86,7 +96,7 @@ _SHADOW_SUFFIXES = (".sw1", ".sw2")
 class Violation:
     """One oracle failure, serializable for cross-process reporting."""
 
-    oracle: str  # "o1" | "o2" | "o3" | "o4" | "o5"
+    oracle: str  # "o1" | "o2" | "o3" | "o4" | "o5" | "o6"
     detail: str
     pipeline: Tuple[str, ...] = ()
 
@@ -490,6 +500,247 @@ def check_batch_equivalence(
                         "o5", f"[{label}] lane {lane}: @{name}: contents "
                               f"diverged from the reference trial", pipe))
                     break
+    return violations
+
+
+# -- O6: exhaustive single-skip model checking --------------------------------
+
+#: Exhaustive-enumeration ceiling: a program whose region executes more
+#: dynamic instructions than this gets stride-sampled instead, and the
+#: resulting map is explicitly marked non-exhaustive.
+SKIPMAP_SITE_CAP = 400
+
+#: Duplication schemes whose shadow stream carries a provable skip
+#: contract: the master stream is intact, so a skipped shadow instruction
+#: must be caught by the checker (swift) or voted away (swift-r) — it can
+#: trap early or hang, but never end as silent corruption.
+_SKIP_CONTRACT_SCHEMES = ("swift", "swift-r")
+
+
+@dataclass
+class SkipSite:
+    """One enumerated dynamic instruction and its skip outcome."""
+
+    step: int            # region-step index (== ``FaultPlan.step``)
+    opcode: str          # mnemonic of the instruction the skip drops
+    dest: Optional[str]  # destination register name, if any
+    outcome: str         # "detected" | "masked" | "sdc" | "trap" | "hang"
+
+
+@dataclass
+class SkipMap:
+    """Per-scheme single-skip (or burst) vulnerability map of a program."""
+
+    protection: Optional[str]
+    total_sites: int   # counting pre-run total (every in-region instruction)
+    exhaustive: bool   # True when every site was enumerated
+    burst_len: int     # 1 for single skips, >1 for burst maps
+    sites: List[SkipSite] = field(default_factory=list)
+
+    def tally(self) -> Dict[str, int]:
+        t: Dict[str, int] = {}
+        for s in self.sites:
+            t[s.outcome] = t.get(s.outcome, 0) + 1
+        return t
+
+
+def _count_skip_sites(
+    module: Module,
+    protection: Optional[str],
+    region: Region,
+    max_steps: int,
+) -> tuple:
+    """Counting pre-run: the clean observation tuple plus one
+    ``(opcode index, dest name)`` entry per in-region dynamic
+    instruction — entry *i* names exactly what a plan with ``step == i``
+    will hit."""
+    work = module_copy(module)
+    intrinsics = PROTECTIONS[protection](work) if protection else {}
+    memory = Memory()
+    interp = Interpreter(
+        work, memory=memory, max_steps=max_steps, fault_region=region)
+    interp.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
+    if intrinsics:
+        interp.register_intrinsics(intrinsics)
+    trace: List[Tuple[int, Optional[str]]] = []
+    interp.site_trace = trace
+    value = interp.run("main", []).value
+    finals = {name: memory.read_global(name, gvar.size)
+              for name, gvar in work.globals.items()}
+    golden = (None, False, interp.steps, interp.region_steps, value, finals)
+    return golden, trace
+
+
+def _classify_outcome(obs: tuple, golden: tuple) -> str:
+    """Reduce an observation tuple to the campaign-style outcome label."""
+    trap, detected, _steps, _rsteps, value, finals = obs
+    if detected:
+        return "detected"
+    if trap == "hang":
+        return "hang"
+    if trap is not None:
+        return "trap"
+    if not _values_equal(golden[4], value):
+        return "sdc"
+    for name, cells in golden[5].items():
+        if not outputs_equal(cells, finals.get(name, [])):
+            return "sdc"
+    return "masked"
+
+
+def _enumerate_sites(total: int, site_cap: int) -> Tuple[List[int], bool]:
+    """Every site when the program is small enough, else an even stride
+    sample — with the exhaustiveness of the result made explicit."""
+    if total <= site_cap:
+        return list(range(total)), True
+    stride = -(-total // site_cap)
+    return list(range(0, total, stride)), False
+
+
+def skip_site_map(
+    module: Module,
+    protection: Optional[str] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    site_cap: int = SKIPMAP_SITE_CAP,
+    burst_len: int = 1,
+) -> SkipMap:
+    """Enumerate skip-injection sites on the reference interpreter and
+    classify each one against the clean run.  The model-checking half of
+    O6, reusable on its own (``repro skipmap`` and the vulnerability
+    table build on it)."""
+    region = Region(funcs=tuple(module.functions))
+    golden, trace = _count_skip_sites(module, protection, region, max_steps)
+    budget = min(max_steps, max(golden[2] * 8, 10_000))
+    site_steps, exhaustive = _enumerate_sites(len(trace), site_cap)
+    kind = "skip" if burst_len == 1 else "skip-burst"
+    smap = SkipMap(protection, len(trace), exhaustive, burst_len)
+    for s in site_steps:
+        plan = FaultPlan(step=s, kind=kind, burst_len=burst_len)
+        obs = _observe_ref_trial(module, protection, plan, region, budget)
+        code, dest = trace[s]
+        smap.sites.append(SkipSite(
+            s, OPCODES[code].value, dest, _classify_outcome(obs, golden)))
+    return smap
+
+
+def check_skip_exhaustive(
+    module: Module,
+    protection: Optional[str] = None,
+    seed: int = 0,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    site_cap: int = SKIPMAP_SITE_CAP,
+    burst: bool = False,
+) -> List[Violation]:
+    """O6: exhaustive single-skip model checking.
+
+    For the plain program and (when given) the protected program:
+
+    * a counting pre-run names every in-region dynamic instruction, and
+      its site count must equal the clean run's region-step total — the
+      enumeration provably covers the whole dynamic stream;
+    * every site is injected once as a ``skip`` plan, per-trial on the
+      reference interpreter and again as one lane of a single batched
+      slab, and each lane's (trap kind, detection flag, step counts,
+      return value, final globals) must be byte-identical;
+    * under the duplication schemes (swift, swift-r) a skip whose victim
+      is a *shadow* instruction must never classify as silent
+      corruption — the master stream is intact, so the checker detects
+      it, the vote masks it, or a poisoned shadow traps/hangs first.
+
+    With *burst* set, every 2-instruction burst is checked the same way
+    (reference==batch only: a burst can straddle master and checker
+    instructions, so the shadow contract holds only for single skips).
+    Programs larger than *site_cap* are stride-sampled.
+    """
+    del seed  # enumeration is deterministic; kept for runner uniformity
+    from ..runtime.batch import BatchExecutor
+
+    violations: List[Violation] = []
+    for prot in [None] + ([protection] if protection else []):
+        pipe = (prot,) if prot else ()
+        label = prot or "plain"
+        region = Region(funcs=tuple(module.functions))
+        golden, trace = _count_skip_sites(module, prot, region, max_steps)
+        if golden[3] != len(trace):
+            violations.append(Violation(
+                "o6", f"[{label}] counting pre-run named {len(trace)} "
+                      f"sites but the clean run executed {golden[3]} "
+                      f"region steps", pipe))
+            continue
+        budget = min(max_steps, max(golden[2] * 8, 10_000))
+        site_steps, _exhaustive = _enumerate_sites(len(trace), site_cap)
+        if not site_steps:
+            continue
+        for blen in ([1, 2] if burst else [1]):
+            kind = "skip" if blen == 1 else "skip-burst"
+            plans = [FaultPlan(step=s, kind=kind, burst_len=blen)
+                     for s in site_steps]
+            ref_rows = [
+                _observe_ref_trial(module, prot, plan, region, budget)
+                for plan in plans
+            ]
+
+            lanes = len(plans)
+            works = [module_copy(module) for _ in range(lanes)]
+            tables = []
+            for work in works:
+                table = {DETECT_INTRINSIC: _swift_detect}
+                if prot:
+                    table.update(PROTECTIONS[prot](work))
+                tables.append(table)
+            batch_module = works[0]
+            template = Memory()
+            template.load_globals(batch_module)
+            executor = BatchExecutor(
+                batch_module, template, lanes, fault_plans=plans,
+                fault_region=region, max_steps=budget, intrinsics=tables)
+            results = executor.run("main", [])
+
+            for i, s in enumerate(site_steps):
+                trap_r, det_r, steps_r, rsteps_r, val_r, fin_r = ref_rows[i]
+                res = results[i]
+                got = (res.trap, res.detected, res.steps, res.region_steps)
+                want = (trap_r, det_r, steps_r, rsteps_r)
+                where = f"[{label}] {kind}@{s}"
+                if got != want:
+                    violations.append(Violation(
+                        "o6", f"{where}: ref (trap={trap_r}, "
+                              f"detected={det_r}, steps={steps_r}, "
+                              f"region_steps={rsteps_r}) but batch "
+                              f"(trap={res.trap}, detected={res.detected}, "
+                              f"steps={res.steps}, "
+                              f"region_steps={res.region_steps})", pipe))
+                    continue
+                if trap_r is not None:
+                    continue
+                if not _values_equal(val_r, res.value):
+                    violations.append(Violation(
+                        "o6", f"{where}: return value "
+                              f"{val_r!r} != {res.value!r}", pipe))
+                    continue
+                lane_mem = executor.lane_memory(i)
+                for name, gvar in batch_module.globals.items():
+                    if not outputs_equal(
+                            fin_r.get(name, []),
+                            lane_mem.read_global(name, gvar.size)):
+                        violations.append(Violation(
+                            "o6", f"{where}: @{name}: contents diverged "
+                                  f"from the reference trial", pipe))
+                        break
+
+            if prot in _SKIP_CONTRACT_SCHEMES and blen == 1:
+                for i, s in enumerate(site_steps):
+                    code, dest = trace[s]
+                    if dest is None or not _is_shadow(dest):
+                        continue
+                    outcome = _classify_outcome(ref_rows[i], golden)
+                    if outcome == "sdc":
+                        violations.append(Violation(
+                            "o6",
+                            f"[{label}] skipping shadow instruction "
+                            f"{OPCODES[code].value} -> %{dest} at site {s} "
+                            f"is silent corruption; the duplication "
+                            f"contract requires detect/mask", pipe))
     return violations
 
 

@@ -26,6 +26,7 @@ from .oracles import (
     check_fault_metamorphic,
     check_pipeline,
     check_roundtrip,
+    check_skip_exhaustive,
 )
 from .shrink import instruction_count, shrink_module
 
@@ -35,7 +36,7 @@ DEFAULT_CHUNK = 20
 #: Shadow-flip trials per O3 check.
 DEFAULT_FAULT_SAMPLES = 12
 
-ORACLES = ("all", "o1", "o2", "o3", "o4", "o5")
+ORACLES = ("all", "o1", "o2", "o3", "o4", "o5", "o6")
 
 _CLEANUP_NAMES = tuple(sorted(CLEANUP_PASSES))
 _PROTECTION_NAMES = tuple(sorted(PROTECTIONS))
@@ -147,6 +148,10 @@ def check_index(
         record.violations.extend(check_batch_equivalence(
             module, protection,
             seed=stable_seed(seed, "difftest.batch", index)))
+    if oracle in ("all", "o6"):
+        record.violations.extend(check_skip_exhaustive(
+            module, protection,
+            seed=stable_seed(seed, "difftest.skip", index)))
     return record
 
 
@@ -184,6 +189,10 @@ def failure_predicate(record: IndexRecord, seed: int, fault_samples: int):
             found.extend(check_batch_equivalence(
                 module, record.protection,
                 seed=stable_seed(seed, "difftest.batch", record.index)))
+        if "o6" in failing:
+            found.extend(check_skip_exhaustive(
+                module, record.protection,
+                seed=stable_seed(seed, "difftest.skip", record.index)))
         return {v.oracle for v in found} >= failing
 
     return predicate

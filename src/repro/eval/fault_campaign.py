@@ -31,7 +31,12 @@ from ..runtime.errors import (
 )
 from ..pipeline.registry import PAPER_SCHEMES, canonical_scheme, get_scheme
 from ..runtime.backend import default_backend, make_executor
-from ..runtime.faults import FaultPlan, Region, random_plan
+from ..runtime.faults import (
+    DEFAULT_KIND_WEIGHTS,
+    FaultPlan,
+    Region,
+    random_plan,
+)
 from ..runtime.outcomes import Outcome, classify_output, outputs_equal
 from ..workloads.base import Workload, WorkloadInput, stable_seed
 from .schemes import PreparedProgram, fault_region, prepare
@@ -62,6 +67,8 @@ class CampaignResult:
     caught: int = 0
     #: final outcome classes of the false-negative runs
     fn_by_outcome: Counter = field(default_factory=Counter)
+    #: outcome tallies split by injected fault kind ("value", "skip", ...)
+    kind_tallies: Dict[str, Counter] = field(default_factory=dict)
     region_steps: int = 0
 
     @property
@@ -107,6 +114,8 @@ class CampaignResult:
         self.false_negatives += other.false_negatives
         self.caught += other.caught
         self.fn_by_outcome.update(other.fn_by_outcome)
+        for kind, tallies in other.kind_tallies.items():
+            self.kind_tallies.setdefault(kind, Counter()).update(tallies)
         if (self.region_steps and other.region_steps
                 and self.region_steps != other.region_steps):
             # chunks of one campaign share a golden counting run; a
@@ -129,6 +138,10 @@ class CampaignResult:
             "false_negatives": self.false_negatives,
             "caught": self.caught,
             "fn_by_outcome": {o.name: n for o, n in self.fn_by_outcome.items()},
+            "kind_tallies": {
+                kind: {o.name: n for o, n in tallies.items()}
+                for kind, tallies in sorted(self.kind_tallies.items())
+            },
             "region_steps": self.region_steps,
         }
 
@@ -144,6 +157,11 @@ class CampaignResult:
         result.fn_by_outcome = Counter(
             {Outcome[name]: n for name, n in data["fn_by_outcome"].items()}
         )
+        # absent in checkpoints written before the skip fault kinds landed
+        result.kind_tallies = {
+            kind: Counter({Outcome[name]: n for name, n in tallies.items()})
+            for kind, tallies in data.get("kind_tallies", {}).items()
+        }
         result.region_steps = data["region_steps"]
         return result
 
@@ -298,6 +316,7 @@ def _tally_trial(
     workload_name: str,
     scheme_label: str,
     trial: int,
+    kind: Optional[str] = None,
 ) -> None:
     """Classify one finished trial into *result*.
 
@@ -327,6 +346,8 @@ def _tally_trial(
             result.false_negatives += 1
             result.fn_by_outcome[outcome] += 1
     result.tallies[outcome] += 1
+    if kind is not None:
+        result.kind_tallies.setdefault(kind, Counter())[outcome] += 1
     if obs_enabled():
         obs_emit(
             TRIAL_OUTCOME,
@@ -345,6 +366,7 @@ def run_trial_block(
     seed: int,
     start: int,
     count: int,
+    kind_weights: Tuple = DEFAULT_KIND_WEIGHTS,
 ) -> CampaignResult:
     """Run trials [start, start+count) of a campaign.
 
@@ -363,13 +385,13 @@ def run_trial_block(
             runtime.reset()
             snapshot = runtime.total_stats()
         rng = random.Random(trial_seed(seed, workload.name, scheme, trial))
-        plan = random_plan(rng, ctx.region_steps)
+        plan = random_plan(rng, ctx.region_steps, kind_weights)
         trap, output, loop_output, _, detected = _run_once(
             prepared, workload, inp, plan, ctx.region, ctx.max_steps
         )
         _tally_trial(
             result, ctx, runtime, snapshot, trap, output, loop_output,
-            detected, workload.name, prepared.scheme, trial,
+            detected, workload.name, prepared.scheme, trial, kind=plan.kind,
         )
     return result
 
@@ -386,6 +408,7 @@ def run_trial_block_batch(
     config: Optional[RSkipConfig] = None,
     profiles: Optional[Dict[str, LoopProfile]] = None,
     lanes: int = BATCH_LANES,
+    kind_weights: Tuple = DEFAULT_KIND_WEIGHTS,
 ) -> CampaignResult:
     """:func:`run_trial_block` on the lane-vectorized batch engine.
 
@@ -407,7 +430,7 @@ def run_trial_block_batch(
         plans = []
         for trial in range(start + chunk_start, start + chunk_start + n):
             rng = random.Random(trial_seed(seed, workload.name, scheme, trial))
-            plans.append(random_plan(rng, ctx.region_steps))
+            plans.append(random_plan(rng, ctx.region_steps, kind_weights))
         if stateful:
             preps = [prepare(workload, scheme, config, profiles)
                      for _ in range(n)]
@@ -440,6 +463,7 @@ def run_trial_block_batch(
                 preps[i].runtime if preps is not None else None,
                 snapshots[i], trap, output, loop_output, detected,
                 workload.name, prepared.scheme, start + chunk_start + i,
+                kind=plans[i].kind,
             )
     return result
 
@@ -458,6 +482,7 @@ def run_campaign(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     progress: Optional[Callable[[int, int, float], None]] = None,
+    kind_weights: Tuple = DEFAULT_KIND_WEIGHTS,
 ) -> CampaignResult:
     """Inject *trials* single faults into one workload under one scheme.
 
@@ -466,11 +491,21 @@ def run_campaign(
     guarantees the tallies match the serial run exactly.  A reused
     *prepared* program gives the same result as a fresh one: the runtime
     is reset before every execution.
+
+    *kind_weights* selects the fault-kind mix (see
+    :data:`repro.runtime.faults.DEFAULT_KIND_WEIGHTS`); non-default
+    mixes are serial-only for now — the parallel engine's checkpoint
+    key does not cover them yet.
     """
     # canonicalize up front: the scheme spelling feeds per-trial seeds, so
     # "swift-r" and "SWIFT-R" must tally identically
     scheme = canonical_scheme(scheme, config)
     if jobs > 1 or checkpoint is not None:
+        if tuple(kind_weights) != tuple(DEFAULT_KIND_WEIGHTS):
+            raise ValueError(
+                "custom kind_weights are not supported on the parallel "
+                "campaign path (checkpoint keys do not include them); "
+                "run with jobs=1 and no checkpoint")
         from .campaign_engine import run_campaign_parallel
 
         return run_campaign_parallel(
@@ -486,9 +521,10 @@ def run_campaign(
     if default_backend() == "batch":
         return run_trial_block_batch(
             prepared, workload, inp, ctx, scheme, seed, 0, trials,
-            config=config, profiles=profiles,
+            config=config, profiles=profiles, kind_weights=kind_weights,
         )
-    return run_trial_block(prepared, workload, inp, ctx, scheme, seed, 0, trials)
+    return run_trial_block(prepared, workload, inp, ctx, scheme, seed, 0, trials,
+                           kind_weights=kind_weights)
 
 
 def _fault_free_steps(

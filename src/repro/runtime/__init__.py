@@ -14,9 +14,13 @@ from .profiling import Profile
 from .tracer import ReferenceInterpreter, Trace, TraceEvent, trace_run
 from .scheduler import TimingModel
 from .faults import (
+    ADVERSARIAL_KIND_WEIGHTS,
+    CONTROL_KINDS,
     DEFAULT_KIND_WEIGHTS,
+    FAULT_KINDS,
     FaultPlan,
     Region,
+    SKIP_KINDS,
     flip_float,
     flip_int,
     flip_value,
@@ -54,7 +58,8 @@ __all__ = [
     "ENERGY", "EnergyEstimate", "LEAKAGE_PER_CYCLE", "estimate_energy",
     "Profile", "TimingModel",
     "ReferenceInterpreter", "Trace", "TraceEvent", "trace_run",
-    "DEFAULT_KIND_WEIGHTS", "FaultPlan", "Region",
+    "ADVERSARIAL_KIND_WEIGHTS", "CONTROL_KINDS", "DEFAULT_KIND_WEIGHTS",
+    "FAULT_KINDS", "FaultPlan", "Region", "SKIP_KINDS",
     "flip_float", "flip_int", "flip_value", "random_plan",
     "DEFAULT_MAX_STEPS", "Interpreter", "IntrinsicFn", "MAX_CALL_DEPTH",
     "OPCODES", "OPERAND_ARITY", "RunResult", "run_program",

@@ -91,7 +91,7 @@ from ..ir.function import Function
 from ..ir.module import Module
 from ..ir.values import Const, GlobalAddr, Reg
 from .errors import CoreDumpError, FaultDetectedError, HangError, SegfaultError, TrapError
-from .faults import FaultPlan, Region, flip_value
+from .faults import CONTROL_KINDS, SKIP_KINDS, FaultPlan, Region, flip_value
 from .interpreter import (
     _CODE,
     _HUGE_INT,
@@ -430,6 +430,15 @@ class BatchExecutor:
         # live counts let the hot loop skip per-lane flag checks entirely
         self._n_invert = 0
         self._n_corrupt = 0
+        # instruction-skip / control-flow fault state: remaining dynamic
+        # instructions to drop, and the pending wrong-target pick.  Lanes
+        # carrying these leave lockstep the moment the trigger fires (their
+        # instruction stream diverges), so only the scalar loop reads them.
+        self._skip = [0] * n_lanes
+        self._cf: List[Optional[float]] = [None] * n_lanes
+        #: per function: ({label: next label in layout order}, block order) —
+        #: what a skipped terminator falls through to
+        self._succ: Dict[str, tuple] = {}
         self._ovs: List[dict] = [dict() for _ in range(n_lanes)]
         self._results: List[Optional[LaneResult]] = [None] * n_lanes
         self._lmems: List[Optional[_LaneMem]] = [None] * n_lanes
@@ -502,7 +511,13 @@ class BatchExecutor:
                     extra = None
                 decoded.append((code, dest, tuple(ops), extra, in_region))
             blocks[label] = decoded
-        entry = func.block_order()[0]
+        order = tuple(func.block_order())
+        self._succ[func.name] = (
+            {lab: (order[i + 1] if i + 1 < len(order) else None)
+             for i, lab in enumerate(order)},
+            order,
+        )
+        entry = order[0]
         result = (entry, blocks, names, slot_of)
         self._dcache[func.name] = result
         return result
@@ -513,35 +528,48 @@ class BatchExecutor:
         return _Frame(func.name, blocks, names, slot_of, regs, entry, ret_dest)
 
     # -- fault machinery ----------------------------------------------------
-    def _fire_triggers(self, g: _Group) -> None:
+    def _fire_triggers(self, g: _Group) -> List[int]:
         """Inject every plan whose trigger step just elapsed (mirrors the
-        ``region_steps - 1 == plan.step`` check before operand fetch)."""
+        ``region_steps - 1 == plan.step`` check before operand fetch).
+        Returns the lanes whose plan forces them out of lockstep (skip and
+        control-flow kinds): their stream diverges at this instruction, so
+        the caller must peel them off to the scalar loop."""
         want = g.region_steps - 1
         row_of = g.row_of
+        peel: List[int] = []
         while g.tptr < len(g.trigs) and g.trigs[g.tptr][0] == want:
             lane = g.trigs[g.tptr][1]
             g.tptr += 1
             row = row_of.get(lane)
             if row is None:
                 continue  # lane retired before its trigger
-            self._inject_lane(g, row, lane)
+            if self._inject_lane(g, row, lane):
+                peel.append(lane)
+        return peel
 
-    def _inject_lane(self, g: _Group, row: int, lane: int) -> None:
+    def _inject_lane(self, g: _Group, row: int, lane: int) -> bool:
         """One lane's SEU — the exact victim-selection walk of
         ``Interpreter._inject`` over this group's frame stack.  A flip
         landing on a uniform slot widens it into a column (unless the
-        flip was masked and the value is unchanged)."""
+        flip was masked and the value is unchanged).  Returns whether the
+        lane must leave lockstep (skip / control-flow kinds)."""
         plan = self._plans[lane]
         if plan.kind == "branch":
             if not self._invert[lane]:
                 self._invert[lane] = True
                 self._n_invert += 1
-            return
+            return False
         if plan.kind == "addr":
             if self._corrupt[lane] is None:
                 self._n_corrupt += 1
             self._corrupt[lane] = plan.bit
-            return
+            return False
+        if plan.kind in SKIP_KINDS:
+            self._skip[lane] = plan.burst_len
+            return True
+        if plan.kind == "cf":
+            self._cf[lane] = plan.pick
+            return True
         slots: List[Tuple[list, int]] = []
         for frame in g.frames:
             fregs = frame.regs
@@ -551,11 +579,11 @@ class BatchExecutor:
             )
             slots.extend((fregs, s) for _name, s in named)
         if not slots:
-            return
+            return False
         nfile = max(REGISTER_FILE_SIZE, len(slots))
         k = int(plan.pick * nfile)
         if k >= len(slots):
-            return  # landed on a slot holding no live value: masked
+            return False  # landed on a slot holding no live value: masked
         fregs, s = slots[k]
         col = fregs[s]
         cls = col.__class__
@@ -568,6 +596,7 @@ class BatchExecutor:
             nv = flip_value(col, plan.bit)
             if nv is not col:  # flip_value returns its input when masked
                 fregs[s] = _SpCol(col, {row: nv})
+        return False
 
     def _scalar_inject(self, lane: int, frames: List[_SFrame],
                        plan: FaultPlan) -> None:
@@ -581,6 +610,12 @@ class BatchExecutor:
             if self._corrupt[lane] is None:
                 self._n_corrupt += 1
             self._corrupt[lane] = plan.bit
+            return
+        if plan.kind in SKIP_KINDS:
+            self._skip[lane] = plan.burst_len
+            return
+        if plan.kind == "cf":
+            self._cf[lane] = plan.pick
             return
         slots: List[Tuple[list, int]] = []
         for fr in frames:
@@ -598,6 +633,16 @@ class BatchExecutor:
             return
         fregs, s = slots[k]
         fregs[s] = flip_value(fregs[s], plan.bit)
+
+    def _retarget_lane(self, lane: int, fname: str, correct: str) -> str:
+        """Consume a pending control-flow fault: pick a wrong-but-valid
+        block of the current function (``Interpreter._retarget`` twin)."""
+        pick = self._cf[lane]
+        self._cf[lane] = None
+        candidates = [lab for lab in self._succ[fname][1] if lab != correct]
+        if not candidates:
+            return correct
+        return candidates[int(pick * len(candidates)) % len(candidates)]
 
     # -- retirement / splitting --------------------------------------------
     def _bind_lane(self, lane: int, gmem: dict, brk) -> None:
@@ -813,7 +858,27 @@ class BatchExecutor:
                     if rsteps == ntrig1:
                         g.steps = steps
                         g.region_steps = rsteps
-                        self._fire_triggers(g)
+                        peel = self._fire_triggers(g)
+                        if peel:
+                            # skip/cf lanes diverge at this very instruction,
+                            # which has not executed yet: rewind it so both
+                            # children re-fetch it — the lockstep rest runs it
+                            # normally, the peeled lanes drop/retarget it on
+                            # the scalar loop (triggers at this step are all
+                            # consumed, so nothing re-fires)
+                            frame.pc = pc - 1
+                            g.steps = steps - 1
+                            g.region_steps = rsteps - 1
+                            peel_set = set(peel)
+                            sel_rest = [i for i, ln in enumerate(rows)
+                                        if ln not in peel_set]
+                            sel_peel = [i for i, ln in enumerate(rows)
+                                        if ln in peel_set]
+                            if sel_rest:
+                                work.append(self._fork(g, sel_rest, True))
+                            faulted = self._fork(g, sel_peel, not sel_rest)
+                            self._scalar_finish(faulted)
+                            return
                         ntrig1 = (g.trigs[g.tptr][0] + 1) \
                             if g.tptr < len(g.trigs) else -9
 
@@ -1564,6 +1629,10 @@ class BatchExecutor:
         plan = self._plans[lane]
         invert = self._invert
         corrupt = self._corrupt
+        skip_left = self._skip
+        cf = self._cf
+        may_skip = plan is not None and plan.kind in SKIP_KINDS
+        may_ctrl = plan is not None and plan.kind in CONTROL_KINDS
 
         frame = frames[-1]
         blocks = frame.blocks
@@ -1589,14 +1658,38 @@ class BatchExecutor:
                     if pending is not None and region_steps - 1 == pending:
                         pending = None
                         self._scalar_inject(lane, frames, plan)
+                if may_skip and skip_left[lane]:
+                    # drop this instruction's effects; a dropped terminator
+                    # falls through to the next block in layout order
+                    skip_left[lane] -= 1
+                    if code == _BR or code == _CBR or code == _RET:
+                        nxt = self._succ[frame.fname][0][label]
+                        if nxt is None:
+                            raise CoreDumpError(
+                                f"block {label} of @{frame.fname} fell "
+                                f"through without terminator")
+                        label = nxt
+                        instrs = blocks[label]
+                        num = len(instrs)
+                        pc = 0
+                        frame.label = label
+                    continue
 
                 n = len(ops)
                 if n > 0:
                     k, v, _o = ops[0]
                     a = regs[v] if k else v
+                    if may_ctrl and a is _UNDEF:
+                        raise CoreDumpError(
+                            f"read of uninitialized register "
+                            f"%{frame.names[v]}")
                     if n > 1:
                         k, v, _o = ops[1]
                         b = regs[v] if k else v
+                        if may_ctrl and b is _UNDEF:
+                            raise CoreDumpError(
+                                f"read of uninitialized register "
+                                f"%{frame.names[v]}")
 
                 if code == _LOAD:
                     if corrupt[lane] is not None:
@@ -1645,12 +1738,16 @@ class BatchExecutor:
                         invert[lane] = False
                         self._n_invert -= 1
                     label = extra[1] if taken else extra[2]
+                    if cf[lane] is not None:
+                        label = self._retarget_lane(lane, frame.fname, label)
                     instrs = blocks[label]
                     num = len(instrs)
                     pc = 0
                     frame.label = label
                 elif code == _BR:
                     label = extra
+                    if cf[lane] is not None:
+                        label = self._retarget_lane(lane, frame.fname, label)
                     instrs = blocks[label]
                     num = len(instrs)
                     pc = 0
@@ -1695,7 +1792,12 @@ class BatchExecutor:
                     # exactly like the reference's zip
                     for j in range(min(len(callee.params), n)):
                         k, v, _o = ops[j]
-                        cregs[j] = regs[v] if k else v
+                        x = regs[v] if k else v
+                        if may_ctrl and x is _UNDEF:
+                            raise CoreDumpError(
+                                f"read of uninitialized register "
+                                f"%{frame.names[v]}")
+                        cregs[j] = x
                     nf = _SFrame(callee.name, cblocks, cnames, cregs,
                                  entry, 0, dest)
                     frames.append(nf)
@@ -1711,6 +1813,12 @@ class BatchExecutor:
                     if fn is None:
                         raise CoreDumpError(f"unknown intrinsic {extra!r}")
                     vals = tuple(regs[v] if k else v for k, v, _o in ops)
+                    if may_ctrl:
+                        for x, (k, v, _o) in zip(vals, ops):
+                            if x is _UNDEF:
+                                raise CoreDumpError(
+                                    f"read of uninitialized register "
+                                    f"%{frame.names[v]}")
                     rv, charge = fn(None, vals)
                     steps += len(charge)
                     if dest is not None:
@@ -1764,6 +1872,10 @@ class BatchExecutor:
                 elif code == _SELECT:
                     k, v, _o = ops[2]
                     c = regs[v] if k else v
+                    if may_ctrl and c is _UNDEF:
+                        raise CoreDumpError(
+                            f"read of uninitialized register "
+                            f"%{frame.names[v]}")
                     regs[dest] = b if (a != 0 and a == a) else c
                 elif code == _AND:
                     regs[dest] = int(a) & int(b)

@@ -1,17 +1,31 @@
-"""Single-event-upset fault model (paper section 7.2).
+"""Single-event-upset and instruction-skip fault models (paper section 7.2).
 
-One bit flip per run, injected into the architectural state of the
-simulated core at a uniformly random point of the (optionally restricted)
-dynamic instruction stream.  Three fault kinds model where the upset
-lands:
+One fault per run, injected into the architectural state of the simulated
+core at a uniformly random point of the (optionally restricted) dynamic
+instruction stream.  The SEU kinds model where a bit-flip upset lands:
 
-* ``VALUE`` — a random bit of a random *register* of the current frame
+* ``value`` — a random bit of a random *register* of the current frame
   (live or stale; stale hits are how faults get architecturally masked);
-* ``BRANCH`` — the next conditional branch takes the wrong direction
+* ``branch`` — the next conditional branch takes the wrong direction
   (modelling the opcode-field flips the paper names as the residual
   failures of software-only schemes);
-* ``ADDRESS`` — the next memory access uses a corrupted effective address
+* ``addr`` — the next memory access uses a corrupted effective address
   (address-generation upset after validation).
+
+The adversarial kinds model the instruction-skip / control-flow attacks
+Moro et al. formally verify countermeasures against (clock/voltage
+glitches that suppress or redirect instructions rather than flipping
+stored bits):
+
+* ``skip`` — the triggered dynamic instruction is fetched and counted but
+  its architectural effects are dropped (no register write, no store, no
+  call, no control transfer; a skipped terminator falls through to the
+  next block in layout order);
+* ``skip-burst`` — ``burst_len`` consecutive dynamic instructions are
+  dropped, starting at the trigger;
+* ``cf`` — the next executed branch (``br`` or either direction of a
+  ``cbr``) is retargeted to a wrong-but-valid block of the same function,
+  chosen by ``pick``.
 
 Memory cells at rest are never touched: the paper assumes ECC DRAM/caches.
 """
@@ -26,10 +40,29 @@ from typing import FrozenSet, Tuple
 _INT_MASK = (1 << 64) - 1
 _INT_SIGN = 1 << 63
 
+#: Every fault kind the engines honor.
+FAULT_KINDS = ("value", "branch", "addr", "skip", "skip-burst", "cf")
+
+#: Kinds that drop instructions (and can therefore leave registers
+#: unwritten — both engines turn reads of such registers into coredumps).
+SKIP_KINDS = ("skip", "skip-burst")
+
+#: Kinds that corrupt the instruction stream itself rather than stored
+#: bits; these force a lane out of lockstep in the batch engine.
+CONTROL_KINDS = ("skip", "skip-burst", "cf")
+
 #: Default mix of fault kinds: register-file upsets dominate; a small share
 #: lands in control and address generation (paper: "no dedicated mechanism
 #: to protect special registers").
 DEFAULT_KIND_WEIGHTS = (("value", 0.90), ("branch", 0.05), ("addr", 0.05))
+
+#: A mix that adds the Moro-style glitch attacks to the paper's SEU model —
+#: the "adversarial" campaign table (skips dominate the non-SEU share the
+#: way they dominate published glitch characterizations).
+ADVERSARIAL_KIND_WEIGHTS = (
+    ("value", 0.55), ("branch", 0.05), ("addr", 0.05),
+    ("skip", 0.20), ("skip-burst", 0.10), ("cf", 0.05),
+)
 
 
 def flip_int(value: int, bit: int) -> int:
@@ -70,18 +103,33 @@ def flip_value(value, bit: int):
 @dataclass
 class FaultPlan:
     """A fully determined injection: where (dynamic step within the region),
-    what kind, which bit, and a uniform pick to choose the register."""
+    what kind, which bit, a uniform pick to choose the register (or the
+    wrong branch target for ``cf``), and for ``skip-burst`` how many
+    consecutive dynamic instructions to drop."""
 
     step: int
     kind: str = "value"
     bit: int = 0
     pick: float = 0.0
+    burst_len: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in ("value", "branch", "addr"):
+        if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.step < 0:
             raise ValueError("fault step must be non-negative")
+        if self.burst_len < 1:
+            raise ValueError(
+                f"burst_len must be >= 1, got {self.burst_len}; a zero or "
+                f"negative burst would arm a skip window that never closes")
+        if self.burst_len != 1 and self.kind != "skip-burst":
+            raise ValueError(
+                f"burst_len applies to 'skip-burst' plans only "
+                f"(kind={self.kind!r})")
+        if not 0 <= self.bit < 64:
+            raise ValueError(f"bit must be in [0, 64), got {self.bit}")
+        if not 0.0 <= self.pick <= 1.0:
+            raise ValueError(f"pick must be in [0.0, 1.0], got {self.pick!r}")
 
 
 def random_plan(
@@ -111,12 +159,14 @@ def random_plan(
         if x < acc:
             kind = name
             break
-    return FaultPlan(
-        step=rng.randrange(region_steps),
-        kind=kind,
-        bit=rng.randrange(64),
-        pick=rng.random(),
-    )
+    # the step/bit/pick draw order predates the skip kinds; the burst
+    # draw comes last so plans for the original kinds are byte-identical
+    # to what older campaigns drew at the same seed
+    step = rng.randrange(region_steps)
+    bit = rng.randrange(64)
+    pick = rng.random()
+    burst = rng.randrange(2, 5) if kind == "skip-burst" else 1
+    return FaultPlan(step=step, kind=kind, bit=bit, pick=pick, burst_len=burst)
 
 
 class Region:

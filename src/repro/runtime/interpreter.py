@@ -27,7 +27,7 @@ from ..ir.module import Module
 from ..ir.values import Const, GlobalAddr, Reg
 from ..obs.events import enabled as obs_enabled, span as obs_span
 from .errors import CoreDumpError, HangError
-from .faults import FaultPlan, Region, flip_value
+from .faults import CONTROL_KINDS, SKIP_KINDS, FaultPlan, Region, flip_value
 from .memory import Memory
 from .profiling import Profile
 from .scheduler import TimingModel
@@ -168,6 +168,14 @@ class Interpreter:
         self._fault_pending = fault_plan is not None
         self._invert_next_cbr = False
         self._corrupt_next_mem: Optional[int] = None
+        #: remaining dynamic instructions to drop (skip / skip-burst)
+        self._skip_left = 0
+        #: pending control-flow retarget pick (cf kind), consumed at the
+        #: next executed branch
+        self._cf_pick: Optional[float] = None
+        #: layout-successor map and block order per decoded function,
+        #: used by the skip fall-through and cf retarget machinery
+        self._succ: Dict[str, Tuple[Dict[str, Optional[str]], Tuple[str, ...]]] = {}
         #: active register frames, callee last — the SEU injector picks a
         #: victim across the whole stack, modelling one shared physical
         #: register file (stale caller values soak up many upsets)
@@ -177,6 +185,11 @@ class Interpreter:
         #: optional per-block execution counts ((func, label) -> visits);
         #: assign a dict to enable (used by the vulnerability analysis)
         self.block_counts: Optional[Dict[Tuple[str, str], int]] = None
+        #: optional trace of every in-region dynamic instruction as
+        #: (opcode index, dest register name); assign a list to enable.
+        #: This is the counting pre-run of the O6 exhaustive skip checker:
+        #: entry *i* names the instruction a plan with ``step == i`` hits.
+        self.site_trace: Optional[List[Tuple[int, Optional[str]]]] = None
 
     # -- public API -----------------------------------------------------------
     def register_intrinsic(self, name: str, fn: IntrinsicFn) -> None:
@@ -197,6 +210,15 @@ class Interpreter:
         if self.fault_plan is None and obs_enabled():
             with obs_span(f"ref.run:@{func_name}"):
                 value, _ = self._run_function(func, list(args), times, depth=0)
+        elif self.fault_plan is not None and self.fault_plan.kind in CONTROL_KINDS:
+            # dropped defs and illegal control edges can reach a register
+            # no path has written; verified IR cannot, so the raw KeyError
+            # here is always fault-induced and classifies as a coredump
+            try:
+                value, _ = self._run_function(func, list(args), times, depth=0)
+            except KeyError as exc:
+                raise CoreDumpError(
+                    f"read of uninitialized register %{exc.args[0]}") from None
         else:
             value, _ = self._run_function(func, list(args), times, depth=0)
         tm = self.timing
@@ -252,7 +274,13 @@ class Interpreter:
                     extra = None
                 decoded.append((code, dest, tuple(ops), extra, in_region))
             blocks[label] = decoded
-        entry = func.block_order()[0]
+        order = tuple(func.block_order())
+        nextmap: Dict[str, Optional[str]] = {
+            lab: (order[i + 1] if i + 1 < len(order) else None)
+            for i, lab in enumerate(order)
+        }
+        self._succ[func.name] = (nextmap, order)
+        entry = order[0]
         self._dcache[func.name] = (entry, blocks)
         return entry, blocks
 
@@ -265,6 +293,13 @@ class Interpreter:
             return
         if plan.kind == "addr":
             self._corrupt_next_mem = plan.bit
+            return
+        if plan.kind in SKIP_KINDS:
+            # the triggered instruction itself is the first one dropped
+            self._skip_left = plan.burst_len
+            return
+        if plan.kind == "cf":
+            self._cf_pick = plan.pick
             return
         slots = []
         for frame in self._frames:
@@ -341,6 +376,12 @@ class Interpreter:
         block_counts = self.block_counts
         fname = func.name
         fault_plan = self.fault_plan
+        site_trace = self.site_trace
+        # skip faults are serviced entirely within the _exec whose trigger
+        # armed them (entering a frame needs an executed CALL, leaving one
+        # an executed RET — both impossible mid-burst), so the hot loop
+        # only pays the pending-skip check when this plan can arm one
+        may_skip = fault_plan is not None and fault_plan.kind in SKIP_KINDS
         # steps/region_steps live in locals for the hot loop; the finally
         # below writes them back on every exit (return, trap, hang) and
         # nested calls sync through self, so callers — including fault
@@ -360,8 +401,25 @@ class Interpreter:
                     counts[code] += 1
                     if in_region:
                         region_steps += 1
+                        if site_trace is not None:
+                            site_trace.append((code, dest))
                         if self._fault_pending and region_steps - 1 == fault_plan.step:
                             self._inject(regs)
+                    if may_skip and self._skip_left:
+                        # drop this instruction: it is fetched and counted
+                        # but has no architectural effect.  A dropped
+                        # terminator falls through to the next block in
+                        # layout order (the PC just advances).
+                        self._skip_left -= 1
+                        if code == _BR or code == _CBR or code == _RET:
+                            nxt = self._succ[fname][0][label]
+                            if nxt is None:
+                                raise CoreDumpError(
+                                    f"block {label} of @{fname} fell "
+                                    f"through without terminator")
+                            label = nxt
+                            break
+                        continue
 
                     # ---- operand fetch --------------------------------------
                     n = len(ops)
@@ -420,11 +478,15 @@ class Interpreter:
                         if tm:
                             tm.branch(extra[0], taken, times.get(ops[0][1], 0) if ops[0][0] else 0)
                         label = extra[1] if taken else extra[2]
+                        if self._cf_pick is not None:
+                            label = self._retarget(fname, label)
                         break
                     elif code == _BR:
                         if tm:
                             tm.op(Opcode.BR, 0)
                         label = extra
+                        if self._cf_pick is not None:
+                            label = self._retarget(fname, label)
                         break
                     elif code == _STORE:
                         if self._corrupt_next_mem is not None:
@@ -593,6 +655,18 @@ class Interpreter:
         if isinstance(addr, int):
             return addr ^ (1 << (bit % 24))
         return addr
+
+    def _retarget(self, fname: str, correct: str) -> str:
+        """Consume a pending ``cf`` fault: the branch lands on a
+        wrong-but-valid block of the same function, chosen by the plan's
+        pick over the function's block order.  A single-block function
+        offers no wrong target, so the fault is architecturally masked."""
+        pick = self._cf_pick
+        self._cf_pick = None
+        candidates = [lab for lab in self._succ[fname][1] if lab != correct]
+        if not candidates:
+            return correct
+        return candidates[int(pick * len(candidates)) % len(candidates)]
 
 
 def run_program(

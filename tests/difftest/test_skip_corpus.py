@@ -1,0 +1,61 @@
+"""Replay of the checked-in skip-escape corpus (``difftest/corpus/skip``).
+
+Each entry is a shrunk program whose provenance header names the scheme
+it escapes; replay asserts the escape still reproduces (the skip-site
+map still shows silent corruption under that scheme) and that O6 itself
+holds — the escape is a property of the protection scheme, never a
+reference/batch divergence.
+"""
+import os
+
+import pytest
+
+from repro.difftest.oracles import check_skip_exhaustive, skip_site_map
+from repro.ir.parser import parse_module
+
+pytestmark = [pytest.mark.difftest]
+
+SKIP_CORPUS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir,
+    "difftest", "corpus", "skip",
+)
+
+
+def corpus_entries():
+    if not os.path.isdir(SKIP_CORPUS_DIR):
+        return []
+    return sorted(f for f in os.listdir(SKIP_CORPUS_DIR) if f.endswith(".ir"))
+
+
+def _load(filename):
+    with open(os.path.join(SKIP_CORPUS_DIR, filename), encoding="utf-8") as fh:
+        text = fh.read()
+    scheme = None
+    for line in text.splitlines():
+        if line.startswith("; scheme:"):
+            scheme = line.split(":", 1)[1].strip()
+            break
+    assert scheme, f"{filename}: corpus entry lacks a '; scheme:' header"
+    return parse_module(text), scheme
+
+
+def test_corpus_is_not_empty():
+    """The escape corpus ships with the repo; an empty directory means a
+    checkout/packaging problem, not a clean bill of health."""
+    assert len(corpus_entries()) >= 3
+
+
+@pytest.mark.parametrize("filename", corpus_entries())
+def test_escape_still_reproduces(filename):
+    module, scheme = _load(filename)
+    tally = skip_site_map(module, scheme).tally()
+    assert tally.get("sdc", 0) > 0, (
+        f"{filename}: the recorded skip escape no longer reproduces "
+        f"under {scheme} — either the scheme closed it (update the "
+        f"corpus) or the fault model drifted")
+
+
+@pytest.mark.parametrize("filename", corpus_entries())
+def test_o6_holds_on_corpus(filename):
+    module, scheme = _load(filename)
+    assert check_skip_exhaustive(module, scheme) == []

@@ -1,0 +1,118 @@
+"""O6: exhaustive single-skip model checking.
+
+A counting pre-run names every in-region dynamic instruction; the
+oracle then injects a skip at each named site — per-trial on the
+reference interpreter and as one lane of a batched slab — and demands
+(1) the enumeration provably covers the dynamic stream, (2) every lane
+matches its reference trial byte-for-byte, and (3) under the
+duplication schemes a skipped *shadow* instruction never ends as
+silent corruption.  The fast subset runs on every tier-1 pass; full
+multi-scheme sweeps hide behind the ``slow`` marker.
+"""
+import pytest
+
+from repro.difftest.generator import generate
+from repro.difftest.oracles import (
+    PROTECTIONS,
+    skip_site_map,
+    check_skip_exhaustive,
+)
+from repro.difftest.runner import ORACLES, check_index
+
+pytestmark = [pytest.mark.difftest]
+
+
+def test_o6_is_registered():
+    assert "o6" in ORACLES
+
+
+@pytest.mark.parametrize("index,site_cap", [(0, 400), (3, 400), (1, 600)])
+def test_generated_programs_exhaustive(index, site_cap):
+    """At least three generated programs with *exhaustive* skip-site
+    maps — every dynamic instruction enumerated (asserted against the
+    counting pre-run total by the oracle) and every site byte-identical
+    between reference and batch injection.  Index 1 runs with a raised
+    cap so all three maps are full enumerations, not stride samples."""
+    module = generate(0, index).module
+    assert skip_site_map(module, site_cap=site_cap).exhaustive
+    assert check_skip_exhaustive(module, site_cap=site_cap) == []
+
+
+@pytest.mark.parametrize("index", range(3))
+def test_generated_programs_via_runner(index):
+    """The runner's o6 mode end to end: protection assignment, seeding
+    and violation plumbing included."""
+    record = check_index(23, index, oracle="o6")
+    assert record.violations == []
+
+
+def test_site_map_matches_counting_run():
+    """The standalone map half of O6: every site enumerated, each named
+    by the opcode the counting pre-run saw at that step."""
+    module = generate(0, 0).module
+    smap = skip_site_map(module)
+    assert smap.exhaustive
+    assert smap.total_sites == len(smap.sites)
+    assert sum(smap.tally().values()) == smap.total_sites
+    assert all(s.outcome in ("detected", "masked", "sdc", "trap", "hang")
+               for s in smap.sites)
+
+
+def test_site_cap_forces_sampling():
+    module = generate(0, 0).module
+    smap = skip_site_map(module, site_cap=10)
+    assert not smap.exhaustive
+    assert len(smap.sites) <= 10 < smap.total_sites
+
+
+def test_unprotected_program_has_skip_sdc():
+    """Sanity of the vulnerability story: with no protection, some
+    skipped store/accumulate sites must corrupt the output silently."""
+    module = generate(0, 0).module
+    assert skip_site_map(module).tally().get("sdc", 0) > 0
+
+
+def test_protection_reduces_skip_sdc_rate():
+    module = generate(0, 0).module
+    plain = skip_site_map(module)
+    prot = skip_site_map(module, "swift-r")
+    rate = lambda m: m.tally().get("sdc", 0) / len(m.sites)
+    assert rate(prot) < rate(plain)
+
+
+def test_o6_detects_a_seeded_skip_divergence(monkeypatch):
+    """Sensitivity: if the batch engine mis-times its skip window
+    (arming one instruction late), lanes diverge from their reference
+    trials and o6 must say so."""
+    from repro.runtime import batch as batch_mod
+
+    module = generate(0, 0).module
+    assert check_skip_exhaustive(module) == []
+
+    real_inject = batch_mod.BatchExecutor._inject_lane
+
+    def late_inject(self, g, row, lane):
+        fired = real_inject(self, g, row, lane)
+        if fired and self._skip[lane]:
+            self._skip[lane] += 1  # drop one extra instruction
+        return fired
+
+    monkeypatch.setattr(batch_mod.BatchExecutor, "_inject_lane", late_inject)
+    violations = check_skip_exhaustive(module)
+    assert violations and all(v.oracle == "o6" for v in violations)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("protection", sorted(PROTECTIONS))
+def test_full_sweep_under_every_protection(protection):
+    """Every scheme, three programs, bursts included."""
+    for index in range(3):
+        module = generate(0, index).module
+        assert check_skip_exhaustive(module, protection, burst=True) == []
+
+
+@pytest.mark.slow
+def test_full_sweep_generator_stream():
+    for index in range(10):
+        record = check_index(5, index, oracle="o6")
+        assert record.violations == []

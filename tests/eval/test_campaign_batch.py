@@ -20,6 +20,7 @@ from repro.eval.fault_campaign import (
 from repro.eval.schemes import prepare
 from repro.pipeline.registry import canonical_scheme
 from repro.runtime.backend import set_default_backend
+from repro.runtime.faults import ADVERSARIAL_KIND_WEIGHTS
 from repro.workloads import get_workload
 
 SCALE = 0.35
@@ -54,14 +55,19 @@ class TestMergeRegression:
         assert (a.trials, a.region_steps) == (25, 1400)
 
 
-def _blocks(workload_name, scheme_name, count, **batch_kwargs):
+def _blocks(workload_name, scheme_name, count, kind_weights=None,
+            **batch_kwargs):
     workload = get_workload(workload_name)
     scheme = canonical_scheme(scheme_name, None)
     inp = workload.test_inputs(1, seed=SEED + 17, scale=SCALE)[0]
     prepared = prepare(workload, scheme)
     ctx = campaign_context(prepared, workload, inp)
+    serial_kwargs = {}
+    if kind_weights is not None:
+        serial_kwargs["kind_weights"] = kind_weights
+        batch_kwargs["kind_weights"] = kind_weights
     serial = run_trial_block(
-        prepared, workload, inp, ctx, scheme, SEED, 0, count)
+        prepared, workload, inp, ctx, scheme, SEED, 0, count, **serial_kwargs)
     batch = run_trial_block_batch(
         prepared, workload, inp, ctx, scheme, SEED, 0, count, **batch_kwargs)
     return serial, batch
@@ -88,6 +94,62 @@ class TestBatchBlock:
         small lane slabs must reproduce the single-slab tallies."""
         serial, batch = _blocks("conv1d", "UNSAFE", 17, lanes=7)
         assert batch.to_dict() == serial.to_dict()
+
+
+class TestMixedKinds:
+    """One kind_weights table mixing the classic kinds (value / branch /
+    addr) with the control-flow kinds (skip / skip-burst / cf): the batch
+    engine must peel armed lanes to its scalar path and still tally
+    byte-identically to the reference interpreter, per fault kind."""
+
+    def test_adversarial_mix_tallies_identical(self):
+        serial, batch = _blocks("conv1d", "UNSAFE", 32,
+                                kind_weights=ADVERSARIAL_KIND_WEIGHTS)
+        assert batch.to_dict() == serial.to_dict()
+        # the mix is 35% control kinds over 32 trials: the campaign must
+        # actually have drawn some, or this test checks nothing
+        drawn = set(serial.kind_tallies)
+        assert drawn & {"skip", "skip-burst", "cf"}
+        assert sum(sum(t.values()) for t in serial.kind_tallies.values()) == 32
+
+    def test_mixed_kinds_under_protection(self):
+        serial, batch = _blocks("conv1d", "SWIFT", 24,
+                                kind_weights=ADVERSARIAL_KIND_WEIGHTS)
+        assert batch.to_dict() == serial.to_dict()
+
+    def test_slab_width_independent_with_mixed_kinds(self):
+        """Narrow slabs change which lanes share a slab (and therefore
+        which peel-forks happen); the tallies must not notice."""
+        wide, _ = _blocks("conv1d", "UNSAFE", 26,
+                          kind_weights=ADVERSARIAL_KIND_WEIGHTS)
+        narrow_serial, narrow = _blocks(
+            "conv1d", "UNSAFE", 26,
+            kind_weights=ADVERSARIAL_KIND_WEIGHTS, lanes=5)
+        assert narrow.to_dict() == wide.to_dict() == narrow_serial.to_dict()
+
+    def test_kind_tallies_roundtrip_and_merge(self):
+        serial, _ = _blocks("conv1d", "UNSAFE", 16,
+                            kind_weights=ADVERSARIAL_KIND_WEIGHTS)
+        clone = CampaignResult.from_dict(serial.to_dict())
+        assert clone.to_dict() == serial.to_dict()
+        clone.merge(CampaignResult.from_dict(serial.to_dict()))
+        assert clone.trials == 32
+        for kind, tallies in serial.kind_tallies.items():
+            assert clone.kind_tallies[kind] == tallies + tallies
+
+    def test_old_checkpoint_without_kind_tallies_loads(self):
+        serial, _ = _blocks("conv1d", "UNSAFE", 8)
+        data = serial.to_dict()
+        del data["kind_tallies"]  # checkpoint written before this field
+        restored = CampaignResult.from_dict(data)
+        assert restored.kind_tallies == {}
+        assert restored.trials == serial.trials
+
+    def test_parallel_path_rejects_custom_kind_weights(self):
+        workload = get_workload("conv1d")
+        with pytest.raises(ValueError, match="kind_weights"):
+            run_campaign(workload, "UNSAFE", 8, seed=SEED, scale=SCALE,
+                         jobs=2, kind_weights=ADVERSARIAL_KIND_WEIGHTS)
 
 
 class TestBackendRouting:

@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.runtime import (
+    ADVERSARIAL_KIND_WEIGHTS,
     DEFAULT_KIND_WEIGHTS,
+    FAULT_KINDS,
     FaultPlan,
     Interpreter,
     Region,
@@ -50,6 +52,36 @@ class TestBitFlips:
         v = 123.456
         flipped = flip_float(v, 2)
         assert abs(flipped - v) / v < 1e-12
+
+    def test_flip_int_high_bits(self):
+        """Bits 62 and 63 exercise the two's-complement re-fold: bit 62
+        stays positive, bit 63 flips the sign, and both round-trip."""
+        assert flip_int(0, 62) == 2**62
+        assert flip_int(0, 63) == -(2**63)
+        assert flip_int(-1, 63) == 2**63 - 1
+        for bit in (62, 63):
+            for v in (0, 1, -1, 2**63 - 1, -(2**63)):
+                flipped = flip_int(v, bit)
+                assert -(2**63) <= flipped < 2**63
+                assert flip_int(flipped, bit) == v
+
+    def test_flip_int_bit_wraps_mod_64(self):
+        """Bit indices are masked to 64 positions, not shifted past the
+        word: bit 64 is bit 0, bit 127 is bit 63."""
+        assert flip_int(0, 64) == flip_int(0, 0) == 1
+        assert flip_int(0, 127) == flip_int(0, 63)
+
+    def test_flip_float_nan_and_inf_survive(self):
+        """NaN and infinity pack fine; flips move them around the IEEE
+        encoding space instead of crashing the injector."""
+        assert math.isnan(flip_float(float("nan"), 0))  # mantissa stays set
+        assert flip_float(float("inf"), 63) == float("-inf")
+        # clearing an exponent bit of +inf yields a finite double
+        assert math.isfinite(flip_float(float("inf"), 62))
+
+    def test_flip_float_exponent_flip_of_zero(self):
+        assert flip_float(0.0, 63) == 0.0  # sign bit: -0.0 == 0.0
+        assert flip_float(0.0, 0) > 0.0    # subnormal, not zero
 
 
 class TestPlans:
@@ -99,6 +131,58 @@ class TestPlans:
     def test_empty_region_rejected(self):
         with pytest.raises(ValueError):
             random_plan(random.Random(0), 0)
+
+    def test_skip_kinds_accepted(self):
+        for kind in ("skip", "cf"):
+            assert FaultPlan(step=0, kind=kind).burst_len == 1
+        assert FaultPlan(step=0, kind="skip-burst", burst_len=3).burst_len == 3
+
+    def test_burst_len_window_validated(self):
+        """Regression: a zero/negative burst used to arm a skip window
+        that never closed, silently dropping the rest of the run."""
+        with pytest.raises(ValueError, match="burst_len"):
+            FaultPlan(step=0, kind="skip-burst", burst_len=0)
+        with pytest.raises(ValueError, match="burst_len"):
+            FaultPlan(step=0, kind="skip-burst", burst_len=-2)
+
+    def test_burst_len_rejected_on_non_burst_kinds(self):
+        for kind in ("value", "branch", "addr", "skip", "cf"):
+            with pytest.raises(ValueError, match="burst_len"):
+                FaultPlan(step=0, kind=kind, burst_len=2)
+
+    def test_bit_and_pick_windows_validated(self):
+        with pytest.raises(ValueError, match="bit"):
+            FaultPlan(step=0, bit=64)
+        with pytest.raises(ValueError, match="bit"):
+            FaultPlan(step=0, bit=-1)
+        with pytest.raises(ValueError, match="pick"):
+            FaultPlan(step=0, pick=1.5)
+        with pytest.raises(ValueError, match="pick"):
+            FaultPlan(step=0, pick=-0.1)
+
+    def test_adversarial_weights_draw_all_kinds(self):
+        rng = random.Random(7)
+        plans = [random_plan(rng, 500, ADVERSARIAL_KIND_WEIGHTS)
+                 for _ in range(2000)]
+        kinds = {p.kind for p in plans}
+        assert kinds == set(FAULT_KINDS)
+        for plan in plans:
+            if plan.kind == "skip-burst":
+                assert 2 <= plan.burst_len < 5
+            else:
+                assert plan.burst_len == 1
+
+    def test_burst_draw_does_not_shift_old_kind_streams(self):
+        """The burst length is drawn *last*, so at a seed where the kind
+        draw lands on a classic kind, the (step, bit, pick) triple matches
+        what the pre-skip fault model drew from the same rng state."""
+        for seed in range(50):
+            a, b = random.Random(seed), random.Random(seed)
+            old = random_plan(a, 300, DEFAULT_KIND_WEIGHTS)
+            x = b.random()  # consume the kind draw like random_plan does
+            assert (old.step, old.bit, old.pick) == (
+                b.randrange(300), b.randrange(64), b.random())
+            del x
 
 
 class TestRegion:
