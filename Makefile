@@ -8,18 +8,22 @@ test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 ## tier-1 suite + backend-equivalence smokes (O4/O5 over 60 generated
-## programs each, O6 exhaustive single-skip model checking over 20) + a
-## batch-backend campaign smoke (tallies must be byte-identical to the
-## reference path) + a mixed-kinds smoke (SEU + skip/cf kinds in one
-## campaign, again serial==batch) + artifact-cache byte-identity over
-## the checked-in corpus (off vs on).  Full exhaustive skip sweeps stay
-## behind pytest's `slow` marker.
+## programs each, O6 exhaustive single-skip model checking over 20, O7
+## incremental-campaign equivalence over 10) + a batch-backend campaign
+## smoke (tallies must be byte-identical to the reference path) + a
+## mixed-kinds smoke (SEU + skip/cf kinds in one campaign, again
+## serial==batch) + an incremental smoke (warm stratified re-campaign
+## must fully reuse the section store and tally byte-identically) +
+## artifact-cache byte-identity over the checked-in corpus (off vs on).
+## Full exhaustive skip sweeps stay behind pytest's `slow` marker.
 verify: test
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --oracle o4 --n 60
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --oracle o5 --n 60
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --oracle o6 --n 20
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --oracle o7 --n 10
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "from repro.eval.fault_campaign import run_campaign; from repro.runtime.backend import set_default_backend; from repro.workloads import get_workload; w = get_workload('conv1d'); a = run_campaign(w, 'UNSAFE', 30, seed=1, scale=0.35); set_default_backend('batch'); b = run_campaign(w, 'UNSAFE', 30, seed=1, scale=0.35); assert b.to_dict() == a.to_dict(), 'batch campaign diverged from ref'; print('batch campaign smoke: 30 trials, tallies byte-identical')"
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "from repro.eval.fault_campaign import run_campaign; from repro.runtime.backend import set_default_backend; from repro.runtime.faults import ADVERSARIAL_KIND_WEIGHTS as KW; from repro.workloads import get_workload; w = get_workload('conv1d'); a = run_campaign(w, 'UNSAFE', 30, seed=1, scale=0.35, kind_weights=KW); set_default_backend('batch'); b = run_campaign(w, 'UNSAFE', 30, seed=1, scale=0.35, kind_weights=KW); set_default_backend(None); assert b.to_dict() == a.to_dict(), 'mixed-kinds campaign diverged from ref'; assert set(a.kind_tallies) & {'skip', 'skip-burst', 'cf'}, 'adversarial mix drew no skip kinds'; print('mixed-kinds smoke: 30 trials, tallies byte-identical')"
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "import tempfile, os; from repro.eval import SectionStore, run_campaign_stratified; from repro.workloads import get_workload; w = get_workload('lud'); tmp = tempfile.mkdtemp(prefix='repro-inc-'); store = SectionStore(directory=os.path.join(tmp, 'campaigns')); cold = run_campaign_stratified(w, 'UNSAFE', 30, seed=1, scale=0.35, store=store, reuse=True); warm = run_campaign_stratified(w, 'UNSAFE', 30, seed=1, scale=0.35, store=store, reuse=True); assert cold.reused_sections == 0 and warm.injected_trials == 0, 'store reuse pattern wrong'; assert warm.result.to_dict() == cold.result.to_dict(), 'incremental diverged from scratch'; print('incremental smoke: 30 trials, %d sections fully reused, tallies byte-identical' % warm.reused_sections)"
 	PYTHONPATH=$(PYTHONPATH) REPRO_CACHE=off $(PYTHON) -m repro cache-check
 	PYTHONPATH=$(PYTHONPATH) REPRO_CACHE=on $(PYTHON) -m repro cache-check
 

@@ -1,0 +1,244 @@
+"""Incremental campaign speedup: warm re-campaign after a program edit.
+
+The incremental engine (`repro campaign --incremental`) persists
+per-section injection tallies and re-injects only sections whose
+fingerprint changed.  This bench measures the payoff of that reuse: for
+each workload it populates the section store, applies a
+step-count-preserving one-instruction edit, then times the re-campaign
+both incrementally (store reuse) and from scratch.  Speedup is
+wall-clock scratch/warm; both runs pay the same partition + golden-run
+overhead, so the ratio isolates what the store actually saves.
+
+The mix is deliberately honest:
+
+* lud / kde / yolite — multi-loop workloads with the edit confined to a
+  *non-dominant* loop, the case incremental campaigns exist for; the
+  reused step fraction bounds the speedup from above.
+* blackscholes — the anti-case: its loop's call closure reaches the one
+  callee doing all the work, so editing that callee invalidates every
+  section (0% reuse) and the honest speedup is ~1x.
+* lud whole-program edit — every mutable site at once; sections not
+  containing an edit still reuse, which is little here (both of lud's
+  mutable sites sit in its two reduction loops).
+
+``python benchmarks/bench_incremental.py`` writes
+``BENCH_incremental.json`` at the repository root; the pytest wrapper
+asserts the >=5x contract on at least two multi-loop workloads.
+
+Scale knob: ``REPRO_BENCH_INC_TRIALS`` — trials per campaign
+(default 150).
+"""
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.difftest.generator import _MUTATION_SWAPS
+from repro.eval import SectionStore, run_campaign_stratified
+from repro.ir.instructions import Opcode
+from repro.ir.parser import parse_module
+from repro.ir.printer import format_module
+from repro.workloads import get_workload
+from repro.workloads.base import Workload
+
+TRIALS = int(os.environ.get("REPRO_BENCH_INC_TRIALS", "150"))
+
+#: The incremental engine's contract (ISSUE: perf acceptance threshold)
+REQUIRED_SPEEDUP = 5.0
+#: ... on at least this many multi-loop workloads.
+REQUIRED_WORKLOADS = 2
+
+SEED = 1
+SCALE = 0.35
+
+#: (row name, workload, edit target).  The target names the loop whose
+#: own blocks (innermost ownership, same rule as the section partition)
+#: receive the edit ("loop:<header>"), a function ("func:<name>"), or
+#: "all" for a whole-program edit.
+CONFIGS = (
+    ("lud_edit_lcol", "lud", "loop:lcol.head.13", True),
+    ("kde_edit_grid", "kde", "loop:grid.head.5", True),
+    ("yolite_edit_col", "yolite", "loop:col.head.9", True),
+    ("blackscholes_edit_callee", "blackscholes",
+     "func:BlkSchlsEqEuroNoDiv", False),
+    ("lud_edit_everything", "lud", "all", False),
+)
+
+
+def _swap_instr(instr) -> bool:
+    """Step-count-preserving semantic edit of one instruction."""
+    if instr.op in _MUTATION_SWAPS:
+        instr.op = _MUTATION_SWAPS[instr.op]
+        return True
+    if instr.op == Opcode.FMUL:
+        instr.op = Opcode.FADD
+        return True
+    if instr.op == Opcode.FDIV:
+        instr.op = Opcode.FMUL
+        return True
+    return False
+
+
+def _edit_module(module, target: str) -> int:
+    """Apply the edit named by *target* in place; returns sites edited."""
+    from repro.analysis.patterns import detect_target_loops
+    from repro.eval.sections import _loop_label_owners
+
+    edited = 0
+    if target == "all":
+        for fname in sorted(module.functions):
+            func = module.get_function(fname)
+            for label in func.block_order():
+                for instr in func.blocks[label].instrs:
+                    if instr.op in _MUTATION_SWAPS:
+                        instr.op = _MUTATION_SWAPS[instr.op]
+                        edited += 1
+        return edited
+    kind, _, name = target.partition(":")
+    if kind == "func":
+        func = module.get_function(name)
+        for label in func.block_order():
+            for instr in func.blocks[label].instrs:
+                if _swap_instr(instr):
+                    return 1
+        raise ValueError(f"no editable instruction in @{name}")
+    # innermost ownership, same rule the section partition groups by —
+    # an edit must land in the named section, not an enclosed inner loop
+    func = module.get_function("main")
+    targets = detect_target_loops(func, module)
+    owners = _loop_label_owners(module, "main", targets)
+    for label in func.block_order():
+        if owners.get(label) != name:
+            continue
+        for instr in func.blocks[label].instrs:
+            if _swap_instr(instr):
+                return 1
+    raise ValueError(f"no editable instruction owned by loop {name}")
+
+
+class EditedWorkload(Workload):
+    """The base workload with one semantic edit applied to its module —
+    what a developer's re-campaign after a code change looks like."""
+
+    def __init__(self, base: Workload, target: str):
+        self._base = base
+        module = base.build()
+        self.edited_sites = _edit_module(module, target)
+        self._text = format_module(module)
+        self.name = base.name
+        self.domain = base.domain
+        self.description = f"{base.name} after edit {target}"
+        self.main = base.main
+        self.memory_size = base.memory_size
+
+    def build(self):
+        module = parse_module(self._text)
+        module.name = self._base.build().name
+        return module
+
+    def make_input(self, rng, scale=1.0):
+        return self._base.make_input(rng, scale)
+
+
+def _timed(block, repeats=2):
+    best, result = None, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = block()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return max(best, 1e-9), result
+
+
+def measure_incremental_speedup(trials=TRIALS):
+    rows = {}
+    for row_name, wname, target, expect_fast in CONFIGS:
+        base = get_workload(wname)
+        edited = EditedWorkload(base, target)
+        import shutil
+        import tempfile
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-inc-")
+        populated = os.path.join(tmp, "campaigns")
+        kwargs = dict(seed=SEED, scale=SCALE)
+
+        # populate the store on the pre-edit program (not timed: this is
+        # the campaign the developer already ran)
+        run_campaign_stratified(
+            base, "UNSAFE", trials,
+            store=SectionStore(directory=populated), reuse=True, **kwargs)
+
+        # each warm repetition starts from a fresh copy of the populated
+        # store — a warm run writes the re-injected sections back, which
+        # would otherwise hand the next repetition a fully-warm store
+        def warm_once(repeat=[0]):
+            repeat[0] += 1
+            directory = os.path.join(tmp, f"warm{repeat[0]}")
+            shutil.copytree(populated, directory)
+            return run_campaign_stratified(
+                edited, "UNSAFE", trials,
+                store=SectionStore(directory=directory), reuse=True, **kwargs)
+
+        warm_s, warm = _timed(warm_once)
+        scratch_s, scratch = _timed(lambda: run_campaign_stratified(
+            edited, "UNSAFE", trials, **kwargs))
+
+        assert warm.result.trials == scratch.result.trials == trials
+        reused_frac = warm.reused_trials / trials
+        rows[row_name] = {
+            "workload": wname,
+            "edit": target,
+            "edited_sites": edited.edited_sites,
+            "trials": trials,
+            "sections": len(warm.sections),
+            "reused_sections": warm.reused_sections,
+            "reused_trials_fraction": round(reused_frac, 3),
+            "scratch_seconds": round(scratch_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "speedup": round(scratch_s / warm_s, 1),
+            "expect_fast": expect_fast,
+        }
+    return rows
+
+
+def write_baseline(path="BENCH_incremental.json"):
+    rows = measure_incremental_speedup()
+    cleared = sum(1 for row in rows.values()
+                  if row["expect_fast"] and row["speedup"] >= REQUIRED_SPEEDUP)
+    payload = {
+        "benchmark": "incremental campaign reuse",
+        "unit": "wall-clock seconds per re-campaign after one edit",
+        "trials": TRIALS,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "required_workloads": REQUIRED_WORKLOADS,
+        "workloads_clearing_required_speedup": cleared,
+        "rows": rows,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_incremental_speedup():
+    rows = measure_incremental_speedup()
+    print("\n== incremental campaign reuse ==")
+    for name, row in rows.items():
+        print(f"  {name}: reuse {row['reused_trials_fraction']:.0%} of "
+              f"{row['trials']} trials  scratch {row['scratch_seconds']:.2f}s  "
+              f"warm {row['warm_seconds']:.2f}s  speedup {row['speedup']}x")
+    fast = [r for r in rows.values()
+            if r["expect_fast"] and r["speedup"] >= REQUIRED_SPEEDUP]
+    assert len(fast) >= REQUIRED_WORKLOADS, (
+        f"incremental reuse cleared {REQUIRED_SPEEDUP}x on only "
+        f"{len(fast)} workloads")
+    # the honest rows really are honest: a whole-program edit must not
+    # pretend to reuse anything
+    assert rows["lud_edit_everything"]["reused_trials_fraction"] <= 0.5
+    assert rows["blackscholes_edit_callee"]["reused_sections"] == 0
+
+
+if __name__ == "__main__":
+    payload = write_baseline()
+    print(json.dumps(payload, indent=2))

@@ -349,6 +349,28 @@ def cmd_cache_check(args) -> None:
         if not problems:
             print(f"   all protected modules byte-identical with the "
                   f"cache off, cold, warm and disk-backed")
+
+    # campaign-section store: count entries and let the cache's read path
+    # audit each one (corrupt or stale entries are removed on read)
+    from .eval import SectionStore, campaign_store_dir
+
+    store_dir = campaign_store_dir()
+    entries = sorted(
+        name[:-len(".json")]
+        for name in (os.listdir(store_dir) if os.path.isdir(store_dir) else ())
+        if name.endswith(".json")
+    )
+    if entries:
+        store = SectionStore(capacity=max(len(entries), 1))
+        valid = sum(1 for key in entries if store.get(key) is not None)
+        dropped = len(entries) - valid
+        line = (f"   campaign-section store ({store_dir}): "
+                f"{valid} valid entries")
+        if dropped:
+            line += f", {dropped} corrupt/stale removed"
+        print(line)
+    else:
+        print(f"   campaign-section store ({store_dir}): empty")
     if problems:
         sys.exit(1)
 
@@ -425,6 +447,20 @@ def cmd_campaign(args) -> None:
         profiles = _profile_source_factory(sfi_scale)(
             workload, descriptor.acceptable_range
         )
+    stratified = args.stratified or args.incremental
+    if stratified:
+        if args.jobs > 1:
+            print("campaign: --stratified/--incremental run single-process "
+                  "(sections already bound the work); drop --jobs",
+                  file=sys.stderr)
+            sys.exit(2)
+        if args.checkpoint or args.resume or args.trace_out:
+            print("campaign: --stratified/--incremental do not combine with "
+                  "--checkpoint/--resume/--trace-out (the section store is "
+                  "the persistence layer)", file=sys.stderr)
+            sys.exit(2)
+        _cmd_campaign_stratified(args, workload, sfi_scale, profiles)
+        return
     label = f"{args.trials} trials"
     if args.jobs > 1:
         label += f", {args.jobs} jobs"
@@ -448,6 +484,41 @@ def cmd_campaign(args) -> None:
 
         print(f"   trace: {args.trace_out}, "
               f"manifest: {manifest_path_for(args.trace_out)}")
+
+
+def _cmd_campaign_stratified(args, workload, sfi_scale, profiles) -> None:
+    """Stratified / incremental campaign path of ``repro campaign``."""
+    from .eval import SectionStore, run_campaign_stratified
+    from .runtime import Outcome
+
+    store = SectionStore() if args.incremental else None
+    mode = "incremental" if args.incremental else "stratified"
+    with _timed(f"campaign: {workload.name} under {args.scheme} "
+                f"({args.trials} trials, {mode})"):
+        outcome = run_campaign_stratified(
+            workload, args.scheme, trials=args.trials, seed=args.seed,
+            scale=sfi_scale, profiles=profiles, store=store,
+            reuse=args.incremental,
+        )
+        result = outcome.result
+        for kind in Outcome:
+            count = result.tallies.get(kind, 0)
+            if count:
+                print(f"   {kind.name:<10} {count:>5}  "
+                      f"({count / result.trials:6.1%})")
+        print(f"   detected={result.detected}  caught={result.caught}  "
+              f"false negatives={result.false_negatives}")
+        print(f"   sections: {len(outcome.sections)}  "
+              f"reused {outcome.reused_sections} "
+              f"({outcome.reused_trials} trials)  "
+              f"injected {outcome.injected_sections} "
+              f"({outcome.injected_trials} trials)")
+        for report in outcome.sections:
+            tag = "reused  " if report.reused else "injected"
+            print(f"     {tag} {report.name:<24} steps={report.step_count:<8} "
+                  f"trials={report.trials}")
+    if store is not None:
+        print(f"   section store: {store.directory}")
 
 
 def cmd_report(args) -> None:
@@ -553,12 +624,14 @@ def build_parser() -> argparse.ArgumentParser:
     pdt.add_argument("--n", type=int, default=100,
                      help="programs to generate and check (default 100)")
     pdt.add_argument("--oracle",
-                     choices=("all", "o1", "o2", "o3", "o4", "o5", "o6"),
+                     choices=("all", "o1", "o2", "o3", "o4", "o5", "o6",
+                              "o7"),
                      default="all",
                      help="o1=pipeline equivalence, o2=print/parse fixpoint, "
                           "o3=fault metamorphic property, o4=backend "
                           "equivalence, o5=batch-lane equivalence, "
-                          "o6=exhaustive single-skip model checking "
+                          "o6=exhaustive single-skip model checking, "
+                          "o7=incremental campaign equivalence "
                           "(default all)")
     pdt.add_argument("--jobs", type=int, default=1,
                      help="worker processes; the report is byte-identical "
@@ -627,6 +700,14 @@ def build_parser() -> argparse.ArgumentParser:
     pca.add_argument("--seed", type=int, default=0)
     pca.add_argument("--checkpoint", default=None)
     pca.add_argument("--resume", action="store_true")
+    pca.add_argument("--stratified", action="store_true",
+                     help="allocate trials to code sections proportionally "
+                          "to dynamic step count, each section drawing from "
+                          "its own fingerprint-keyed seed stream")
+    pca.add_argument("--incremental", action="store_true",
+                     help="stratified campaign that persists per-section "
+                          "tallies under .repro-cache/campaigns/ and reuses "
+                          "them for sections unchanged since the last run")
     pca.add_argument("--trace-out", default=None, metavar="TRACE.jsonl",
                      help="merge per-trial observability events from every "
                           "worker shard into TRACE.jsonl (byte-identical "

@@ -74,6 +74,10 @@ def histogram_levels(
         return []
     fine_bins = max(fine_bins, levels)
     width = (hi - lo) / fine_bins
+    if width <= 0.0:
+        # subnormal span: (hi - lo) / fine_bins underflows to zero even
+        # though hi > lo — the range is too narrow to split into levels
+        return []
     counts = [0] * fine_bins
     for x in samples:
         k = int((x - lo) / width)

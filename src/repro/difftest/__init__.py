@@ -8,14 +8,23 @@ their fault-masking contracts; a delta-debugging shrinker (:mod:`shrink`)
 reduces failures to small reproducible ``.ir`` files; and the sharded
 driver (:mod:`runner`) runs the whole thing behind ``repro difftest``.
 """
-from .generator import SHAPES, GeneratedProgram, generate, generate_module
+from .generator import (
+    SHAPES,
+    GeneratedProgram,
+    generate,
+    generate_module,
+    generate_phased,
+    mutate_function,
+)
 from .oracles import (
     CLEANUP_PASSES,
     PROTECTIONS,
+    ModuleWorkload,
     Violation,
     check_backend_equivalence,
     check_batch_equivalence,
     check_fault_metamorphic,
+    check_incremental_equivalence,
     check_pipeline,
     check_roundtrip,
     execute_module,
@@ -26,10 +35,12 @@ from .shrink import instruction_count, shrink_module
 
 __all__ = [
     "SHAPES", "GeneratedProgram", "generate", "generate_module",
-    "CLEANUP_PASSES", "PROTECTIONS", "Violation",
+    "generate_phased", "mutate_function",
+    "CLEANUP_PASSES", "PROTECTIONS", "ModuleWorkload", "Violation",
     "check_backend_equivalence",
     "check_batch_equivalence",
-    "check_fault_metamorphic", "check_pipeline", "check_roundtrip",
+    "check_fault_metamorphic", "check_incremental_equivalence",
+    "check_pipeline", "check_roundtrip",
     "execute_module", "module_copy",
     "DifftestReport", "render_report", "run_difftest",
     "instruction_count", "shrink_module",

@@ -40,14 +40,20 @@ from typing import List, Sequence
 
 from ..ir.builder import IRBuilder
 from ..ir.function import Function
-from ..ir.instructions import CmpPred
+from ..ir.instructions import CmpPred, Opcode
 from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import format_module
 from ..ir.types import F64, I64
 from ..ir.values import Reg, Value
 from ..ir.verifier import verify_module
 from ..workloads.base import stable_seed
 
-#: Program shapes the generator knows how to emit.
+#: Program shapes drawn by the default ``generate`` stream.  The
+#: ``phased`` shape exists alongside these (``generate_phased``) but is
+#: deliberately *not* drawn here: adding it to the draw would shift
+#: every existing ``(seed, index)`` program and invalidate the pinned
+#: corpus.
 SHAPES = ("reduction", "elementwise", "rmw")
 
 #: Power-of-two array size: indices are masked with ``ARRAY_SIZE - 1``.
@@ -342,17 +348,77 @@ def _gen_rmw(module: Module, rng: random.Random) -> None:
     b.ret(0.0)
 
 
+def _gen_phase(
+    module: Module,
+    rng: random.Random,
+    name: str,
+    array: str,
+    out_base: int,
+    out_span: int,
+) -> None:
+    """One isolated phase function: a loop over its own input array
+    writing its own slice of ``out``.  Straight-line body (no diamonds),
+    so the phase's dynamic step count depends only on its constant trip
+    count — never on float values."""
+    func = Function(name, [], F64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    eg = _ExprGen(b, rng)
+
+    trip = rng.randrange(4, 9)
+    out_p = b.mov(b.global_addr("out"), hint="outp")
+    acc = b.mov(rng.choice(FLOAT_CONSTS), hint="acc")
+    with b.loop(0, trip, hint="ph") as i:
+        eg.fresh_pool = [b.sitofp(i)]
+        _load_inputs(eg, (array,), (i,))
+        eg.maybe_duplicate()
+        eg.maybe_dead_code()
+        eg.carried_update(acc, depth=2)
+        slot = b.add(b.and_(i, out_span - 1), out_base)
+        b.store(eg.bounded_of_carried(acc), b.padd(out_p, slot))
+    b.ret(acc)
+
+
+def _gen_phased(module: Module, rng: random.Random) -> None:
+    """Independent phases: each phase function reads only its own input
+    array and writes only its own disjoint slice of ``out``; ``main`` is
+    a bare call sequence holding no live registers across phases.
+
+    This is the section-independence witness shape of the incremental
+    campaign oracle (O7): a fault injected while one phase runs cannot
+    reach another phase's output through registers (the call results are
+    dead) or memory (disjoint arrays/slices), so per-phase injection
+    tallies compose exactly across single-phase edits.
+    """
+    n_phases = rng.randrange(2, 5)
+    for p in range(n_phases):
+        module.add_global(f"a{p}", ARRAY_SIZE, F64, _init_values(rng, ARRAY_SIZE))
+    module.add_global("out", ARRAY_SIZE, F64)
+    span = ARRAY_SIZE // 4  # disjoint 8-cell slices for up to 4 phases
+    for p in range(n_phases):
+        _gen_phase(module, rng, f"phase{p}", f"a{p}", p * span, span)
+
+    func = Function("main", [], F64)
+    module.add_function(func)
+    b = IRBuilder(func)
+    for p in range(n_phases):
+        b.call(f"phase{p}", [])
+    b.ret(0.0)
+
+
 _SHAPE_BUILDERS = {
     "reduction": _gen_reduction,
     "elementwise": _gen_elementwise,
     "rmw": _gen_rmw,
+    "phased": _gen_phased,
 }
 
 
 def generate_module(rng: random.Random, shape: str, name: str = "difftest") -> Module:
     """Generate one verified module of the given shape from *rng*."""
     if shape not in _SHAPE_BUILDERS:
-        raise ValueError(f"unknown shape {shape!r}; choose from {SHAPES}")
+        raise ValueError(
+            f"unknown shape {shape!r}; choose from {tuple(_SHAPE_BUILDERS)}")
     module = Module(name)
     _SHAPE_BUILDERS[shape](module, rng)
     verify_module(module)
@@ -370,3 +436,57 @@ def generate(seed: int, index: int) -> GeneratedProgram:
     shape = rng.choice(SHAPES)
     module = generate_module(rng, shape, name=f"dt_s{seed}_i{index}")
     return GeneratedProgram(module, shape, seed, index)
+
+
+def generate_phased(seed: int, index: int) -> GeneratedProgram:
+    """Generate program *index* of the phased stream rooted at *seed*.
+
+    A separate stream from :func:`generate` (which draws only the three
+    paper shapes), deterministic in ``(seed, index)`` the same way.
+    """
+    rng = random.Random(stable_seed(seed, "difftest.phased", index))
+    module = generate_module(rng, "phased", name=f"dtp_s{seed}_i{index}")
+    return GeneratedProgram(module, "phased", seed, index)
+
+
+#: Opcode swaps ``mutate_function`` may apply: same arity, same operand
+#: kinds, bounded result given bounded operands — and crucially the same
+#: instruction count, so the dynamic step stream is unchanged.
+_MUTATION_SWAPS = {
+    Opcode.FADD: Opcode.FSUB,
+    Opcode.FSUB: Opcode.FADD,
+    Opcode.SIN: Opcode.COS,
+    Opcode.COS: Opcode.SIN,
+}
+
+
+def mutate_function(module: Module, name: str, seed: int = 0) -> Module:
+    """A deterministic *semantic* edit of one function: swap a subset of
+    its FADD↔FSUB / SIN↔COS opcodes (at least one).
+
+    The mutation is step-count-preserving — no instruction is added,
+    removed, or given different control flow — so every other section of
+    an incremental campaign keeps its step window, step count and trial
+    allocation after the edit.  That is the FastFlip scenario oracle O7
+    replays: re-inject only the edited function's section, reuse the
+    rest.  Returns a mutated copy (print/parse — the original module is
+    untouched); raises ``ValueError`` if the function has no swappable
+    instruction.
+    """
+    work = parse_module(format_module(module))
+    work.name = module.name
+    func = work.get_function(name)
+    candidates = []
+    for label in func.block_order():
+        for instr in func.blocks[label].instrs:
+            if instr.op in _MUTATION_SWAPS:
+                candidates.append(instr)
+    if not candidates:
+        raise ValueError(
+            f"@{name} has no FADD/FSUB/SIN/COS instruction to mutate")
+    rng = random.Random(stable_seed(seed, "difftest.mutate", name))
+    chosen = rng.sample(candidates, 1 + rng.randrange(min(3, len(candidates))))
+    for instr in chosen:
+        instr.op = _MUTATION_SWAPS[instr.op]
+    verify_module(work)
+    return work

@@ -920,3 +920,166 @@ def check_fault_metamorphic(
         stats["landed"] = stats.get("landed", 0) + landed
         stats["detected"] = stats.get("detected", 0) + detections
     return violations
+
+
+# -- O7: incremental campaign equivalence -------------------------------------
+
+#: Stateless protections O7 campaigns under.  RSkip's compat transform
+#: carries runtime state in intrinsic closures with no reset handle, so
+#: per-trial isolation — which stratified tallies rely on — cannot be
+#: guaranteed through this path; the campaign-level RSkip coverage lives
+#: in the eval tests, which prepare through the full pipeline.
+_INCREMENTAL_PROTECTIONS = ("swift", "swift-r")
+
+
+class ModuleWorkload:
+    """Adapter campaigning a self-contained module (constant loop bounds,
+    inputs in global initializers, argument-free ``main``) as a
+    :class:`~repro.workloads.base.Workload`."""
+
+    domain = "difftest"
+    description = "generated module"
+    main = "main"
+    memory_size = 1 << 16
+
+    def __init__(self, module: Module):
+        self._text = format_module(module)
+        self.name = module.name
+        out = module.globals.get("out")
+        self._out = ("out", out.size if out is not None else 0)
+
+    def build(self) -> Module:
+        return parse_module(self._text)
+
+    def make_input(self, rng=None, scale: float = 1.0):
+        from ..workloads.base import WorkloadInput
+
+        return WorkloadInput(
+            arrays={}, args=[], output=self._out, loop_output=self._out)
+
+    def test_inputs(self, count: int = 1, seed: int = 0, scale: float = 1.0):
+        return [self.make_input() for _ in range(count)]
+
+    def fresh_memory(self, module: Module, inp):
+        from ..runtime.memory import Memory
+
+        memory = Memory(self.memory_size)
+        memory.load_globals(module)
+        inp.apply(memory)
+        return memory
+
+
+def _observe_stratified(
+    module: Module,
+    protection: Optional[str],
+    scheme: str,
+    trials: int,
+    seed: int,
+    store,
+    reuse: bool,
+    backend: str,
+):
+    """One stratified campaign over *module*, protected in place like the
+    other oracles do (fresh copy + intrinsics per run)."""
+    from ..eval.incremental import run_campaign_stratified
+    from ..eval.schemes import PreparedProgram
+
+    work = module_copy(module)
+    intrinsics = {DETECT_INTRINSIC: _swift_detect}
+    if protection:
+        intrinsics.update(PROTECTIONS[protection](work))
+    prepared = PreparedProgram(
+        scheme, work, intrinsics, None, [], "main",
+        region_override=Region(funcs=tuple(work.functions)))
+    workload = ModuleWorkload(module)
+    return run_campaign_stratified(
+        workload, scheme, trials, seed=seed, inp=workload.make_input(),
+        prepared=prepared, store=store, reuse=reuse, backend=backend)
+
+
+def check_incremental_equivalence(
+    module: Module,
+    protection: Optional[str] = None,
+    trials: int = 24,
+    seed: int = 0,
+) -> List[Violation]:
+    """O7: incremental campaigns must compose exactly.
+
+    Runs a stratified campaign from scratch (populating a per-section
+    store), mutates one function (a step-count-preserving semantic edit),
+    then runs the mutated program both incrementally (reusing stored
+    section tallies) and from scratch — the two must tally byte-
+    identically, with the store serving exactly the sections whose
+    fingerprint × step count × allocation survived the edit.  Checked on
+    both the reference and batch backends.
+
+    Sound on programs whose sections are genuinely independent — the
+    generator's ``phased`` shape is built as that witness; on arbitrary
+    programs cross-section data flow makes reuse an approximation, which
+    is why incremental mode is opt-in for real workloads.
+    """
+    import os
+    import tempfile
+
+    from ..eval.incremental import SectionStore
+    from ..pipeline.registry import canonical_scheme
+    from .generator import _MUTATION_SWAPS, mutate_function
+
+    prot = protection if protection in _INCREMENTAL_PROTECTIONS else None
+    scheme = canonical_scheme(prot or "unsafe")
+    pipe = (prot,) if prot else ()
+    label = prot or "plain"
+
+    victim = None
+    for name in sorted(module.functions):
+        if name == "main":
+            continue
+        func = module.get_function(name)
+        if any(instr.op in _MUTATION_SWAPS
+               for lab in func.block_order()
+               for instr in func.blocks[lab].instrs):
+            victim = name
+            break
+    if victim is None:
+        victim = "main"
+    try:
+        mutated = mutate_function(module, victim, seed)
+    except ValueError:
+        return []  # nothing mutable anywhere: vacuous for this program
+
+    violations: List[Violation] = []
+    for backend in ("ref", "batch"):
+        with tempfile.TemporaryDirectory(prefix="repro-o7-") as tmp:
+            store = SectionStore(directory=os.path.join(tmp, "campaigns"))
+            base = _observe_stratified(
+                module, prot, scheme, trials, seed, store, False, backend)
+            scratch = _observe_stratified(
+                mutated, prot, scheme, trials, seed, None, False, backend)
+            inc = _observe_stratified(
+                mutated, prot, scheme, trials, seed, store, True, backend)
+
+            if inc.result.to_dict() != scratch.result.to_dict():
+                violations.append(Violation(
+                    "o7", f"[{label}/{backend}] incremental tallies after "
+                          f"mutating @{victim} differ from stratified "
+                          f"from-scratch tallies", pipe))
+                continue
+            base_keys = {
+                (r.fingerprint, r.step_count, r.trials)
+                for r in base.sections if r.trials > 0
+            }
+            expected = sum(
+                1 for r in inc.sections
+                if r.trials > 0
+                and (r.fingerprint, r.step_count, r.trials) in base_keys)
+            if inc.reused_sections != expected:
+                violations.append(Violation(
+                    "o7", f"[{label}/{backend}] store served "
+                          f"{inc.reused_sections} sections but "
+                          f"{expected} carried unchanged keys", pipe))
+            if expected == 0 and victim != "main" and len(module.functions) > 2:
+                violations.append(Violation(
+                    "o7", f"[{label}/{backend}] mutating @{victim} left no "
+                          f"reusable section — incremental reuse is inert "
+                          f"on a multi-function program", pipe))
+    return violations

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..eval.campaign_engine import map_chunks
 from ..ir.printer import format_module
 from ..workloads.base import stable_seed
-from .generator import generate
+from .generator import generate, generate_phased
 from .oracles import (
     CLEANUP_PASSES,
     PROTECTIONS,
@@ -24,6 +24,7 @@ from .oracles import (
     check_backend_equivalence,
     check_batch_equivalence,
     check_fault_metamorphic,
+    check_incremental_equivalence,
     check_pipeline,
     check_roundtrip,
     check_skip_exhaustive,
@@ -36,7 +37,7 @@ DEFAULT_CHUNK = 20
 #: Shadow-flip trials per O3 check.
 DEFAULT_FAULT_SAMPLES = 12
 
-ORACLES = ("all", "o1", "o2", "o3", "o4", "o5", "o6")
+ORACLES = ("all", "o1", "o2", "o3", "o4", "o5", "o6", "o7")
 
 _CLEANUP_NAMES = tuple(sorted(CLEANUP_PASSES))
 _PROTECTION_NAMES = tuple(sorted(PROTECTIONS))
@@ -152,6 +153,13 @@ def check_index(
         record.violations.extend(check_skip_exhaustive(
             module, protection,
             seed=stable_seed(seed, "difftest.skip", index)))
+    if oracle in ("all", "o7"):
+        # O7 needs phase-isolated programs (independent sections); the
+        # phased stream is drawn separately so the default (seed, index)
+        # programs stay pinned
+        record.violations.extend(check_incremental_equivalence(
+            generate_phased(seed, index).module, protection,
+            seed=stable_seed(seed, "difftest.incremental", index)))
     return record
 
 
@@ -193,6 +201,10 @@ def failure_predicate(record: IndexRecord, seed: int, fault_samples: int):
             found.extend(check_skip_exhaustive(
                 module, record.protection,
                 seed=stable_seed(seed, "difftest.skip", record.index)))
+        if "o7" in failing:
+            found.extend(check_incremental_equivalence(
+                module, record.protection,
+                seed=stable_seed(seed, "difftest.incremental", record.index)))
         return {v.oracle for v in found} >= failing
 
     return predicate
@@ -204,9 +216,13 @@ def shrink_failure(
     fault_samples: int = DEFAULT_FAULT_SAMPLES,
 ):
     """Minimize the program behind a failing record; returns the module."""
-    program = generate(seed, record.index)
+    if any(v.oracle == "o7" for v in record.violations):
+        # o7 checks the phased stream's program, not the default one
+        module = generate_phased(seed, record.index).module
+    else:
+        module = generate(seed, record.index).module
     predicate = failure_predicate(record, seed, fault_samples)
-    return shrink_module(program.module, predicate)
+    return shrink_module(module, predicate)
 
 
 def render_corpus_entry(record: IndexRecord, seed: int, module) -> str:

@@ -37,6 +37,16 @@ from .campaign_engine import (
     run_campaign_parallel,
     run_campaigns,
 )
+from .sections import Section, SectionPartition, partition_sections
+from .incremental import (
+    SectionReport,
+    SectionStore,
+    StratifiedResult,
+    campaign_store_dir,
+    run_campaign_stratified,
+    section_store_key,
+    stratified_allocation,
+)
 from .motivation import MotivationRow, figure2, loop_instruction_share
 from .tradeoff import TradeoffRow, section73
 from .table1 import Table1Row, table1
@@ -55,6 +65,10 @@ __all__ = [
     "CampaignContext", "CampaignResult", "campaign_context", "figure9",
     "run_campaign", "run_trial_block", "trial_seed",
     "CampaignTask", "eta_printer", "run_campaign_parallel", "run_campaigns",
+    "Section", "SectionPartition", "partition_sections",
+    "SectionReport", "SectionStore", "StratifiedResult",
+    "campaign_store_dir", "run_campaign_stratified", "section_store_key",
+    "stratified_allocation",
     "MotivationRow", "figure2", "loop_instruction_share",
     "TradeoffRow", "section73",
     "Table1Row", "table1",

@@ -38,6 +38,7 @@ from ..obs.events import install_sink, remove_sink
 from ..obs.manifest import RunManifest, run_id_for
 from ..obs.sinks import JsonlSink, merge_traces
 from ..pipeline.registry import canonical_scheme
+from ..runtime.faults import DEFAULT_KIND_WEIGHTS
 from ..workloads.base import Workload, WorkloadInput
 from .fault_campaign import (
     CampaignResult,
@@ -52,7 +53,10 @@ from .schemes import prepare
 #: its worker's cached golden run.
 DEFAULT_CHUNK = 25
 
-CHECKPOINT_VERSION = 1
+#: Version 2 added the fault-kind mix to the checkpoint params key: a v1
+#: checkpoint written under default SEU weights would otherwise resume
+#: silently against an adversarial kind mix.
+CHECKPOINT_VERSION = 2
 
 ProgressFn = Callable[[int, int, float], None]
 
@@ -105,6 +109,7 @@ def _run_chunk(
     config: Optional[RSkipConfig],
     profiles: Optional[Dict[str, LoopProfile]],
     inp: Optional[WorkloadInput],
+    kind_weights: Tuple = DEFAULT_KIND_WEIGHTS,
     trace_path: Optional[str] = None,
     trace_run: str = "",
 ) -> Tuple[str, dict]:
@@ -129,12 +134,13 @@ def _run_chunk(
             return run_trial_block_batch(
                 prepared, workload, inp, ctx, task.scheme, task.seed,
                 task.start, task.count, config=config, profiles=profiles,
+                kind_weights=kind_weights,
             )
     else:
         def _block():
             return run_trial_block(
                 prepared, workload, inp, ctx, task.scheme, task.seed,
-                task.start, task.count,
+                task.start, task.count, kind_weights=kind_weights,
             )
     if trace_path is None:
         return task.key, _block().to_dict()
@@ -157,9 +163,11 @@ def _run_chunk(
 
 # -- checkpointing ----------------------------------------------------------
 def _params_key(trials: int, seed: int, scale: float,
-                config: Optional[RSkipConfig]) -> str:
+                config: Optional[RSkipConfig],
+                kind_weights: Tuple = DEFAULT_KIND_WEIGHTS) -> str:
     return json.dumps(
-        {"trials": trials, "seed": seed, "scale": scale, "config": repr(config)},
+        {"trials": trials, "seed": seed, "scale": scale, "config": repr(config),
+         "kind_weights": [[str(k), float(w)] for k, w in kind_weights]},
         sort_keys=True,
     )
 
@@ -170,11 +178,17 @@ def _load_checkpoint(path: str, params_key: str) -> Dict[str, dict]:
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
     if data.get("version") != CHECKPOINT_VERSION:
-        raise ValueError(f"{path}: unsupported checkpoint version")
+        raise ValueError(
+            f"{path}: unsupported checkpoint version "
+            f"{data.get('version')!r} (expected {CHECKPOINT_VERSION}; "
+            f"version 1 predates kind-weight keying — delete the file "
+            f"and re-run)"
+        )
     if data.get("params") != params_key:
         raise ValueError(
             f"{path}: checkpoint was written by a campaign with different "
-            f"parameters; delete it or match trials/seed/scale/config"
+            f"parameters; delete it or match "
+            f"trials/seed/scale/config/kind_weights"
         )
     return dict(data.get("chunks", {}))
 
@@ -252,6 +266,7 @@ def run_campaigns(
     chunk: int = DEFAULT_CHUNK,
     inp: Optional[WorkloadInput] = None,
     trace_out: Optional[str] = None,
+    kind_weights: Tuple = DEFAULT_KIND_WEIGHTS,
 ) -> Dict[Tuple[str, str], CampaignResult]:
     """Run a batch of campaigns — *groups* is (workload, scheme, profiles) —
     sharded into trial chunks, optionally over a process pool.
@@ -268,6 +283,9 @@ def run_campaigns(
     if trials <= 0:
         raise ValueError("trials must be positive")
     chunk = max(1, int(chunk))
+    # normalize so every spelling of the same mix produces the same
+    # params key and worker args
+    kind_weights = tuple((str(k), float(w)) for k, w in kind_weights)
     _WORKER_CACHE.clear()
 
     # scheme spellings feed per-trial seeds, shard names and result keys:
@@ -290,7 +308,7 @@ def run_campaigns(
                 seed, scale,
             ))
 
-    params_key = _params_key(trials, seed, scale, config)
+    params_key = _params_key(trials, seed, scale, config, kind_weights)
     trace_run = ""
     shard_paths: Dict[str, str] = {}
     if trace_out is not None:
@@ -334,6 +352,7 @@ def run_campaigns(
             config,
             profiles_by_key[(task.workload, task.scheme)],
             inp,
+            kind_weights,
         )
         if trace_out is not None:
             args += (shard_paths[task.key], trace_run)
@@ -467,12 +486,14 @@ def run_campaign_parallel(
     progress: Optional[ProgressFn] = None,
     chunk: int = DEFAULT_CHUNK,
     trace_out: Optional[str] = None,
+    kind_weights: Tuple = DEFAULT_KIND_WEIGHTS,
 ) -> CampaignResult:
     """One (workload, scheme) campaign on the parallel engine."""
     results = run_campaigns(
         [(workload, scheme, profiles)], trials=trials, seed=seed, scale=scale,
         config=config, jobs=jobs, checkpoint=checkpoint, resume=resume,
         progress=progress, chunk=chunk, inp=inp, trace_out=trace_out,
+        kind_weights=kind_weights,
     )
     return results[(workload.name, canonical_scheme(scheme, config))]
 

@@ -493,25 +493,20 @@ def run_campaign(
     is reset before every execution.
 
     *kind_weights* selects the fault-kind mix (see
-    :data:`repro.runtime.faults.DEFAULT_KIND_WEIGHTS`); non-default
-    mixes are serial-only for now — the parallel engine's checkpoint
-    key does not cover them yet.
+    :data:`repro.runtime.faults.DEFAULT_KIND_WEIGHTS`) and works on
+    every path — serial, batch and parallel (the checkpoint params key
+    covers the mix, so a resume under a different mix fails loudly).
     """
     # canonicalize up front: the scheme spelling feeds per-trial seeds, so
     # "swift-r" and "SWIFT-R" must tally identically
     scheme = canonical_scheme(scheme, config)
     if jobs > 1 or checkpoint is not None:
-        if tuple(kind_weights) != tuple(DEFAULT_KIND_WEIGHTS):
-            raise ValueError(
-                "custom kind_weights are not supported on the parallel "
-                "campaign path (checkpoint keys do not include them); "
-                "run with jobs=1 and no checkpoint")
         from .campaign_engine import run_campaign_parallel
 
         return run_campaign_parallel(
             workload, scheme, trials, seed=seed, scale=scale, config=config,
             profiles=profiles, inp=inp, jobs=jobs, checkpoint=checkpoint,
-            resume=resume, progress=progress,
+            resume=resume, progress=progress, kind_weights=kind_weights,
         )
     if inp is None:
         inp = workload.test_inputs(1, seed=seed + 17, scale=scale)[0]

@@ -45,6 +45,10 @@ class PreparedProgram:
     #: are deterministic), for fault-region construction
     original_targets: List[TargetLoop] = field(default_factory=list)
     main: str = "main"
+    #: when set, :func:`fault_region` returns this region verbatim —
+    #: used by programs with no detected target loops (difftest modules
+    #: campaigned whole-program, oracle O7)
+    region_override: Optional[Region] = None
 
     @property
     def runtime(self) -> Optional[RskipRuntime]:
@@ -89,6 +93,8 @@ def fault_region(prepared: PreparedProgram) -> Region:
     """The paper's injection discipline: faults land only inside the
     detected loops (expanded through transform provenance) and the
     functions implementing their computation."""
+    if prepared.region_override is not None:
+        return prepared.region_override
     loop_labels = set()
     funcs = set()
     for target in prepared.original_targets:

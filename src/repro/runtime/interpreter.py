@@ -190,6 +190,13 @@ class Interpreter:
         #: This is the counting pre-run of the O6 exhaustive skip checker:
         #: entry *i* names the instruction a plan with ``step == i`` hits.
         self.site_trace: Optional[List[Tuple[int, Optional[str]]]] = None
+        #: optional owner trace of every in-region dynamic instruction as
+        #: (function name, block label); assign anything with ``append``
+        #: to enable (repro.eval.sections passes a run-length recorder).
+        #: Entry *i* names the static location a plan with ``step == i``
+        #: would trigger at — the counting pre-run of the incremental
+        #: campaign's section partition.
+        self.section_trace = None
 
     # -- public API -----------------------------------------------------------
     def register_intrinsic(self, name: str, fn: IntrinsicFn) -> None:
@@ -377,6 +384,7 @@ class Interpreter:
         fname = func.name
         fault_plan = self.fault_plan
         site_trace = self.site_trace
+        section_trace = self.section_trace
         # skip faults are serviced entirely within the _exec whose trigger
         # armed them (entering a frame needs an executed CALL, leaving one
         # an executed RET — both impossible mid-burst), so the hot loop
@@ -403,6 +411,8 @@ class Interpreter:
                         region_steps += 1
                         if site_trace is not None:
                             site_trace.append((code, dest))
+                        if section_trace is not None:
+                            section_trace.append((fname, label))
                         if self._fault_pending and region_steps - 1 == fault_plan.step:
                             self._inject(regs)
                     if may_skip and self._skip_left:

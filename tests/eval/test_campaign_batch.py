@@ -145,11 +145,16 @@ class TestMixedKinds:
         assert restored.kind_tallies == {}
         assert restored.trials == serial.trials
 
-    def test_parallel_path_rejects_custom_kind_weights(self):
+    def test_parallel_path_carries_custom_kind_weights(self):
+        """--jobs N with a non-default mix tallies exactly like serial
+        (the mix used to be rejected on this path; now it is plumbed
+        through the worker task args)."""
         workload = get_workload("conv1d")
-        with pytest.raises(ValueError, match="kind_weights"):
-            run_campaign(workload, "UNSAFE", 8, seed=SEED, scale=SCALE,
-                         jobs=2, kind_weights=ADVERSARIAL_KIND_WEIGHTS)
+        serial = run_campaign(workload, "UNSAFE", 8, seed=SEED, scale=SCALE,
+                              kind_weights=ADVERSARIAL_KIND_WEIGHTS)
+        parallel = run_campaign(workload, "UNSAFE", 8, seed=SEED, scale=SCALE,
+                                jobs=2, kind_weights=ADVERSARIAL_KIND_WEIGHTS)
+        assert parallel.to_dict() == serial.to_dict()
 
 
 class TestBackendRouting:

@@ -191,3 +191,56 @@ def test_full_scale_campaign_smoke(conv1d, conv1d_profiles):
         conv1d, "AR100", 200, scale=SCALE, profiles=conv1d_profiles, jobs=2
     )
     assert sum(campaign.tallies.values()) == 200
+
+
+class TestKindWeightKeying:
+    """The checkpoint params key and the parallel engine must both carry
+    the fault-kind mix (regression: kind_weights used to be dropped)."""
+
+    def test_checkpoint_rejects_different_kind_mix(self, conv1d, tmp_path):
+        from repro.runtime.faults import ADVERSARIAL_KIND_WEIGHTS
+
+        path = str(tmp_path / "checkpoint.json")
+        group = [(conv1d, "UNSAFE", None)]
+        run_campaigns(group, trials=TRIALS, scale=SCALE,
+                      checkpoint=path, chunk=5)
+        with pytest.raises(ValueError, match="kind_weights"):
+            run_campaigns(
+                group, trials=TRIALS, scale=SCALE, checkpoint=path,
+                resume=True, chunk=5,
+                kind_weights=ADVERSARIAL_KIND_WEIGHTS,
+            )
+
+    def test_pre_kind_weight_checkpoint_is_rejected(self, conv1d, tmp_path):
+        """A version-1 checkpoint (written before kind weights entered the
+        params key) must be refused, not silently resumed."""
+        path = str(tmp_path / "checkpoint.json")
+        group = [(conv1d, "UNSAFE", None)]
+        run_campaigns(group, trials=TRIALS, scale=SCALE,
+                      checkpoint=path, chunk=5)
+        with open(path) as handle:
+            data = json.load(handle)
+        data["version"] = 1
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        with pytest.raises(ValueError, match="version"):
+            run_campaigns(group, trials=TRIALS, scale=SCALE,
+                          checkpoint=path, resume=True, chunk=5)
+
+    def test_parallel_kind_mix_matches_serial(self, conv1d):
+        """--jobs N with a non-default kind mix: workers must receive the
+        mix (regression: it was not in the task args) and tally
+        byte-identically with the serial engine."""
+        from repro.runtime.faults import ADVERSARIAL_KIND_WEIGHTS
+
+        kwargs = dict(trials=TRIALS, scale=SCALE,
+                      kind_weights=ADVERSARIAL_KIND_WEIGHTS)
+        serial = run_campaign(conv1d, "UNSAFE", **kwargs)
+        parallel = run_campaign(conv1d, "UNSAFE", jobs=2, **kwargs)
+        assert campaign_fingerprint(parallel) == campaign_fingerprint(serial)
+        assert {k: dict(v) for k, v in parallel.kind_tallies.items()} == \
+               {k: dict(v) for k, v in serial.kind_tallies.items()}
+        # the default mix never draws skip faults: seeing them proves the
+        # adversarial mix actually reached the workers
+        assert set(serial.kind_tallies) - {"value", "branch", "addr"}
+        assert set(parallel.kind_tallies) == set(serial.kind_tallies)
