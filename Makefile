@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test verify bench difftest report-demo
+.PHONY: test verify bench difftest report-demo serve-smoke
 
 ## tier-1 unit/integration suite
 test:
@@ -26,6 +26,14 @@ verify: test
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "import tempfile, os; from repro.eval import SectionStore, run_campaign_stratified; from repro.workloads import get_workload; w = get_workload('lud'); tmp = tempfile.mkdtemp(prefix='repro-inc-'); store = SectionStore(directory=os.path.join(tmp, 'campaigns')); cold = run_campaign_stratified(w, 'UNSAFE', 30, seed=1, scale=0.35, store=store, reuse=True); warm = run_campaign_stratified(w, 'UNSAFE', 30, seed=1, scale=0.35, store=store, reuse=True); assert cold.reused_sections == 0 and warm.injected_trials == 0, 'store reuse pattern wrong'; assert warm.result.to_dict() == cold.result.to_dict(), 'incremental diverged from scratch'; print('incremental smoke: 30 trials, %d sections fully reused, tallies byte-identical' % warm.reused_sections)"
 	PYTHONPATH=$(PYTHONPATH) REPRO_CACHE=off $(PYTHON) -m repro cache-check
 	PYTHONPATH=$(PYTHONPATH) REPRO_CACHE=on $(PYTHON) -m repro cache-check
+	$(MAKE) serve-smoke
+
+## serve daemon smoke: two concurrent identical /protect requests must
+## cost one computation (dedup counters asserted), and a campaign job
+## SIGKILLed mid-run must resume after a daemon restart to tallies
+## byte-identical to the uninterrupted engine run (checkpoint recovery).
+serve-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/serve_smoke.py
 
 ## regenerate every table & figure
 bench:

@@ -1,0 +1,139 @@
+"""Serve-daemon request latency: cold vs warm vs deduped.
+
+The service story ("millions of users") only holds if repeated and
+concurrent identical requests are cheap.  Three regimes per endpoint:
+
+* **cold** — first request: full pipeline work (cleanup + scheme passes,
+  or a measured run) on a fresh daemon with an empty artifact cache;
+* **warm** — an identical later request: the artifact cache serves the
+  protected module / trained profiles, the daemon only re-fingerprints
+  and re-serializes;
+* **dedup** — an identical request arriving *while* the computation is
+  in flight: the follower parks on the leader's future and pays roughly
+  the leader's remaining time, never a second computation.
+
+``python benchmarks/bench_serve.py`` writes ``BENCH_serve.json`` at the
+repository root; the pytest wrapper asserts warm stays below cold.
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+
+from repro.pipeline import reset_cache
+from repro.serve import ServeApp
+
+PROTECT_WORKLOADS = ("blackscholes", "lud")
+SCHEME = "AR20"
+WARM_REPEATS = int(os.environ.get("REPRO_BENCH_SERVE_REPEATS", "5"))
+
+
+async def _request(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = [f"{method} {path} HTTP/1.1", "host: bench",
+                "connection: close"]
+        if payload:
+            head.append(f"content-length: {len(payload)}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    status = int(raw.split(b" ", 2)[1])
+    data = raw.split(b"\r\n\r\n", 1)[1]
+    return status, json.loads(data) if data.strip() else None
+
+
+async def _timed(host, port, path, body):
+    t0 = time.perf_counter()
+    status, data = await _request(host, port, "POST", path, body)
+    elapsed_ms = (time.perf_counter() - t0) * 1e3
+    assert status == 200, f"{path} -> {status}: {data}"
+    return elapsed_ms, data
+
+
+def _measure_endpoint(path: str, body: dict) -> dict:
+    """Cold, warm (best of N) and dedup-follower latency for one body,
+    against a daemon started fresh for this measurement."""
+
+    async def go():
+        os.environ["REPRO_CACHE"] = "mem"
+        reset_cache()
+        with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+            app = ServeApp(port=0, state_dir=tmp, workers=2)
+            await app.start()
+            try:
+                host, port = app.host, app.port
+                cold_ms, _ = await _timed(host, port, path, body)
+                warm_ms = None
+                for _ in range(WARM_REPEATS):
+                    elapsed, data = await _timed(host, port, path, body)
+                    assert data["deduped"] is False
+                    if warm_ms is None or elapsed < warm_ms:
+                        warm_ms = elapsed
+
+                # dedup regime needs an in-flight leader: drop the cache
+                # so the leader recomputes, race a follower against it
+                reset_cache()
+                results = await asyncio.gather(
+                    _timed(host, port, path, body),
+                    _timed(host, port, path, body))
+                flags = sorted(r[1]["deduped"] for r in results)
+                assert flags == [False, True], flags
+                dedup_ms = next(ms for ms, r in results if r["deduped"])
+            finally:
+                await app.stop()
+                reset_cache()
+            return {
+                "cold_ms": round(cold_ms, 3),
+                "warm_ms": round(warm_ms, 3),
+                "dedup_ms": round(dedup_ms, 3),
+                "warm_speedup": round(cold_ms / warm_ms, 2) if warm_ms else 0.0,
+            }
+
+    return asyncio.run(go())
+
+
+def measure() -> dict:
+    rows = {}
+    for workload in PROTECT_WORKLOADS:
+        rows[f"/protect {workload} {SCHEME}"] = _measure_endpoint(
+            "/protect", {"workload": workload, "scheme": SCHEME})
+    rows["/run conv1d AR50"] = _measure_endpoint(
+        "/run", {"workload": "conv1d", "scheme": "AR50", "scale": 0.35,
+                 "seed": 1})
+    return rows
+
+
+def write_baseline(path="BENCH_serve.json"):
+    rows = measure()
+    payload = {
+        "benchmark": "serve daemon request latency",
+        "unit": "milliseconds per request (warm = best of N)",
+        "repeats": WARM_REPEATS,
+        "rows": rows,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_warm_requests_beat_cold():
+    rows = measure()
+    print("\n== serve request latency ==")
+    for label, row in rows.items():
+        print(f"  {label}: cold {row['cold_ms']:.1f}ms  "
+              f"warm {row['warm_ms']:.1f}ms  dedup {row['dedup_ms']:.1f}ms  "
+              f"({row['warm_speedup']:.2f}x)")
+    for label, row in rows.items():
+        assert row["warm_ms"] < row["cold_ms"], label
+
+
+if __name__ == "__main__":
+    print(json.dumps(write_baseline(), indent=2))

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""CI smoke of the serve daemon's two headline guarantees.
+
+1. **Dedup**: two identical concurrent ``POST /protect`` requests cost
+   exactly one computation (asserted against ``/stats`` counters and the
+   per-response ``deduped`` flags).
+2. **Crash recovery**: a campaign job SIGKILLed mid-run resumes from its
+   checkpoint after a daemon restart and finishes with tallies
+   byte-identical to the engine's uninterrupted run.
+
+Stdlib only; exits non-zero with a diagnostic on any violation.  Run as::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+sys.path.insert(0, SRC)
+
+CAMPAIGN = {"workload": "conv1d", "scheme": "UNSAFE", "trials": 400,
+            "seed": 3, "scale": 0.35}
+
+
+def start_daemon(state_dir: str) -> "tuple[subprocess.Popen, str, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--state-dir", state_dir],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.time() + 30
+    while True:
+        line = proc.stdout.readline()
+        if "listening on http://" in line:
+            address = line.rsplit("http://", 1)[1].strip()
+            host, _, port = address.partition(":")
+            return proc, host, int(port)
+        if proc.poll() is not None or time.time() > deadline:
+            raise SystemExit(f"daemon failed to start: {line!r}")
+
+
+async def request(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = json.dumps(body).encode() if body is not None else b""
+        head = [f"{method} {path} HTTP/1.1", "host: smoke",
+                "connection: close"]
+        if payload:
+            head.append(f"content-length: {len(payload)}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    status = int(raw.split(b" ", 2)[1])
+    body = raw.split(b"\r\n\r\n", 1)[1]
+    return status, json.loads(body) if body.strip() else None
+
+
+def req(host, port, method, path, body=None):
+    return asyncio.run(request(host, port, method, path, body))
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"serve smoke FAILED: {message}")
+
+
+def main() -> int:
+    state_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    proc, host, port = start_daemon(state_dir)
+    try:
+        # -- 1: concurrent identical protects dedup to one computation --
+        async def two_identical():
+            body = {"workload": "blackscholes", "scheme": "AR20"}
+            return await asyncio.gather(
+                request(host, port, "POST", "/protect", body),
+                request(host, port, "POST", "/protect", body))
+
+        (s1, r1), (s2, r2) = asyncio.run(two_identical())
+        check(s1 == 200 and s2 == 200, f"protect statuses {s1}/{s2}")
+        check(sorted((r1["deduped"], r2["deduped"])) == [False, True],
+              f"dedup flags {r1['deduped']}/{r2['deduped']}")
+        check(r1["module"] == r2["module"], "deduped modules differ")
+        _, stats = req(host, port, "GET", "/stats")
+        check(stats["dedup"]["computations"] == 1
+              and stats["dedup"]["dedup_hits"] == 1,
+              f"dedup counters {stats['dedup']}")
+        print("serve smoke: dedup OK (1 computation, 1 dedup hit)")
+
+        # -- 2: launch a campaign, SIGKILL the daemon mid-run ----------
+        status, data = req(host, port, "POST", "/campaigns", CAMPAIGN)
+        check(status == 202, f"campaign submit status {status}")
+        job_id = data["job"]["id"]
+        deadline = time.time() + 60
+        while True:
+            _, data = req(host, port, "GET", f"/campaigns/{job_id}")
+            job = data["job"]
+            if job["status"] == "running" and job["done_trials"] > 0:
+                break
+            check(job["status"] in ("queued", "running"),
+                  f"job finished before the kill ({job['status']}); "
+                  f"raise CAMPAIGN trials")
+            check(time.time() < deadline, "job made no progress")
+            time.sleep(0.01)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        print(f"serve smoke: killed daemon at "
+              f"{job['done_trials']}/{job['total_trials']} trials")
+
+        # -- 3: restart over the same state dir; job must resume -------
+        proc, host, port = start_daemon(state_dir)
+        deadline = time.time() + 120
+        while True:
+            _, data = req(host, port, "GET", f"/campaigns/{job_id}")
+            job = data["job"]
+            if job["status"] in ("done", "failed"):
+                break
+            check(time.time() < deadline, "resumed job did not finish")
+            time.sleep(0.05)
+        check(job["status"] == "done", f"resumed job failed: {job['error']}")
+        check(job["restarts"] == 1, f"restarts {job['restarts']}")
+
+        # -- 4: tallies byte-identical to the uninterrupted engine run -
+        from repro.eval.campaign_engine import run_campaign_parallel
+        from repro.serve.jobs import DEFAULT_JOB_CHUNK
+        from repro.workloads import get_workload
+
+        reference = run_campaign_parallel(
+            get_workload(CAMPAIGN["workload"]), CAMPAIGN["scheme"],
+            trials=CAMPAIGN["trials"], seed=CAMPAIGN["seed"],
+            scale=CAMPAIGN["scale"], jobs=1, chunk=DEFAULT_JOB_CHUNK)
+        got = json.dumps(job["result"], sort_keys=True)
+        want = json.dumps(reference.to_dict(), sort_keys=True)
+        check(got == want, f"resumed tallies diverged:\n  {got}\n  {want}")
+        print(f"serve smoke: kill/restart resume OK, tallies "
+              f"byte-identical ({job['result']['tallies']})")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

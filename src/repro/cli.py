@@ -19,6 +19,7 @@
     python -m repro campaign lud --scheme AR100 --trials 200 --jobs 4 \\
                              --trace-out t.jsonl
     python -m repro report t.jsonl
+    python -m repro serve [--port 8787] [--workers 4]
     python -m repro all
 
 The global ``--backend {ref,compiled,batch}`` flag selects the execution
@@ -371,6 +372,14 @@ def cmd_cache_check(args) -> None:
         print(line)
     else:
         print(f"   campaign-section store ({store_dir}): empty")
+
+    # orphaned atomic-write temp files: a crashed writer between mkstemp
+    # and os.replace leaves `.*.tmp` files behind; age-gated so live
+    # writers (including other processes mid-write) are never touched
+    from .pipeline.cache import cache_dir, sweep_stale_tmp
+
+    swept = sweep_stale_tmp(cache_dir()) + sweep_stale_tmp(store_dir)
+    print(f"   stale .tmp files swept: {swept}")
     if problems:
         sys.exit(1)
 
@@ -519,6 +528,17 @@ def _cmd_campaign_stratified(args, workload, sfi_scale, profiles) -> None:
                   f"trials={report.trials}")
     if store is not None:
         print(f"   section store: {store.directory}")
+
+
+def cmd_serve(args) -> None:
+    """Run the protection-as-a-service HTTP/JSON daemon (Ctrl-C stops)."""
+    from .serve import run_serve
+
+    run_serve(
+        host=args.host, port=args.port, state_dir=args.state_dir,
+        workers=args.workers, job_workers=args.job_workers,
+        max_inflight=args.max_inflight, per_client=args.per_client,
+    )
 
 
 def cmd_report(args) -> None:
@@ -713,6 +733,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "worker shard into TRACE.jsonl (byte-identical "
                           "for any --jobs) plus a run manifest")
     pca.set_defaults(fn=cmd_campaign)
+    psv = sub.add_parser(
+        "serve",
+        help="protection-as-a-service: an asyncio HTTP/JSON daemon over "
+             "the pipeline (POST /protect /train /run /campaigns)",
+    )
+    psv.add_argument("--host", default="127.0.0.1")
+    psv.add_argument("--port", type=int, default=8787,
+                     help="TCP port (0 picks a free one; the bound port is "
+                          "printed on the 'listening' line)")
+    psv.add_argument("--state-dir", default=None,
+                     help="job records, campaign checkpoints and request "
+                          "manifests (default <cache-dir>/serve)")
+    psv.add_argument("--workers", type=int, default=4,
+                     help="request executor threads (default 4)")
+    psv.add_argument("--job-workers", type=int, default=1,
+                     help="concurrent background campaign jobs (default 1)")
+    psv.add_argument("--max-inflight", type=int, default=32,
+                     help="global admitted-request budget; beyond it POSTs "
+                          "get 429 + Retry-After (default 32)")
+    psv.add_argument("--per-client", type=int, default=8,
+                     help="per-client in-flight cap (default 8)")
+    psv.set_defaults(fn=cmd_serve)
     prep = sub.add_parser("report")
     prep.add_argument("trace", nargs="?", default=None,
                       help="a trace written by --trace-out; renders per-loop "

@@ -33,6 +33,8 @@ from .fault_campaign import (
 )
 from .campaign_engine import (
     CampaignTask,
+    CheckpointBusyError,
+    CheckpointLock,
     eta_printer,
     run_campaign_parallel,
     run_campaigns,

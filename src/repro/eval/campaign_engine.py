@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -162,6 +163,117 @@ def _run_chunk(
 
 
 # -- checkpointing ----------------------------------------------------------
+class CheckpointBusyError(RuntimeError):
+    """Another live campaign owns this checkpoint file."""
+
+
+#: checkpoint paths locked by *this* process (serve runs several campaign
+#: jobs as threads of one process, so a pid-only file lock cannot tell two
+#: of our own threads apart)
+_HELD_LOCKS: set = set()
+_HELD_LOCKS_GUARD = threading.Lock()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+class CheckpointLock:
+    """Exclusive ownership of a checkpoint path across processes/threads.
+
+    Two campaigns checkpointing to the same file would silently
+    interleave chunk dicts written under (potentially) different
+    parameters; instead the loser errors cleanly with
+    :class:`CheckpointBusyError`.  Protocol: a sibling ``<path>.lock``
+    file created with ``O_EXCL`` holding the owner pid.  A lock whose pid
+    is dead — or is this very process without an in-process registration,
+    i.e. a previous incarnation that was SIGKILLed — is stale and is
+    stolen, which is what lets a restarted serve daemon resume the jobs
+    its predecessor left behind.
+    """
+
+    def __init__(self, checkpoint_path: str):
+        self.checkpoint = os.path.abspath(checkpoint_path)
+        self.path = self.checkpoint + ".lock"
+        self._held = False
+
+    def acquire(self) -> "CheckpointLock":
+        with _HELD_LOCKS_GUARD:
+            if self.checkpoint in _HELD_LOCKS:
+                raise CheckpointBusyError(
+                    f"{self.checkpoint}: already locked by another campaign "
+                    f"in this process"
+                )
+            _HELD_LOCKS.add(self.checkpoint)
+        try:
+            self._acquire_file()
+        except BaseException:
+            with _HELD_LOCKS_GUARD:
+                _HELD_LOCKS.discard(self.checkpoint)
+            raise
+        self._held = True
+        return self
+
+    def _acquire_file(self) -> None:
+        payload = json.dumps({"pid": os.getpid(), "at": time.time()})
+        for _ in range(16):
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                owner = self._owner_pid()
+                if owner is not None and owner != os.getpid() and _pid_alive(owner):
+                    raise CheckpointBusyError(
+                        f"{self.checkpoint}: checkpoint is locked by live "
+                        f"campaign pid {owner} ({self.path}); two campaigns "
+                        f"must not share a checkpoint file"
+                    )
+                # stale (dead owner, our own crashed predecessor, or
+                # unreadable junk): steal it and retry — a concurrent
+                # stealer's unlink racing ours is harmless
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            return
+        raise CheckpointBusyError(
+            f"{self.checkpoint}: could not acquire {self.path}"
+        )
+
+    def _owner_pid(self) -> Optional[int]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return int(json.load(handle).get("pid"))
+        except (OSError, ValueError, TypeError):
+            return None
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        with _HELD_LOCKS_GUARD:
+            _HELD_LOCKS.discard(self.checkpoint)
+
+    def __enter__(self) -> "CheckpointLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
 def _params_key(trials: int, seed: int, scale: float,
                 config: Optional[RSkipConfig],
                 kind_weights: Tuple = DEFAULT_KIND_WEIGHTS) -> str:
@@ -325,45 +437,53 @@ def run_campaigns(
                 shard_dir, task.key.replace("|", "_") + ".jsonl"
             )
 
-    chunks: Dict[str, dict] = {}
-    if checkpoint is not None and resume:
-        chunks = _load_checkpoint(checkpoint, params_key)
-    pending = [t for t in tasks if t.key not in chunks]
+    # a checkpointed campaign owns its file exclusively: a second campaign
+    # pointed at the same path errors cleanly instead of interleaving
+    lock = CheckpointLock(checkpoint).acquire() if checkpoint is not None else None
+    try:
+        chunks: Dict[str, dict] = {}
+        if checkpoint is not None and resume:
+            chunks = _load_checkpoint(checkpoint, params_key)
+        pending = [t for t in tasks if t.key not in chunks]
 
-    total_trials = trials * len(groups)
-    done_trials = total_trials - sum(t.count for t in pending)
-    started = time.monotonic()
-    if progress is not None:
-        progress(done_trials, total_trials, 0.0)
-
-    def record(key: str, chunk_dict: dict, count: int) -> None:
-        nonlocal done_trials
-        chunks[key] = chunk_dict
-        done_trials += count
-        if checkpoint is not None:
-            _save_checkpoint(checkpoint, params_key, chunks)
+        total_trials = trials * len(groups)
+        done_trials = total_trials - sum(t.count for t in pending)
+        started = time.monotonic()
         if progress is not None:
-            progress(done_trials, total_trials, time.monotonic() - started)
+            progress(done_trials, total_trials, 0.0)
 
-    def task_args(task: CampaignTask):
-        args = (
-            task,
-            workload_by_name[task.workload],
-            config,
-            profiles_by_key[(task.workload, task.scheme)],
-            inp,
-            kind_weights,
+        def record(key: str, chunk_dict: dict, count: int) -> None:
+            nonlocal done_trials
+            chunks[key] = chunk_dict
+            done_trials += count
+            if checkpoint is not None:
+                _save_checkpoint(checkpoint, params_key, chunks)
+            if progress is not None:
+                progress(done_trials, total_trials, time.monotonic() - started)
+
+        def task_args(task: CampaignTask):
+            args = (
+                task,
+                workload_by_name[task.workload],
+                config,
+                profiles_by_key[(task.workload, task.scheme)],
+                inp,
+                kind_weights,
+            )
+            if trace_out is not None:
+                args += (shard_paths[task.key], trace_run)
+            return args
+
+        map_chunks(
+            _run_chunk,
+            [task_args(task) for task in pending],
+            jobs=jobs,
+            on_result=lambda i, result: record(result[0], result[1],
+                                               pending[i].count),
         )
-        if trace_out is not None:
-            args += (shard_paths[task.key], trace_run)
-        return args
-
-    map_chunks(
-        _run_chunk,
-        [task_args(task) for task in pending],
-        jobs=jobs,
-        on_result=lambda i, result: record(result[0], result[1], pending[i].count),
-    )
+    finally:
+        if lock is not None:
+            lock.release()
 
     # assemble per-campaign results by merging chunks in trial order, so
     # the outcome of a parallel run never depends on completion order

@@ -109,6 +109,17 @@ class SectionStore:
             # payload (hand edit, layout drift): treat as a miss
             return None
 
+    def sweep(self, max_age: Optional[float] = None) -> int:
+        """Remove orphaned ``*.tmp`` files (crashed writers) from the
+        store directory; same discipline as the pipeline cache.  Returns
+        the number of files removed."""
+        from ..pipeline.cache import STALE_TMP_AGE, sweep_stale_tmp
+
+        return sweep_stale_tmp(
+            self.directory,
+            STALE_TMP_AGE if max_age is None else max_age,
+        )
+
     def put(self, key: str, result: CampaignResult, section: Section) -> None:
         data = result.to_dict()
         # region_steps is campaign-wide state, not section state: zero it

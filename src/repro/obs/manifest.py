@@ -56,8 +56,12 @@ class RunManifest:
 
     def write(self, trace_path: str) -> str:
         """Write next to *trace_path*; returns the manifest path."""
+        return self.write_to(manifest_path_for(trace_path))
+
+    def write_to(self, path: str) -> str:
+        """Write the manifest to an exact *path* (the serve daemon stamps
+        one per request under its audit directory, no trace sibling)."""
         self.written_at = time.time()
-        path = manifest_path_for(trace_path)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(asdict(self), handle, indent=2, sort_keys=True)
             handle.write("\n")

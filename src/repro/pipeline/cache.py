@@ -34,6 +34,8 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from collections import OrderedDict
 from typing import Optional
 
@@ -89,7 +91,16 @@ class ArtifactCache:
     returned dict as immutable (the protect layer only reads it).  Disk
     entries are validated against :data:`CACHE_VERSION` and their own
     embedded key; anything corrupt or stale is treated as a miss and
-    removed.
+    removed — but only if the file on disk is still the one that was
+    read (:meth:`_drop_stale`), so a concurrent writer's fresh entry is
+    never deleted.
+
+    The memory tier and the hit/miss counters are guarded by a lock:
+    the serve daemon's executor threads share one instance, and both
+    ``OrderedDict`` reordering and ``+=`` on the counters are unsafe
+    under concurrent mutation.  Disk I/O happens outside the lock —
+    the disk protocol is already safe under contention (atomic
+    write-then-rename, identity-checked removal).
     """
 
     def __init__(self, capacity: int = 64, directory: Optional[str] = None):
@@ -98,40 +109,47 @@ class ArtifactCache:
         self.capacity = capacity
         self.directory = directory
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.puts = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
 
     def get(self, key: str) -> Optional[dict]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
         if self.directory is not None:
             entry = self._read_disk(key)
             if entry is not None:
-                self.hits += 1
-                self.disk_hits += 1
-                self._remember(key, entry)
+                with self._lock:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    self._remember(key, entry)
                 return entry
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def put(self, key: str, payload: dict) -> None:
-        self.puts += 1
-        self._remember(key, payload)
+        with self._lock:
+            self.puts += 1
+            self._remember(key, payload)
         if self.directory is not None:
             self._write_disk(key, payload)
 
     def _remember(self, key: str, payload: dict) -> None:
+        # caller holds self._lock
         self._entries[key] = payload
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -140,28 +158,29 @@ class ArtifactCache:
     def _read_disk(self, key: str) -> Optional[dict]:
         path = self._path(key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
+            handle = open(path, "r", encoding="utf-8")
         except OSError:
             return None
-        except ValueError:
-            # unparseable entry (truncated write, manual edit): drop it so
-            # it cannot shadow a future valid write-then-crash sequence
+        with handle:
             try:
-                os.remove(path)
+                stamp = os.fstat(handle.fileno())
             except OSError:
-                pass
-            return None
+                stamp = None
+            try:
+                record = json.load(handle)
+            except ValueError:
+                # unparseable entry (truncated write, manual edit): drop it
+                # so it cannot shadow a future valid write-then-crash
+                # sequence
+                _drop_stale(path, stamp)
+                return None
         if (
             not isinstance(record, dict)
             or record.get("version") != CACHE_VERSION
             or record.get("key") != key
             or not isinstance(record.get("payload"), dict)
         ):
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            _drop_stale(path, stamp)
             return None
         return record["payload"]
 
@@ -186,37 +205,101 @@ class ArtifactCache:
             pass
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self._entries), "capacity": self.capacity,
-            "hits": self.hits, "misses": self.misses,
-            "disk_hits": self.disk_hits, "puts": self.puts,
-            "directory": self.directory,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "disk_hits": self.disk_hits, "puts": self.puts,
+                "directory": self.directory,
+            }
+
+
+def _drop_stale(path: str, stamp) -> None:
+    """Remove *path* only if it is still the file identified by *stamp*.
+
+    Closes the TOCTOU between reading a corrupt/stale entry and removing
+    it: a concurrent ``_write_disk`` may ``os.replace`` a fresh, valid
+    entry onto *path* in between, and an unconditional ``os.remove``
+    would delete that writer's work.  The fstat taken while the bad file
+    was open identifies exactly what was read; if the directory entry now
+    points at a different inode, the bad file is already gone and there
+    is nothing to clean up.
+    """
+    try:
+        current = os.stat(path)
+    except OSError:
+        return
+    if stamp is not None and (
+        (current.st_ino, current.st_dev) != (stamp.st_ino, stamp.st_dev)
+    ):
+        return
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+#: Tmp files older than this are presumed orphaned by a crashed writer.
+STALE_TMP_AGE = 3600.0
+
+
+def sweep_stale_tmp(directory: str, max_age: float = STALE_TMP_AGE) -> int:
+    """Remove ``*.tmp`` files under *directory* older than *max_age* seconds.
+
+    ``_write_disk`` (and the campaign checkpoint/section-store writers,
+    which follow the same ``mkstemp`` + ``os.replace`` discipline) leak
+    their temp file when the process dies between the two calls.  The
+    age gate keeps a live writer's in-flight tmp safe; anything older
+    has no owner.  Returns the number of files removed.
+    """
+    removed = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    cutoff = time.time() - max_age
+    for name in names:
+        if not name.endswith(".tmp"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if os.stat(path).st_mtime >= cutoff:
+                continue
+            os.remove(path)
+            removed += 1
+        except OSError:
+            continue  # vanished or unreadable: someone else's problem
+    return removed
 
 
 _cache: Optional[ArtifactCache] = None
 _cache_signature = None
+_cache_init_lock = threading.Lock()
 
 
 def get_cache() -> Optional[ArtifactCache]:
     """The process-wide cache per the current environment, or ``None``
     when caching is off.  Re-reads the environment on every call so tests
     and subprocesses can flip ``REPRO_CACHE`` without import-order games;
-    the instance is rebuilt only when the configuration changes."""
+    the instance is rebuilt only when the configuration changes.  Init is
+    locked so concurrent first callers (serve executor threads) agree on
+    one instance instead of each building and publishing their own."""
     global _cache, _cache_signature
     mode = cache_mode()
     if mode == MODE_OFF:
         return None
     directory = cache_dir() if mode == MODE_DISK else None
     signature = (mode, directory)
-    if _cache is None or _cache_signature != signature:
-        _cache = ArtifactCache(directory=directory)
-        _cache_signature = signature
-    return _cache
+    with _cache_init_lock:
+        if _cache is None or _cache_signature != signature:
+            _cache = ArtifactCache(directory=directory)
+            _cache_signature = signature
+        return _cache
 
 
 def reset_cache() -> None:
     """Drop the process-wide cache (tests; campaign workers at startup)."""
     global _cache, _cache_signature
-    _cache = None
-    _cache_signature = None
+    with _cache_init_lock:
+        _cache = None
+        _cache_signature = None

@@ -30,6 +30,7 @@ path:
 """
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
@@ -194,19 +195,26 @@ def protect(
 #: (fingerprint × descriptor), so entries can never go stale.
 _TEMPLATE_CAP = 32
 _templates: "OrderedDict[str, Module]" = OrderedDict()
+#: serve executor threads hit the template LRU concurrently; parsing
+#: happens outside the lock (a duplicate parse is wasted work, not a
+#: correctness problem — first insert wins), reorder/evict inside it
+_templates_lock = threading.Lock()
 
 
 def _module_from_text(text: str, key: Optional[str]) -> Module:
     if key is None:
         return parse_module(text)
-    template = _templates.get(key)
+    with _templates_lock:
+        template = _templates.get(key)
+        if template is not None:
+            _templates.move_to_end(key)
     if template is None:
-        template = parse_module(text)
-        _templates[key] = template
-        while len(_templates) > _TEMPLATE_CAP:
-            _templates.popitem(last=False)
-    else:
-        _templates.move_to_end(key)
+        parsed = parse_module(text)
+        with _templates_lock:
+            template = _templates.setdefault(key, parsed)
+            _templates.move_to_end(key)
+            while len(_templates) > _TEMPLATE_CAP:
+                _templates.popitem(last=False)
     return template.clone()
 
 

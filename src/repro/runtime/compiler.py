@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -622,13 +623,21 @@ class CompiledModule:
         self.global_names = list(module.globals)
         self.gindex = {n: i for i, n in enumerate(self.global_names)}
         self._functions: Dict[str, Optional[CompiledFunction]] = {}
+        # compiled modules are shared across serve executor threads; the
+        # lazy per-function compile must publish exactly one closure set
+        self._compile_lock = threading.Lock()
 
     def function(self, name: str) -> Optional[CompiledFunction]:
         cf = self._functions.get(name)
         if cf is None and name not in self._functions:
-            func = self.module.functions.get(name)
-            cf = _compile_function(self, func) if func is not None else None
-            self._functions[name] = cf
+            with self._compile_lock:
+                if name not in self._functions:
+                    func = self.module.functions.get(name)
+                    self._functions[name] = (
+                        _compile_function(self, func)
+                        if func is not None else None
+                    )
+            cf = self._functions[name]
         return cf
 
 
@@ -639,6 +648,9 @@ def module_fingerprint(module: Module) -> str:
 
 _CACHE_CAP = 32
 _COMPILE_CACHE: "OrderedDict[str, CompiledModule]" = OrderedDict()
+#: LRU reorder + eviction are multi-step OrderedDict mutations; the serve
+#: daemon's executor threads compile concurrently, so they must serialize.
+_COMPILE_CACHE_LOCK = threading.Lock()
 
 
 def compile_module(module: Module) -> CompiledModule:
@@ -650,19 +662,21 @@ def compile_module(module: Module) -> CompiledModule:
     hold their own, next to their prepared-program caches.
     """
     fp = module_fingerprint(module)
-    cm = _COMPILE_CACHE.get(fp)
-    if cm is None:
-        cm = CompiledModule(module, fp)
-        _COMPILE_CACHE[fp] = cm
-        while len(_COMPILE_CACHE) > _CACHE_CAP:
-            _COMPILE_CACHE.popitem(last=False)
-    else:
-        _COMPILE_CACHE.move_to_end(fp)
+    with _COMPILE_CACHE_LOCK:
+        cm = _COMPILE_CACHE.get(fp)
+        if cm is None:
+            cm = CompiledModule(module, fp)
+            _COMPILE_CACHE[fp] = cm
+            while len(_COMPILE_CACHE) > _CACHE_CAP:
+                _COMPILE_CACHE.popitem(last=False)
+        else:
+            _COMPILE_CACHE.move_to_end(fp)
     return cm
 
 
 def clear_compile_cache() -> None:
-    _COMPILE_CACHE.clear()
+    with _COMPILE_CACHE_LOCK:
+        _COMPILE_CACHE.clear()
 
 
 # -- the executor -------------------------------------------------------------

@@ -1,0 +1,28 @@
+"""Protection-as-a-service: the ``repro serve`` asyncio HTTP/JSON daemon.
+
+Stdlib-only (asyncio streams + a minimal HTTP/1.1 layer).  The module
+split mirrors the concurrency story:
+
+* :mod:`.http` — wire protocol (parse/encode, no app logic);
+* :mod:`.dedup` — single-flight dedup of identical in-flight requests;
+* :mod:`.quotas` — bounded admission with per-client caps (429s);
+* :mod:`.jobs` — background campaign jobs with checkpoint crash-recovery;
+* :mod:`.app` — routing and the loop/executor seam tying them together.
+"""
+from .app import ServeApp, run_serve
+from .dedup import DedupRegistry
+from .http import HttpError, Request, Response
+from .jobs import JobManager, JobRecord
+from .quotas import AdmissionGate
+
+__all__ = [
+    "ServeApp",
+    "run_serve",
+    "DedupRegistry",
+    "HttpError",
+    "Request",
+    "Response",
+    "JobManager",
+    "JobRecord",
+    "AdmissionGate",
+]

@@ -1,0 +1,70 @@
+"""Single-flight request deduplication.
+
+Concurrent identical requests — same module fingerprint × scheme
+descriptor hash, the exact key the artifact cache uses — should cost one
+computation, not N.  The artifact cache alone cannot give that: it only
+memoizes *completed* work, so two requests arriving together both miss
+and both compute.  :class:`DedupRegistry` closes the window by parking
+followers on the leader's future.
+
+All bookkeeping runs on the event loop thread (the computations
+themselves run in the executor), so there is no locking here — the
+registry's dict is only ever touched between awaits.
+"""
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Tuple
+
+
+class DedupRegistry:
+    """In-flight computations keyed by artifact key; followers await the
+    leader instead of recomputing."""
+
+    def __init__(self):
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.computations = 0
+        self.dedup_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    async def run(self, key: str,
+                  factory: Callable[[], Awaitable]) -> Tuple[object, bool]:
+        """Return ``(result, deduped)``: the leader runs *factory* and
+        publishes; followers arriving while it is in flight share the
+        outcome (including a raised exception) and report ``deduped``."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.dedup_hits += 1
+            return await asyncio.shield(existing), True
+
+        self.computations += 1
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result = await factory()
+        except BaseException as exc:
+            if isinstance(exc, asyncio.CancelledError):
+                future.cancel()
+            elif not future.done():
+                future.set_exception(exc)
+            # a future nobody awaits must not warn at GC time
+            if future.cancelled() or future.exception() is not None:
+                try:
+                    future.exception()
+                except asyncio.CancelledError:
+                    pass
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(key, None)
+
+    def stats(self) -> dict:
+        return {
+            "inflight": len(self._inflight),
+            "computations": self.computations,
+            "dedup_hits": self.dedup_hits,
+        }

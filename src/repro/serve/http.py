@@ -1,0 +1,170 @@
+"""Minimal HTTP/1.1 layer over asyncio streams — stdlib only.
+
+The serve daemon speaks just enough HTTP for JSON request/response
+traffic: request line + headers + ``Content-Length`` bodies in,
+``application/json`` responses out, keep-alive by default (HTTP/1.1
+semantics, ``Connection: close`` honored).  No chunked encoding, no
+multipart, no TLS — this is an internal protection service, not a web
+framework, and the whole parser fits in one screen so it can be audited
+like the rest of the repo.
+
+Errors raise :class:`HttpError`, which the app layer renders as a JSON
+error body with the right status code.
+"""
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request head (request line + headers) ceiling
+MAX_HEAD_BYTES = 32 * 1024
+#: request body ceiling — IR modules are text, megabytes are plenty
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol- or request-level failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+@dataclass
+class Request:
+    """One parsed request; header names are lower-cased."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    client: str = ""
+
+    def json(self) -> dict:
+        """The body decoded as a JSON object (400/422 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise HttpError(422, "request body must be a JSON object")
+        return data
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """A JSON response; ``payload`` is serialized by :func:`encode_response`."""
+
+    status: int = 200
+    payload: Optional[dict] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       client: str = "") -> Optional[Request]:
+    """Read one request off *reader*; ``None`` on clean EOF between
+    requests (the peer closed a keep-alive connection)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(431, f"request head exceeds {MAX_HEAD_BYTES} bytes")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = dict(parse_qsl(split.query))
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {raw_length!r}")
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed mid-body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return Request(method=method, path=path, query=query, headers=headers,
+                   body=body, client=client)
+
+
+def encode_response(response: Response, *, keep_alive: bool = True) -> bytes:
+    """Serialize *response* (JSON payload) to wire bytes."""
+    body = b""
+    if response.payload is not None:
+        body = (json.dumps(response.payload, sort_keys=True) + "\n").encode(
+            "utf-8")
+    phrase = STATUS_PHRASES.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {phrase}"]
+    headers = {
+        "content-type": "application/json",
+        "content-length": str(len(body)),
+        "connection": "keep-alive" if keep_alive else "close",
+    }
+    headers.update({k.lower(): str(v) for k, v in response.headers.items()})
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def error_response(exc: HttpError) -> Response:
+    return Response(
+        status=exc.status,
+        payload={"error": exc.message, "status": exc.status},
+        headers=dict(exc.headers),
+    )

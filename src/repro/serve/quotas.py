@@ -1,0 +1,66 @@
+"""Admission control: a bounded global in-flight budget plus per-client
+caps.
+
+The daemon's executor has a fixed number of worker threads; admitting
+more work than they can drain just grows an unbounded queue and turns
+every request slow.  The gate counts work *admitted but not yet
+finished* (queued + executing) and rejects beyond a budget with a
+``429`` + ``Retry-After`` so well-behaved clients back off.  Per-client
+caps stop one client from saturating the pool for everyone — the
+"millions of users" framing makes fairness part of correctness.
+
+Like the dedup registry, this is event-loop-confined state: admit and
+release both run on the loop thread, so plain counters suffice.
+"""
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class AdmissionGate:
+    """Try-acquire semantics: ``admit`` returns ``None`` when admitted or
+    a retry-after hint (seconds) when the request must be turned away."""
+
+    def __init__(self, max_inflight: int = 32, per_client: int = 8):
+        if max_inflight < 1 or per_client < 1:
+            raise ValueError("admission bounds must be >= 1")
+        self.max_inflight = max_inflight
+        self.per_client = per_client
+        self.inflight = 0
+        self._by_client: Dict[str, int] = {}
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.rejected_per_client = 0
+
+    def admit(self, client: str) -> Optional[float]:
+        if self.inflight >= self.max_inflight:
+            self.rejected_total += 1
+            # saturation clears at executor pace; suggest a fuller backoff
+            return 2.0
+        if self._by_client.get(client, 0) >= self.per_client:
+            self.rejected_total += 1
+            self.rejected_per_client += 1
+            return 1.0
+        self.inflight += 1
+        self._by_client[client] = self._by_client.get(client, 0) + 1
+        self.admitted_total += 1
+        return None
+
+    def release(self, client: str) -> None:
+        self.inflight = max(0, self.inflight - 1)
+        remaining = self._by_client.get(client, 0) - 1
+        if remaining > 0:
+            self._by_client[client] = remaining
+        else:
+            self._by_client.pop(client, None)
+
+    def stats(self) -> dict:
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "per_client": self.per_client,
+            "clients": len(self._by_client),
+            "admitted": self.admitted_total,
+            "rejected": self.rejected_total,
+            "rejected_per_client": self.rejected_per_client,
+        }

@@ -1,0 +1,314 @@
+"""Concurrency regressions of the artifact cache: the `_read_disk` TOCTOU,
+thread-safety of the memory tier / counters / singletons, and the stale
+tmp-file sweep.  The serve daemon runs requests on executor threads over
+one shared cache, which is what turned these latent races into bugs."""
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro.pipeline.cache as cache_mod
+from repro.pipeline import ArtifactCache, get_cache, reset_cache
+from repro.pipeline.cache import _drop_stale, sweep_stale_tmp
+
+
+class TestReadDiskToctou:
+    """A corrupt read must never delete a concurrent writer's fresh entry."""
+
+    def test_drop_stale_removes_the_file_it_read(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{corrupt")
+        with open(path, "r", encoding="utf-8") as handle:
+            stamp = os.fstat(handle.fileno())
+        _drop_stale(path, stamp)
+        assert not os.path.exists(path)
+
+    def test_drop_stale_keeps_a_replaced_file(self, tmp_path):
+        path = str(tmp_path / "entry.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{corrupt")
+        with open(path, "r", encoding="utf-8") as handle:
+            stamp = os.fstat(handle.fileno())
+        # a concurrent _write_disk lands a new inode on the same path
+        replacement = str(tmp_path / "fresh.json")
+        with open(replacement, "w", encoding="utf-8") as handle:
+            handle.write('{"valid": true}')
+        os.replace(replacement, path)
+        _drop_stale(path, stamp)
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle) == {"valid": True}
+
+    def test_corrupt_read_interleaved_with_write(self, tmp_path, monkeypatch):
+        """Interleave the exact race: reader opens a corrupt entry, the
+        writer `os.replace`s a valid one onto the path, then the reader's
+        cleanup runs.  Pre-fix (unconditional `os.remove(path)`) the valid
+        entry is deleted; post-fix it survives."""
+        directory = str(tmp_path)
+        cache = ArtifactCache(directory=directory)
+        key = "deadbeef" * 8
+        path = cache._path(key)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{truncated write")
+
+        writer = ArtifactCache(directory=directory)
+        real_load = json.load
+
+        def racing_load(handle, *args, **kwargs):
+            # the write lands after the reader opened the corrupt file but
+            # before it decides to remove anything; the reader's open fd
+            # still sees the corrupt bytes
+            writer._write_disk(key, {"v": 1})
+            return real_load(handle, *args, **kwargs)
+
+        monkeypatch.setattr(cache_mod.json, "load", racing_load)
+        assert cache.get(key) is None  # the corrupt entry is a miss
+        monkeypatch.undo()
+
+        survivor = ArtifactCache(directory=directory)
+        assert survivor.get(key) == {"v": 1}
+
+
+class TestThreadSafety:
+    """The serve executor threads hammer one cache; nothing may corrupt."""
+
+    N_THREADS = 6
+    N_OPS = 4000
+
+    def test_memory_tier_and_counters_under_contention(self):
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            cache = ArtifactCache(capacity=8)
+            errors = []
+
+            def worker(tid):
+                try:
+                    for i in range(self.N_OPS):
+                        key = f"k{(i * 13 + tid * 7) % 24}"
+                        if cache.get(key) is None:
+                            cache.put(key, {"v": key})
+                except BaseException as exc:  # pragma: no cover - pre-fix only
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(tid,))
+                for tid in range(self.N_THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+
+        assert not errors
+        stats = cache.stats()
+        # every get is exactly one hit or one miss; lost updates on the
+        # unlocked counters make this sum come up short
+        assert stats["hits"] + stats["misses"] == self.N_THREADS * self.N_OPS
+        assert len(cache) <= 8
+
+    def test_hit_reorder_races_with_eviction(self):
+        """Deterministic schedule of the LRU race: a reader's hit-path
+        ``move_to_end`` overlaps a writer's eviction.  The instrumented
+        dict only *widens* the existing window between the membership
+        check and the reorder — pre-fix (no lock) the evicted key raises
+        ``KeyError`` out of ``get``; the lock serializes the two."""
+        from collections import OrderedDict
+
+        class RacyDict(OrderedDict):
+            def move_to_end(self, key, last=True):
+                time.sleep(0.0005)
+                super().move_to_end(key, last)
+
+        cache = ArtifactCache(capacity=2)
+        cache._entries = RacyDict()
+        cache.put("a", {"v": 1})
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(300):
+                    if cache.get("a") is None:
+                        cache.put("a", {"v": 1})
+            except BaseException as exc:  # pragma: no cover - pre-fix only
+                errors.append(exc)
+
+        def writer():
+            try:
+                for i in range(300):
+                    cache.put(f"w{i}", {})
+            except BaseException as exc:  # pragma: no cover - pre-fix only
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader),
+                   threading.Thread(target=writer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_get_cache_singleton_is_shared_across_threads(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "mem")
+        reset_cache()
+        seen = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            seen.append(get_cache())
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reset_cache()
+        assert len({id(c) for c in seen}) == 1
+
+    def test_compile_cache_under_contention(self):
+        from repro.runtime.compiler import (
+            clear_compile_cache,
+            compile_module,
+            module_fingerprint,
+        )
+        from repro.workloads import get_workload
+
+        module = get_workload("blackscholes").build()
+        fp = module_fingerprint(module)
+        clear_compile_cache()
+        errors = []
+        results = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    results.append(compile_module(module))
+            except BaseException as exc:  # pragma: no cover - pre-fix only
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert all(cm.fingerprint == fp for cm in results)
+        # one compiled module shared, not one per thread
+        assert len({id(cm) for cm in results}) == 1
+
+
+class TestTmpSweep:
+    def test_sweeps_only_old_tmp_files(self, tmp_path):
+        directory = str(tmp_path)
+        old = os.path.join(directory, ".abc123-x1.tmp")
+        fresh = os.path.join(directory, ".def456-x2.tmp")
+        entry = os.path.join(directory, "0" * 64 + ".json")
+        for path in (old, fresh, entry):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("{}")
+        stale_at = time.time() - 7200
+        os.utime(old, (stale_at, stale_at))
+        assert sweep_stale_tmp(directory, max_age=3600) == 1
+        assert not os.path.exists(old)
+        assert os.path.exists(fresh)
+        assert os.path.exists(entry)
+
+    def test_missing_directory_is_zero(self, tmp_path):
+        assert sweep_stale_tmp(str(tmp_path / "nope")) == 0
+
+    def test_section_store_sweep(self, tmp_path):
+        from repro.eval import SectionStore
+
+        directory = str(tmp_path / "campaigns")
+        os.makedirs(directory)
+        orphan = os.path.join(directory, ".campaign-zz.tmp")
+        with open(orphan, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        stale_at = time.time() - 7200
+        os.utime(orphan, (stale_at, stale_at))
+        store = SectionStore(directory=directory)
+        assert store.sweep(max_age=3600) == 1
+        assert not os.path.exists(orphan)
+
+
+def _spawn_dead_pid() -> int:
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestCheckpointLock:
+    def test_second_acquire_errors_cleanly(self, tmp_path):
+        from repro.eval import CheckpointBusyError, CheckpointLock
+
+        path = str(tmp_path / "cp.json")
+        with CheckpointLock(path):
+            with pytest.raises(CheckpointBusyError):
+                CheckpointLock(path).acquire()
+        # released: a fresh acquire succeeds and cleans up after itself
+        CheckpointLock(path).acquire().release()
+        assert not os.path.exists(path + ".lock")
+
+    def test_live_foreign_pid_is_respected(self, tmp_path):
+        from repro.eval import CheckpointBusyError, CheckpointLock
+
+        path = str(tmp_path / "cp.json")
+        # pid 1 is always alive and never us
+        with open(path + ".lock", "w", encoding="utf-8") as handle:
+            json.dump({"pid": 1, "at": time.time()}, handle)
+        with pytest.raises(CheckpointBusyError):
+            CheckpointLock(path).acquire()
+
+    def test_dead_pid_lock_is_stolen(self, tmp_path):
+        from repro.eval import CheckpointLock
+
+        path = str(tmp_path / "cp.json")
+        with open(path + ".lock", "w", encoding="utf-8") as handle:
+            json.dump({"pid": _spawn_dead_pid(), "at": time.time()}, handle)
+        lock = CheckpointLock(path).acquire()
+        lock.release()
+        assert not os.path.exists(path + ".lock")
+
+    def test_own_crashed_incarnation_is_stolen(self, tmp_path):
+        """A SIGKILLed serve daemon can leave a lock naming a pid the OS
+        then reuses for the restarted daemon: our own pid without an
+        in-process registration must read as stale, not as busy."""
+        from repro.eval import CheckpointLock
+
+        path = str(tmp_path / "cp.json")
+        with open(path + ".lock", "w", encoding="utf-8") as handle:
+            json.dump({"pid": os.getpid(), "at": time.time()}, handle)
+        lock = CheckpointLock(path).acquire()
+        lock.release()
+
+    def test_concurrent_campaigns_on_one_checkpoint(self, tmp_path):
+        from repro.eval import CheckpointBusyError, CheckpointLock
+        from repro.eval.campaign_engine import run_campaigns
+        from repro.workloads import get_workload
+
+        conv1d = get_workload("conv1d")
+        path = str(tmp_path / "cp.json")
+        holder = CheckpointLock(path).acquire()
+        try:
+            with pytest.raises(CheckpointBusyError):
+                run_campaigns(
+                    [(conv1d, "UNSAFE", None)], trials=4, scale=0.35,
+                    checkpoint=path, chunk=2,
+                )
+        finally:
+            holder.release()
+        # with the lock gone the same campaign runs and releases cleanly
+        run_campaigns(
+            [(conv1d, "UNSAFE", None)], trials=4, scale=0.35,
+            checkpoint=path, chunk=2,
+        )
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".lock")

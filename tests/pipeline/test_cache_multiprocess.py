@@ -1,0 +1,98 @@
+"""Cross-process artifact-cache contention: N writer processes and M
+reader processes hammer one shared cache directory.  The disk protocol
+(atomic write-then-rename, identity-checked corrupt-entry removal) must
+keep every read either a valid entry or a clean miss — never a torn
+record, never a deleted fresh write, never a crash.
+
+Marked slow: real process fan-out, a few seconds of wall clock.
+"""
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.pipeline import ArtifactCache
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+N_WRITERS = 3
+N_READERS = 3
+ITERS = 1500
+KEYS = 12
+
+WORKER = r"""
+import random, sys
+from repro.pipeline.cache import ArtifactCache
+
+role, seed, directory, iters, nkeys = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4]),
+    int(sys.argv[5]))
+rng = random.Random(seed)
+cache = ArtifactCache(capacity=4, directory=directory)
+keys = ["k%02d" % i for i in range(nkeys)]
+for i in range(iters):
+    key = rng.choice(keys)
+    if role == "writer":
+        cache._write_disk(key, {"key": key, "writer": seed, "i": i})
+        if i % 97 == 0:
+            # a crashed writer's torn entry: valid JSON prefix, truncated
+            with open(cache._path(key), "w", encoding="utf-8") as handle:
+                handle.write('{"version": 1, "key": "%s", "payl' % key)
+    else:
+        payload = cache._read_disk(key)
+        if payload is not None and payload["key"] != key:
+            raise SystemExit("cross-key payload for %s: %r" % (key, payload))
+print("worker-ok")
+"""
+
+
+@pytest.mark.slow
+def test_cross_process_cache_contention(tmp_path):
+    directory = str(tmp_path / "shared-cache")
+    os.makedirs(directory)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+
+    procs = []
+    for seed in range(N_WRITERS):
+        procs.append(("writer", subprocess.Popen(
+            [sys.executable, "-c", WORKER, "writer", str(seed), directory,
+             str(ITERS), str(KEYS)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)))
+    for seed in range(N_READERS):
+        procs.append(("reader", subprocess.Popen(
+            [sys.executable, "-c", WORKER, "reader", str(100 + seed),
+             directory, str(ITERS), str(KEYS)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)))
+
+    failures = []
+    for role, proc in procs:
+        out, err = proc.communicate(timeout=300)
+        if proc.returncode != 0 or "worker-ok" not in out:
+            failures.append(f"{role} rc={proc.returncode}\n{out}\n{err}")
+    assert not failures, "\n---\n".join(failures)
+
+    # afterwards: no temp litter beyond live writes, and every surviving
+    # entry parses as a complete record for its own key (readers may have
+    # legitimately removed torn entries; valid ones must never be lost to
+    # the TOCTOU this suite pins)
+    survivor = ArtifactCache(directory=directory)
+    valid = 0
+    for name in os.listdir(directory):
+        assert not name.endswith(".tmp"), f"leaked temp file {name}"
+        key = name[:-len(".json")]
+        with open(os.path.join(directory, name), encoding="utf-8") as handle:
+            try:
+                record = json.load(handle)
+            except ValueError:
+                continue  # a final torn write nobody read; removed on read
+        assert record["key"] == key
+        assert record["payload"]["key"] == key
+        assert survivor._read_disk(key) == record["payload"]
+        valid += 1
+    assert valid > 0

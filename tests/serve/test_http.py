@@ -1,0 +1,137 @@
+"""Unit tests of the minimal HTTP/1.1 layer (no sockets: fed readers)."""
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    HttpError,
+    Response,
+    encode_response,
+    error_response,
+    read_request,
+)
+
+
+def _read(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, client="10.0.0.9")
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = _read(b"GET /campaigns?limit=3&x=%20y HTTP/1.1\r\n"
+                        b"Host: h\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/campaigns"
+        assert request.query == {"limit": "3", "x": " y"}
+        assert request.headers["host"] == "h"
+        assert request.client == "10.0.0.9"
+        assert request.keep_alive
+
+    def test_post_with_json_body(self):
+        body = json.dumps({"workload": "lud"}).encode()
+        request = _read(b"POST /protect HTTP/1.1\r\n"
+                        b"Content-Length: " + str(len(body)).encode() +
+                        b"\r\nConnection: close\r\n\r\n" + body)
+        assert request.method == "POST"
+        assert request.json() == {"workload": "lud"}
+        assert not request.keep_alive
+
+    def test_clean_eof_is_none(self):
+        assert _read(b"") is None
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _read(b"GET /healthz HTT")
+        assert exc.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _read(b"POST /run HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        assert exc.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _read(b"NONSENSE\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        for bad in (b"abc", b"-5"):
+            with pytest.raises(HttpError) as exc:
+                _read(b"POST /run HTTP/1.1\r\nContent-Length: " + bad +
+                      b"\r\n\r\n")
+            assert exc.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as exc:
+            _read(b"POST /run HTTP/1.1\r\nContent-Length: " +
+                  str(MAX_BODY_BYTES + 1).encode() + b"\r\n\r\n")
+        assert exc.value.status == 413
+
+    def test_chunked_encoding_is_rejected(self):
+        with pytest.raises(HttpError) as exc:
+            _read(b"POST /run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_oversized_head_is_431(self):
+        filler = b"X-Pad: " + b"a" * 40_000 + b"\r\n"
+        with pytest.raises(HttpError) as exc:
+            _read(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+        assert exc.value.status == 431
+
+    def test_body_json_errors(self):
+        body = b"{nope"
+        request = _read(b"POST /run HTTP/1.1\r\nContent-Length: " +
+                        str(len(body)).encode() + b"\r\n\r\n" + body)
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 400
+        body = b"[1, 2]"
+        request = _read(b"POST /run HTTP/1.1\r\nContent-Length: " +
+                        str(len(body)).encode() + b"\r\n\r\n" + body)
+        with pytest.raises(HttpError) as exc:
+            request.json()
+        assert exc.value.status == 422
+
+    def test_empty_body_is_empty_object(self):
+        request = _read(b"POST /run HTTP/1.1\r\n\r\n")
+        assert request.json() == {}
+
+
+class TestEncodeResponse:
+    def test_roundtrip(self):
+        raw = encode_response(Response(payload={"b": 2, "a": 1}))
+        head, body = raw.split(b"\r\n\r\n", 1)
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        headers = dict(line.split(": ", 1) for line in lines[1:])
+        assert headers["content-type"] == "application/json"
+        assert int(headers["content-length"]) == len(body)
+        assert headers["connection"] == "keep-alive"
+        assert json.loads(body) == {"a": 1, "b": 2}
+        # sorted keys: responses are byte-deterministic
+        assert body == b'{"a": 1, "b": 2}\n'
+
+    def test_connection_close_and_custom_headers(self):
+        raw = encode_response(
+            Response(status=429, payload={"error": "slow down"},
+                     headers={"Retry-After": "2"}),
+            keep_alive=False)
+        head = raw.split(b"\r\n\r\n", 1)[0].decode()
+        assert head.startswith("HTTP/1.1 429 Too Many Requests")
+        assert "connection: close" in head
+        assert "retry-after: 2" in head
+
+    def test_error_response_carries_status_and_headers(self):
+        response = error_response(
+            HttpError(404, "no such endpoint", {"x-extra": "1"}))
+        assert response.status == 404
+        assert response.payload["error"] == "no such endpoint"
+        assert response.headers == {"x-extra": "1"}
