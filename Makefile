@@ -14,7 +14,11 @@ test:
 ## mixed-kinds smoke (SEU + skip/cf kinds in one campaign, again
 ## serial==batch) + an incremental smoke (warm stratified re-campaign
 ## must fully reuse the section store and tally byte-identically) +
-## artifact-cache byte-identity over the checked-in corpus (off vs on).
+## artifact-cache byte-identity over the checked-in corpus (off vs on)
+## + the protocol smoke (O3 over every registered scheme's declared
+## contract, workload-backed; predictor-vs-fixed CKPT campaigns
+## byte-identical serial vs batch with the fault-likelihood signal
+## demonstrably steering checkpoint frequency).
 ## Full exhaustive skip sweeps stay behind pytest's `slow` marker.
 verify: test
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro difftest --oracle o4 --n 60
@@ -26,6 +30,7 @@ verify: test
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -c "import tempfile, os; from repro.eval import SectionStore, run_campaign_stratified; from repro.workloads import get_workload; w = get_workload('lud'); tmp = tempfile.mkdtemp(prefix='repro-inc-'); store = SectionStore(directory=os.path.join(tmp, 'campaigns')); cold = run_campaign_stratified(w, 'UNSAFE', 30, seed=1, scale=0.35, store=store, reuse=True); warm = run_campaign_stratified(w, 'UNSAFE', 30, seed=1, scale=0.35, store=store, reuse=True); assert cold.reused_sections == 0 and warm.injected_trials == 0, 'store reuse pattern wrong'; assert warm.result.to_dict() == cold.result.to_dict(), 'incremental diverged from scratch'; print('incremental smoke: 30 trials, %d sections fully reused, tallies byte-identical' % warm.reused_sections)"
 	PYTHONPATH=$(PYTHONPATH) REPRO_CACHE=off $(PYTHON) -m repro cache-check
 	PYTHONPATH=$(PYTHONPATH) REPRO_CACHE=on $(PYTHON) -m repro cache-check
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) scripts/protocol_smoke.py
 	$(MAKE) serve-smoke
 
 ## serve daemon smoke: two concurrent identical /protect requests must

@@ -1,0 +1,147 @@
+"""Scheme-family cost/coverage points: SWIFT-R vs REPLAY<n> vs CKPT<i>.
+
+The protocol layer (DESIGN.md §12) puts temporal-redundancy families
+next to the paper's spatial ones in every study; this bench pins their
+relative positions.  For each scheme it measures the normalized
+execution time on clean runs (the Figure-7 protocol) and the SFI
+protection/detection split (the Figure-9 protocol), and for CKPT<i> it
+reads out the realized commit-interval trace to show the RSkip
+predictor's fault-likelihood signal actually steering checkpoint
+frequency (CKPT8 vs the pinned CKPT8FIX).
+
+``python benchmarks/bench_schemes.py`` writes ``BENCH_schemes.json`` at
+the repository root; the pytest wrapper asserts the cheap structural
+facts (REPLAY sampling is cheaper than full replay, the signal commits
+at least as often as the fixed interval, every scheme beats UNSAFE on
+the SFI campaign).
+
+Scale knobs: ``REPRO_BENCH_TRIALS`` (default 40),
+``REPRO_BENCH_SFI_SCALE`` (default 0.35).
+"""
+from __future__ import annotations
+
+import json
+import os
+
+from repro.eval import Harness, prepare
+from repro.eval.fault_campaign import run_campaign
+from repro.runtime import Interpreter
+from repro.workloads import get_workload
+
+TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "40"))
+SFI_SCALE = float(os.environ.get("REPRO_BENCH_SFI_SCALE", "0.35"))
+PERF_SCALE = 0.45
+SEED = 3
+
+#: The scheme axis under comparison: the paper's recovery baseline and
+#: both protocol families at a sampled, a dense and a pinned point.
+SCHEMES = ("SWIFT-R", "REPLAY1", "REPLAY2", "REPLAY4", "CKPT4", "CKPT8",
+           "CKPT8FIX")
+
+WORKLOADS = ("conv1d", "blackscholes")
+
+
+def measure_tradeoff(trials=TRIALS):
+    """Per-scheme normalized time (clean runs) + SFI outcome split."""
+    rows = {}
+    for scheme in SCHEMES:
+        times, protected, detected = [], [], []
+        for wname in WORKLOADS:
+            workload = get_workload(wname)
+            harness = Harness(workload, scale=PERF_SCALE, seed=SEED,
+                              timing=True)
+            inp = workload.test_inputs(1, seed=SEED, scale=PERF_SCALE)[0]
+            records = harness.run_all([scheme], inp)
+            times.append(records[scheme].normalized(records["UNSAFE"])["time"])
+            campaign = run_campaign(workload, scheme, trials, seed=SEED,
+                                    scale=SFI_SCALE)
+            protected.append(campaign.protection_rate)
+            detected.append(campaign.detected / campaign.trials)
+        rows[scheme] = {
+            "norm_time": round(sum(times) / len(times), 3),
+            "protection_rate": round(sum(protected) / len(protected), 4),
+            "detected_rate": round(sum(detected) / len(detected), 4),
+        }
+    # the unprotected floor, for the coverage assertions
+    floors = []
+    for wname in WORKLOADS:
+        campaign = run_campaign(get_workload(wname), "UNSAFE", trials,
+                                seed=SEED, scale=SFI_SCALE)
+        floors.append(campaign.protection_rate)
+    rows["UNSAFE"] = {
+        "norm_time": 1.0,
+        "protection_rate": round(sum(floors) / len(floors), 4),
+        "detected_rate": 0.0,
+    }
+    return rows
+
+
+def measure_ckpt_intervals(workload_name="blackscholes", scale=PERF_SCALE):
+    """Commit-interval traces: signal-driven CKPT8 vs pinned CKPT8FIX on
+    a workload whose value stream provokes the extend-test signal."""
+    workload = get_workload(workload_name)
+    inp = workload.test_inputs(1, seed=SEED, scale=scale)[0]
+    rows = {}
+    for scheme in ("CKPT8", "CKPT8FIX"):
+        prepared = prepare(workload, scheme)
+        memory = workload.fresh_memory(prepared.module, inp)
+        interp = Interpreter(prepared.module, memory=memory)
+        interp.register_intrinsics(prepared.intrinsics)
+        interp.run(prepared.main, inp.args)
+        intervals = prepared.application.runtime.commit_intervals()
+        rows[scheme] = {
+            "checkpoints": len(intervals),
+            "mean_interval": round(sum(intervals) / len(intervals), 2)
+            if intervals else 0.0,
+            "min_interval": min(intervals) if intervals else 0,
+            "max_interval": max(intervals) if intervals else 0,
+        }
+    return rows
+
+
+def write_baseline(path="BENCH_schemes.json"):
+    tradeoff = measure_tradeoff()
+    intervals = measure_ckpt_intervals()
+    payload = {
+        "benchmark": "scheme-family cost/coverage points",
+        "unit": "normalized time (clean run) / SFI outcome rates",
+        "trials": TRIALS,
+        "workloads": list(WORKLOADS),
+        "schemes": tradeoff,
+        "ckpt_intervals": {"workload": "blackscholes", "rows": intervals},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_scheme_families(benchmark=None):
+    tradeoff = measure_tradeoff()
+    intervals = measure_ckpt_intervals()
+    print("\n== scheme families: normalized time / protection / detection ==")
+    for scheme, row in tradeoff.items():
+        print(f"  {scheme:<9} time {row['norm_time']:.2f}x  "
+              f"protected {row['protection_rate']:.1%}  "
+              f"detected {row['detected_rate']:.1%}")
+    print("== CKPT commit intervals (blackscholes) ==")
+    for scheme, row in intervals.items():
+        print(f"  {scheme:<9} {row['checkpoints']} checkpoints, mean "
+              f"interval {row['mean_interval']}")
+    # sampling fewer windows must not cost more than replaying all
+    assert tradeoff["REPLAY4"]["norm_time"] <= tradeoff["REPLAY1"]["norm_time"] + 0.02
+    # every protection scheme clears the unprotected floor on
+    # protected-or-detected coverage
+    floor = tradeoff["UNSAFE"]["protection_rate"]
+    for scheme in SCHEMES:
+        row = tradeoff[scheme]
+        assert row["protection_rate"] + row["detected_rate"] >= floor - 0.05, scheme
+    # the fault-likelihood signal can only shorten intervals, never
+    # stretch them: at least as many checkpoints as the pinned run
+    assert (intervals["CKPT8"]["checkpoints"]
+            >= intervals["CKPT8FIX"]["checkpoints"])
+    assert intervals["CKPT8FIX"]["max_interval"] <= 8
+
+
+if __name__ == "__main__":
+    data = write_baseline()
+    print(json.dumps(data, indent=2))

@@ -1,0 +1,101 @@
+"""CI smoke for the scheme-protocol layer (make verify).
+
+Two contracts, end to end:
+
+1. **O3 over every registered scheme.**  For each descriptor whose
+   protocol declares a verifiable contract, run the fault-metamorphic
+   oracle workload-backed (the generated corpus has no protocol target
+   loops) and require zero violations with the checker demonstrably
+   live (flips landed).
+2. **Predictor-vs-fixed CKPT campaigns, serial == batch.**  The
+   signal-driven CKPT8 and the pinned CKPT8FIX must both tally
+   byte-identically between the reference engine and the batch engine,
+   and their clean-run commit traces must differ on a
+   prediction-hostile workload — the fault-likelihood signal measurably
+   steering checkpoint frequency.
+"""
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.difftest.oracles import check_fault_metamorphic, o3_descriptor
+from repro.eval.fault_campaign import run_campaign
+from repro.eval.schemes import prepare
+from repro.pipeline.registry import all_descriptors
+from repro.runtime import Interpreter
+from repro.runtime.backend import set_default_backend
+from repro.workloads import get_workload
+
+
+def o3_all_schemes(workload_name="conv1d", samples=4, seed=1):
+    workload = get_workload(workload_name)
+    inp = workload.test_inputs(1, seed=3, scale=0.35)[0]
+    checked = landed = 0
+    for descriptor in all_descriptors():
+        if descriptor.protocol.contract == "none":
+            continue
+        if descriptor.needs_training:
+            continue  # AR<k> is statically coverage-checked per commit
+        module = workload.build()
+        stats = {}
+        violations = check_fault_metamorphic(
+            module, descriptor.name, samples=samples, seed=seed, stats=stats,
+            main_args=inp.args,
+            memory_factory=lambda m=module: workload.fresh_memory(m, inp),
+        )
+        assert not violations, (
+            f"{descriptor.name}: O3 violations: {violations}")
+        checked += 1
+        landed += stats.get("landed", 0)
+        verified = o3_descriptor(descriptor.name).name
+        suffix = f" (as {verified})" if verified != descriptor.name else ""
+        print(f"  O3 {descriptor.name}{suffix}: contract "
+              f"{descriptor.protocol.contract}, {stats.get('landed', 0)} "
+              f"flips landed, 0 violations")
+    assert checked >= 4, f"only {checked} schemes had a verifiable contract"
+    assert landed > 0, "no flips landed anywhere: the checker is dead"
+
+
+def ckpt_campaign_identity(workload_name="conv1d", trials=30, seed=1):
+    workload = get_workload(workload_name)
+    for scheme in ("CKPT8", "CKPT8FIX"):
+        serial = run_campaign(workload, scheme, trials, seed=seed, scale=0.35)
+        set_default_backend("batch")
+        try:
+            batch = run_campaign(workload, scheme, trials, seed=seed,
+                                 scale=0.35)
+        finally:
+            set_default_backend(None)
+        assert batch.to_dict() == serial.to_dict(), (
+            f"{scheme}: batch campaign diverged from ref")
+        print(f"  {scheme}: {trials} trials, serial == batch byte-identical")
+
+
+def ckpt_signal_responds(workload_name="blackscholes", scale=0.4):
+    workload = get_workload(workload_name)
+    inp = workload.test_inputs(1, seed=3, scale=scale)[0]
+    commits = {}
+    for scheme in ("CKPT8", "CKPT8FIX"):
+        prepared = prepare(workload, scheme)
+        memory = workload.fresh_memory(prepared.module, inp)
+        interp = Interpreter(prepared.module, memory=memory)
+        interp.register_intrinsics(prepared.intrinsics)
+        interp.run(prepared.main, inp.args)
+        commits[scheme] = len(prepared.application.runtime.commit_intervals())
+    assert commits["CKPT8"] > commits["CKPT8FIX"], (
+        f"fault-likelihood signal did not shorten intervals: {commits}")
+    print(f"  signal response on {workload_name}: CKPT8 {commits['CKPT8']} "
+          f"checkpoints vs CKPT8FIX {commits['CKPT8FIX']}")
+
+
+def main():
+    print("protocol smoke: O3 over all registered schemes")
+    o3_all_schemes()
+    print("protocol smoke: predictor-vs-fixed CKPT campaigns")
+    ckpt_campaign_identity()
+    ckpt_signal_responds()
+    print("protocol smoke: ok")
+
+
+if __name__ == "__main__":
+    main()

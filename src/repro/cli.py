@@ -293,10 +293,16 @@ def cmd_schemes(args) -> None:
         print(f"  {desc.name:<8} {desc.description}")
         print(f"           aliases: {aliases or '-'}")
         print(f"           passes:  {passes}")
+        print(f"           protocol: {desc.protocol.describe()}")
+        if desc.protocol.verify_as:
+            print(f"           verified-as: {desc.protocol.verify_as} "
+                  f"(full-coverage contract point)")
         if params:
             print(f"           params:  {', '.join(params)}")
     print(f"  (AR<k> is accepted for any integer k; 'rskip' resolves to "
-          f"the config's acceptable range)")
+          f"the config's acceptable range; REPLAY<n> replays every n-th "
+          f"window and CKPT<i>[FIX] checkpoints every i elements, FIX "
+          f"pinning the interval against the fault-likelihood signal)")
     print(f"  cleanup pipeline before protection when optimizing: "
           f"{' -> '.join(CLEANUP_PIPELINE)}")
 

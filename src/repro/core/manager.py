@@ -155,6 +155,61 @@ class LoopProfile:
     default_tp: Optional[float] = None
 
 
+#: Linear extrapolation + relative compare per observation fed to the
+#: fault-likelihood signal (same shape as the predictor's validate step).
+SIGNAL_CHARGE = (
+    Opcode.FMUL, Opcode.FSUB, Opcode.FSUB, Opcode.FABS, Opcode.FMUL,
+    Opcode.FCMP,
+)
+
+
+class FaultLikelihoodSignal:
+    """The RSkip predictor repurposed as a fault-likelihood monitor.
+
+    Each observed loop output is checked against the same linear
+    extrapolation the skip predictors use (``v̂ = 2·v[-1] − v[-2]``,
+    Figure 5's extend test).  A value outside the acceptable range of its
+    prediction is a *misprediction* — on a smooth stream that is exactly
+    the symptom a soft fault leaves, so the misprediction rate over a
+    sliding window acts as the fault-likelihood signal that steers the
+    CKPT<i> commit interval (Aupy/Robert/Vivien: prediction-driven
+    checkpointing).  Fully deterministic in the observed value stream.
+    """
+
+    def __init__(self, tolerance: float = 0.2, window: int = 16):
+        self.tolerance = tolerance
+        self.window = window
+        self._history: Deque[float] = deque(maxlen=2)
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self.observations = 0
+        self.mispredictions = 0
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._outcomes.clear()
+        self.observations = 0
+        self.mispredictions = 0
+
+    def charge(self) -> Tuple[Opcode, ...]:
+        return SIGNAL_CHARGE
+
+    def observe(self, value: float) -> None:
+        self.observations += 1
+        if len(self._history) == 2:
+            predicted = 2.0 * self._history[1] - self._history[0]
+            miss = not within_range(value, predicted, self.tolerance)
+            self._outcomes.append(miss)
+            if miss:
+                self.mispredictions += 1
+        self._history.append(value)
+
+    def likelihood(self) -> float:
+        """Misprediction rate over the recent window, in [0, 1]."""
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+
 class LoopRuntime:
     """Predictors + run-time management for one transformed loop."""
 

@@ -186,29 +186,35 @@ def _emit_drain(
     ctx: Const,
     recompute_call: "RecomputeSpec",
     done_label: str,
+    ns: str = "rskip",
 ) -> str:
-    """Emit the re-computation drain loop; returns its entry label."""
+    """Emit the re-computation drain loop; returns its entry label.
+
+    *ns* is the intrinsic namespace: the RSkip transform drains through
+    ``rskip.*`` handlers, the protocol transforms (REPLAY/CKPT) reuse the
+    identical drain shape against their own ``proto.*`` runtime.
+    """
     head = func.add_block(f"{prefix}.head")
     body = func.add_block(f"{prefix}.rc")
     second = func.add_block(f"{prefix}.second")
     commit = func.add_block(f"{prefix}.commit")
 
     pi = func.new_reg(I64, f"{prefix}.i")
-    head.append(Instr(Opcode.INTRIN, dest=pi, args=(ctx,), callee="rskip.fetch"))
+    head.append(Instr(Opcode.INTRIN, dest=pi, args=(ctx,), callee=f"{ns}.fetch"))
     cond = func.new_reg(I64, f"{prefix}.more")
     head.append(Instr(Opcode.ICMP, dest=cond, args=(pi, Const(0, I64)), pred=CmpPred.GE))
     head.append(Instr(Opcode.CBR, args=(cond,), labels=(body.label, done_label)))
 
     call_instr, fx = recompute_call.emit(func, body, pi, ctx)
     need2 = func.new_reg(I64, f"{prefix}.need2")
-    body.append(Instr(Opcode.INTRIN, dest=need2, args=(ctx,), callee="rskip.need2"))
+    body.append(Instr(Opcode.INTRIN, dest=need2, args=(ctx,), callee=f"{ns}.need2"))
     body.append(Instr(Opcode.CBR, args=(need2,), labels=(second.label, commit.label)))
 
     _, _ = recompute_call.emit(func, second, pi, ctx, resolve2=True, fx=fx)
     second.append(Instr(Opcode.BR, labels=(commit.label,)))
 
     pa = func.new_reg(PTR, f"{prefix}.addr")
-    commit.append(Instr(Opcode.INTRIN, dest=pa, args=(ctx,), callee="rskip.addr"))
+    commit.append(Instr(Opcode.INTRIN, dest=pa, args=(ctx,), callee=f"{ns}.addr"))
     commit.append(Instr(Opcode.STORE, args=(fx, pa)))
     commit.append(Instr(Opcode.BR, labels=(head.label,)))
     return head.label
@@ -222,6 +228,7 @@ class RecomputeSpec:
     live_ins: Tuple[Reg, ...] = ()
     rmw: bool = False
     n_args: int = 0  # call mode: number of buffered arguments
+    ns: str = "rskip"  # intrinsic namespace (see _emit_drain)
 
     def emit(
         self,
@@ -241,7 +248,7 @@ class RecomputeSpec:
                         Opcode.INTRIN,
                         dest=ak,
                         args=(ctx, Const(k, I64)),
-                        callee="rskip.arg",
+                        callee=f"{self.ns}.arg",
                     )
                 )
                 args.append(ak)
@@ -251,7 +258,7 @@ class RecomputeSpec:
             if self.rmw:
                 porig = func.new_reg(F64, "rcorig")
                 block.append(
-                    Instr(Opcode.INTRIN, dest=porig, args=(ctx,), callee="rskip.orig")
+                    Instr(Opcode.INTRIN, dest=porig, args=(ctx,), callee=f"{self.ns}.orig")
                 )
                 args.append(porig)
         rv = func.new_reg(F64, "rcv")
@@ -259,7 +266,7 @@ class RecomputeSpec:
         block.append(call)
         if fx is None:
             fx = func.new_reg(F64, "rcfx")
-        name = "rskip.resolve2" if resolve2 else "rskip.resolve"
+        name = f"{self.ns}.resolve2" if resolve2 else f"{self.ns}.resolve"
         block.append(Instr(Opcode.INTRIN, dest=fx, args=(ctx, rv), callee=name))
         return call, fx
 

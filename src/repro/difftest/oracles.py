@@ -41,11 +41,20 @@ Six machine-checked properties:
   skip analogue of O3's shadow-flip property).
 
 * **O3 — fault metamorphic property** (:func:`check_fault_metamorphic`):
-  a single bit flip injected into the *redundant* (shadow) stream of a
-  protected program is invisible or detected, never silent corruption —
-  SWIFT must end detected-or-golden (and detect at least once across the
-  sample), SWIFT-R and RSkip must vote the flip away and stay exactly
-  golden.  A static coverage check additionally requires that protection
+  a single bit flip injected into the *redundant* stream of a protected
+  program is invisible or detected, never silent corruption.  Both the
+  flip scope and the pass/fail contract are derived from the scheme's
+  registered :class:`~repro.pipeline.registry.Protocol` — no scheme
+  names appear in the contract logic.  ``flip_scope="shadow"`` targets
+  live ``.sw1``/``.sw2`` registers (space/prediction redundancy);
+  ``flip_scope="region"`` targets live float registers inside
+  protocol-region frames (time redundancy: the outlined bodies both the
+  main path and the re-execution run).  ``contract="detected-or-masked"``
+  (recovery ``abort``) admits detections; ``contract="exactly-masked"``
+  (recovery ``vote``/``rollback``) requires every run to stay exactly
+  golden, aborts included.  ``verify_as`` redirects sampled family
+  members (REPLAY<n>) to their full-coverage point.  For shadow-scope
+  schemes a static coverage check additionally requires that protection
   actually replicated computation and inserted sync-point checkers, which
   catches "no-op" protection passes that dynamic shadow flips cannot see.
 
@@ -59,6 +68,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.config import RSkipConfig
+from ..core.protocol import PROTOCOL_REGION_ATTR
 from ..ir.function import Function
 from ..ir.instructions import CmpPred, Opcode
 from ..ir.module import Module
@@ -66,7 +77,13 @@ from ..ir.parser import ParseError, parse_module
 from ..ir.printer import format_module
 from ..ir.values import Reg
 from ..ir.verifier import VerificationError, verify_module
-from ..pipeline.passes import CLEANUP_PASSES, PROTECTIONS
+from ..pipeline.passes import (
+    CLEANUP_PASSES,
+    PROTECTION_APPLIERS,
+    PROTECTIONS,
+    ProtectContext,
+)
+from ..pipeline.registry import get_scheme
 from ..runtime.backend import make_executor
 from ..runtime.errors import (
     CoreDumpError,
@@ -133,19 +150,23 @@ def execute_module(
     max_steps: int = DEFAULT_MAX_STEPS,
     entry: str = "main",
     backend: Optional[str] = None,
+    args: Sequence = (),
+    memory_factory: Optional[Callable[[], Memory]] = None,
 ) -> ExecResult:
     """Run *entry* fault-free and capture the full observable state.
 
     Clean runs dispatch through :func:`repro.runtime.make_executor`, so
     the process-wide default backend applies unless *backend* pins one.
+    *args*/*memory_factory* let callers check workload modules whose
+    entry takes arguments and reads initialized input memory.
     """
-    memory = Memory()
+    memory = memory_factory() if memory_factory is not None else Memory()
     executor = make_executor(
         module, memory=memory, max_steps=max_steps, backend=backend)
     executor.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
     if intrinsics:
         executor.register_intrinsics(intrinsics)
-    result = executor.run(entry, [])
+    result = executor.run(entry, list(args))
     final = {
         name: memory.read_global(name, gvar.size)
         for name, gvar in module.globals.items()
@@ -749,6 +770,35 @@ def _is_shadow(name: str) -> bool:
     return name.endswith(_SHADOW_SUFFIXES)
 
 
+def o3_descriptor(protection: str):
+    """The descriptor whose protocol O3 verifies for *protection* (any
+    registry spelling), following ``verify_as`` redirection to the
+    scheme's full-coverage point — REPLAY<n> re-executes only every
+    *n*-th window, so its every-flip contract is provable at REPLAY1."""
+    descriptor = get_scheme(protection)
+    verify_as = descriptor.protocol.verify_as
+    if verify_as and verify_as != descriptor.name:
+        descriptor = get_scheme(verify_as)
+    return descriptor
+
+
+def _apply_o3(module: Module, descriptor) -> tuple:
+    """Protect *module* in place per *descriptor* and return
+    ``(intrinsics, application)`` — the application handle (when the
+    family has one) lets the oracle reset stateful runtimes per trial."""
+    pass_name = next(
+        (p for p in descriptor.passes if p in PROTECTION_APPLIERS), None)
+    if pass_name is None:
+        raise ValueError(
+            f"scheme {descriptor.name!r} has no protection pass to verify")
+    config = None
+    if descriptor.is_rskip:
+        config = RSkipConfig().with_ar(descriptor.acceptable_range)
+    ctx = ProtectContext(config=config, descriptor=descriptor)
+    PROTECTION_APPLIERS[pass_name](module, ctx)
+    return dict(ctx.intrinsics), ctx.application
+
+
 class ShadowFlipInterpreter(Interpreter):
     """Interpreter whose injection targets only shadow-stream registers.
 
@@ -769,6 +819,41 @@ class ShadowFlipInterpreter(Interpreter):
             for frame in self._frames
             for name in sorted(frame)
             if _is_shadow(name)
+        ]
+        if not slots:
+            return
+        frame, name = slots[int(plan.pick * len(slots)) % len(slots)]
+        frame[name] = flip_value(frame[name], plan.bit)
+        self.flipped = name
+
+
+class RegionFlipInterpreter(Interpreter):
+    """Interpreter whose injection targets the time-redundant stream:
+    live *float* registers inside protocol-region frames (the outlined
+    loop bodies that both the main path and the re-execution run).
+
+    Float slots only — integer registers carry loop counters and
+    addresses, which re-execution validates indirectly (a corrupted
+    address yields a corrupted value) but whose direct upset models
+    machine faults outside the value-recompute contract.  With no region
+    frame live at the chosen step the flip is absorbed (architectural
+    masking), mirroring :class:`ShadowFlipInterpreter`.
+    """
+
+    def __init__(self, *args, region_funcs=(), **kwargs):
+        super().__init__(*args, **kwargs)
+        self.flipped: Optional[str] = None
+        self._region_funcs = frozenset(region_funcs)
+
+    def _inject(self, regs):
+        plan = self.fault_plan
+        self._fault_pending = False
+        slots = [
+            (frame, name)
+            for frame, owner in zip(self._frames, self._frame_funcs)
+            if owner in self._region_funcs
+            for name in sorted(frame)
+            if isinstance(frame[name], float)
         ]
         if not slots:
             return
@@ -839,37 +924,67 @@ def check_fault_metamorphic(
     prepared: Optional[Module] = None,
     intrinsics: Optional[dict] = None,
     stats: Optional[dict] = None,
+    main_args: Sequence = (),
+    memory_factory: Optional[Callable[[], Memory]] = None,
 ) -> List[Violation]:
-    """Inject *samples* shadow-stream bit flips into a protected copy.
+    """Inject *samples* redundant-stream bit flips into a protected copy.
 
-    Contract per scheme: ``swift`` runs end detected-or-golden;
-    ``swift-r``/``rskip`` runs are always exactly golden (the vote
-    absorbs the flip).  Any silent divergence is a violation.  *stats*,
-    if given, accumulates ``landed``/``detected`` counts so a caller can
-    assert checker liveness across many programs — per-program zero
-    detections is legitimate (a flip in a stale or already-validated
-    shadow is architecturally masked), an entire campaign without one
-    is not.
+    The flip scope and the pass/fail contract both come from the
+    scheme's registered :class:`~repro.pipeline.registry.Protocol`
+    (via :func:`o3_descriptor`, which follows ``verify_as``
+    redirection) — contract logic never names a scheme:
+
+    * ``contract="detected-or-masked"`` (recovery ``abort``): every run
+      ends detected or exactly golden;
+    * ``contract="exactly-masked"`` (recovery ``vote``/``rollback``):
+      every run is exactly golden, and an abort is itself a violation;
+    * ``contract="none"``: vacuous, the check returns no violations.
+
+    *stats*, if given, accumulates ``landed``/``detected`` counts so a
+    caller can assert checker liveness across many programs —
+    per-program zero detections is legitimate (a flip in a stale or
+    already-validated slot is architecturally masked), an entire
+    campaign without one is not.  The *prepared*/*intrinsics* override
+    is for stateless schemes only (it carries no runtime handle to
+    reset between trials).  *main_args*/*memory_factory* admit workload
+    modules (argument-taking ``main``, initialized input memory) — the
+    generated difftest corpus has no protocol target loops, so the
+    protocol families' region contract is exercised on workloads.
     """
-    if protection not in PROTECTIONS:
-        raise ValueError(f"unknown protection {protection!r}")
+    descriptor = o3_descriptor(protection)
+    proto = descriptor.protocol
+    if proto.contract == "none" or proto.flip_scope == "none":
+        return []
     violations: List[Violation] = []
+    application = None
     if prepared is None:
         prepared = module_copy(module)
-        intrinsics = PROTECTIONS[protection](prepared)
+        intrinsics, application = _apply_o3(prepared, descriptor)
     intrinsics = intrinsics or {}
 
-    violations.extend(check_protection_coverage(prepared, protection))
+    if proto.flip_scope == "shadow":
+        violations.extend(check_protection_coverage(prepared, protection))
 
     region = _protected_region(prepared)
+    runtime = getattr(application, "runtime", None)
+    if runtime is not None:
+        runtime.reset()
     try:
-        golden = execute_module(prepared, intrinsics)
+        golden = execute_module(
+            prepared, intrinsics, args=main_args,
+            memory_factory=memory_factory)
     except TrapError as exc:
         violations.append(Violation(
             "o3", f"fault-free {protection} run trapped: {exc}", (protection,)))
         return violations
     region_steps = golden.steps
     max_steps = max(golden.steps * 8, 100_000)
+
+    region_funcs = tuple(sorted(
+        name for name, fn in prepared.functions.items()
+        if fn.attrs.get(PROTOCOL_REGION_ATTR)))
+    exact = proto.contract == "exactly-masked"
+    scope = proto.flip_scope
 
     rng = random.Random(stable_seed(seed, "difftest.o3", protection, prepared.name))
     detections = 0
@@ -879,27 +994,36 @@ def check_fault_metamorphic(
             step=rng.randrange(region_steps), kind="value",
             bit=rng.randrange(64), pick=rng.random(),
         )
-        memory = Memory()
-        interp = ShadowFlipInterpreter(
-            prepared, memory=memory, max_steps=max_steps,
-            fault_plan=plan, fault_region=region,
-        )
+        memory = memory_factory() if memory_factory is not None else Memory()
+        if scope == "region":
+            interp = RegionFlipInterpreter(
+                prepared, memory=memory, max_steps=max_steps,
+                fault_plan=plan, fault_region=region,
+                region_funcs=region_funcs,
+            )
+        else:
+            interp = ShadowFlipInterpreter(
+                prepared, memory=memory, max_steps=max_steps,
+                fault_plan=plan, fault_region=region,
+            )
         interp.register_intrinsics({DETECT_INTRINSIC: _swift_detect})
         interp.register_intrinsics(intrinsics)
+        if runtime is not None:
+            runtime.reset()
         try:
-            result = interp.run("main", [])
+            result = interp.run("main", list(main_args))
         except FaultDetectedError:
             detections += 1
-            if protection != "swift":
+            if exact:
                 violations.append(Violation(
-                    "o3", f"{protection} aborted on a shadow flip it should "
-                          f"have voted away (trial {trial}, "
+                    "o3", f"{protection} aborted on a {scope} flip it "
+                          f"should have masked (trial {trial}, "
                           f"%{interp.flipped}, bit {plan.bit})",
                     (protection,)))
             continue
         except TrapError as exc:
             violations.append(Violation(
-                "o3", f"shadow flip crashed the {protection} run "
+                "o3", f"{scope} flip crashed the {protection} run "
                       f"(trial {trial}, %{interp.flipped}): {exc}",
                 (protection,)))
             continue
@@ -912,7 +1036,7 @@ def check_fault_metamorphic(
         diff = _state_diff(golden, observed)
         if diff is not None:
             violations.append(Violation(
-                "o3", f"silent corruption under {protection} from a shadow "
+                "o3", f"silent corruption under {protection} from a {scope} "
                       f"flip (trial {trial}, %{interp.flipped}, "
                       f"bit {plan.bit}): {diff}",
                 (protection,)))

@@ -38,7 +38,7 @@ from ..core.manager import LoopProfile
 from ..obs.events import install_sink, remove_sink
 from ..obs.manifest import RunManifest, run_id_for
 from ..obs.sinks import JsonlSink, merge_traces
-from ..pipeline.registry import canonical_scheme
+from ..pipeline.registry import canonical_scheme, get_scheme
 from ..runtime.faults import DEFAULT_KIND_WEIGHTS
 from ..workloads.base import Workload, WorkloadInput
 from .fault_campaign import (
@@ -56,8 +56,12 @@ DEFAULT_CHUNK = 25
 
 #: Version 2 added the fault-kind mix to the checkpoint params key: a v1
 #: checkpoint written under default SEU weights would otherwise resume
-#: silently against an adversarial kind mix.
-CHECKPOINT_VERSION = 2
+#: silently against an adversarial kind mix.  Version 3 added per-scheme
+#: descriptor hashes (which cover the scheme's detection/recovery
+#: protocol): a checkpoint written before a protocol definition changed
+#: must not silently resume after it — the stored tallies were produced
+#: under different detection/recovery semantics.
+CHECKPOINT_VERSION = 3
 
 ProgressFn = Callable[[int, int, float], None]
 
@@ -276,10 +280,17 @@ class CheckpointLock:
 
 def _params_key(trials: int, seed: int, scale: float,
                 config: Optional[RSkipConfig],
-                kind_weights: Tuple = DEFAULT_KIND_WEIGHTS) -> str:
+                kind_weights: Tuple = DEFAULT_KIND_WEIGHTS,
+                scheme_hashes: Optional[Dict[str, str]] = None) -> str:
+    """The checkpoint compatibility key.  *scheme_hashes* maps each
+    campaigned canonical scheme to its descriptor hash, which covers the
+    scheme's :class:`~repro.pipeline.registry.Protocol` — so a resume
+    across a protocol-definition change is rejected instead of merging
+    tallies produced under different detection/recovery semantics."""
     return json.dumps(
         {"trials": trials, "seed": seed, "scale": scale, "config": repr(config),
-         "kind_weights": [[str(k), float(w)] for k, w in kind_weights]},
+         "kind_weights": [[str(k), float(w)] for k, w in kind_weights],
+         "schemes": dict(sorted((scheme_hashes or {}).items()))},
         sort_keys=True,
     )
 
@@ -293,14 +304,15 @@ def _load_checkpoint(path: str, params_key: str) -> Dict[str, dict]:
         raise ValueError(
             f"{path}: unsupported checkpoint version "
             f"{data.get('version')!r} (expected {CHECKPOINT_VERSION}; "
-            f"version 1 predates kind-weight keying — delete the file "
-            f"and re-run)"
+            f"older versions predate kind-weight/protocol keying — delete "
+            f"the file and re-run)"
         )
     if data.get("params") != params_key:
         raise ValueError(
             f"{path}: checkpoint was written by a campaign with different "
             f"parameters; delete it or match "
-            f"trials/seed/scale/config/kind_weights"
+            f"trials/seed/scale/config/kind_weights and the campaigned "
+            f"schemes' descriptor (protocol) definitions"
         )
     return dict(data.get("chunks", {}))
 
@@ -420,7 +432,12 @@ def run_campaigns(
                 seed, scale,
             ))
 
-    params_key = _params_key(trials, seed, scale, config, kind_weights)
+    scheme_hashes = {
+        scheme: get_scheme(scheme, config).descriptor_hash()
+        for _, scheme, _ in groups
+    }
+    params_key = _params_key(
+        trials, seed, scale, config, kind_weights, scheme_hashes)
     trace_run = ""
     shard_paths: Dict[str, str] = {}
     if trace_out is not None:

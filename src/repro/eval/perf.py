@@ -5,13 +5,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import RSkipConfig
-from ..pipeline.registry import PAPER_SCHEMES, UNSAFE
+from ..pipeline.registry import default_campaign_schemes
 from ..workloads.base import Workload
 from .harness import Harness
 
-#: Figure 7's x-axis: every paper scheme except the UNSAFE baseline
-#: (which is always run as the normalization reference).
-PERF_SCHEMES = tuple(s for s in PAPER_SCHEMES if s != UNSAFE)
+#: Figure 7's x-axis: every registered campaign scheme except the UNSAFE
+#: baseline (always run as the normalization reference).  Enumerated
+#: from the scheme registry — paper schemes first, then every other
+#: registered family's default point — so a newly registered scheme
+#: appears in the performance study without touching this module.
+PERF_SCHEMES = tuple(default_campaign_schemes(include_unsafe=False))
 
 
 @dataclass

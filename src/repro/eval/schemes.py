@@ -17,8 +17,7 @@ from typing import Dict, List, Optional
 
 from ..analysis.patterns import TargetLoop, detect_target_loops
 from ..core.config import RSkipConfig
-from ..core.manager import LoopProfile, RskipRuntime
-from ..core.rskip import RskipApplication
+from ..core.manager import LoopProfile
 from ..ir.module import Module
 from ..pipeline import protect
 from ..pipeline.registry import (  # noqa: F401  (re-exported vocabulary)
@@ -40,7 +39,9 @@ class PreparedProgram:
     scheme: str
     module: Module
     intrinsics: Dict[str, object] = field(default_factory=dict)
-    application: Optional[RskipApplication] = None
+    #: RskipApplication or ProtocolApplication (duck-typed: both expose
+    #: .layouts / .runtime / .intrinsics())
+    application: Optional[object] = None
     #: target loops of the *original* module (same block labels — builds
     #: are deterministic), for fault-region construction
     original_targets: List[TargetLoop] = field(default_factory=list)
@@ -51,7 +52,9 @@ class PreparedProgram:
     region_override: Optional[Region] = None
 
     @property
-    def runtime(self) -> Optional[RskipRuntime]:
+    def runtime(self) -> Optional[object]:
+        """The scheme's stateful runtime (RskipRuntime/ProtocolRuntime:
+        reset(), total_stats(), stats_delta(), intrinsics())."""
         return self.application.runtime if self.application else None
 
 

@@ -15,13 +15,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..difftest.generator import generate
 from ..difftest.oracles import SKIPMAP_SITE_CAP, SkipMap, skip_site_map
+from ..pipeline.registry import protection_pass_schemes
 
 #: Outcome columns, fixed order, matching ``SkipSite.outcome`` labels.
 OUTCOMES = ("detected", "masked", "sdc", "trap", "hang")
 
-#: None means the unprotected program; labels follow the pass registry.
-DEFAULT_SCHEMES: Tuple[Optional[str], ...] = (
-    None, "swift", "swift-r", "rskip")
+#: None means the unprotected program; the axis is enumerated from the
+#: scheme registry (one entry per protection pass family), so a newly
+#: registered family shows up here without touching this module.
+DEFAULT_SCHEMES: Tuple[Optional[str], ...] = protection_pass_schemes()
 
 
 @dataclass

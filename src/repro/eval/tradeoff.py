@@ -2,7 +2,10 @@
 
 Combines the performance study (normalized execution time) with the
 reliability study (protection rate) into the paper's protection-vs-
-slowdown tradeoff table.
+slowdown tradeoff table.  The default scheme axis is
+:data:`~repro.eval.perf.PERF_SCHEMES`, which is enumerated from the
+scheme registry — registered protocol families (REPLAY<n>, CKPT<i>)
+get tradeoff rows with no per-scheme code here.
 """
 from __future__ import annotations
 

@@ -26,16 +26,21 @@ from .passes import (
 )
 from .protect import ProtectedProgram, protect, selfcheck_byte_identity
 from .registry import (
+    CKPT_DEFAULT,
     DRIVER_SCHEMES,
     PAPER_SCHEMES,
+    REPLAY_DEFAULT,
     SWIFT,
     SWIFT_R,
     UNSAFE,
+    Protocol,
     SchemeDescriptor,
     all_descriptors,
     alias_help,
     canonical_scheme,
+    default_campaign_schemes,
     get_scheme,
+    protection_pass_schemes,
     rskip_label,
     scheme_names,
 )
@@ -47,7 +52,9 @@ __all__ = [
     "PROTECTIONS", "PassRun", "PassVerificationError", "ProtectContext",
     "module_instr_count", "pass_names", "run_pipeline",
     "ProtectedProgram", "protect", "selfcheck_byte_identity",
-    "DRIVER_SCHEMES", "PAPER_SCHEMES", "SWIFT", "SWIFT_R", "UNSAFE",
-    "SchemeDescriptor", "all_descriptors", "alias_help",
-    "canonical_scheme", "get_scheme", "rskip_label", "scheme_names",
+    "CKPT_DEFAULT", "DRIVER_SCHEMES", "PAPER_SCHEMES", "REPLAY_DEFAULT",
+    "SWIFT", "SWIFT_R", "UNSAFE", "Protocol", "SchemeDescriptor",
+    "all_descriptors", "alias_help", "canonical_scheme",
+    "default_campaign_schemes", "get_scheme", "protection_pass_schemes",
+    "rskip_label", "scheme_names",
 ]

@@ -6,9 +6,9 @@ This module owns the only scheme→transform tables in the repo:
   (``dce``/``cse``/``licm``/``simplify``/``clone``), plain
   ``fn(module) -> result`` callables;
 * :data:`PROTECTION_APPLIERS` — protection transforms
-  (``swift``/``swift-r``/``rskip``) as context-aware appliers that
-  record the intrinsics table and (for RSkip) the runtime application on
-  a :class:`ProtectContext`;
+  (``swift``/``swift-r``/``rskip``/``replay``/``ckpt``) as context-aware
+  appliers that record the intrinsics table and (for the runtime-managed
+  families) the runtime application on a :class:`ProtectContext`;
 * :data:`PROTECTIONS` — the historical ``fn(module) -> intrinsics dict``
   view of the appliers, kept for the difftest oracles.
 
@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.config import RSkipConfig
 from ..core.manager import LoopProfile
+from ..core.protocol import ProtocolApplication, apply_protocol
 from ..core.rskip import RskipApplication, apply_rskip
 from ..ir.module import Module
 from ..ir.verifier import VerificationError, verify_module
@@ -82,7 +83,11 @@ class ProtectContext:
     ar_overrides: Optional[Dict[str, float]] = None
     sync_points: Optional[Iterable[str]] = None
     intrinsics: Dict[str, object] = field(default_factory=dict)
-    application: Optional[RskipApplication] = None
+    application: Optional[object] = None  # RskipApplication | ProtocolApplication
+    #: the resolved SchemeDescriptor (set by protect()); protocol passes
+    #: read their cost knobs from its Protocol.  None in the compat path,
+    #: where each family falls back to its bare-alias default point.
+    descriptor: Optional[object] = None
 
     @property
     def effective_sync_points(self) -> Iterable[str]:
@@ -105,11 +110,50 @@ def _apply_rskip_ctx(module: Module, ctx: ProtectContext) -> None:
     ctx.intrinsics.update(ctx.application.intrinsics())
 
 
+def protocol_kwargs(descriptor, pass_name: str) -> Dict[str, object]:
+    """Runtime knobs for a protocol pass, read from the descriptor's
+    :class:`~repro.pipeline.registry.Protocol` params.
+
+    With no descriptor (the compat ``PROTECTIONS`` path) each family
+    resolves its bare pass-name alias — ``replay`` is REPLAY1, the
+    full-coverage point whose contract the unparameterized transform
+    honours, and ``ckpt`` is the default CKPT point.
+    """
+    if descriptor is None:
+        from .registry import get_scheme
+
+        descriptor = get_scheme(pass_name)
+    proto = descriptor.protocol
+    if pass_name == "replay":
+        return {
+            "sample_period": int(proto.param("sample_period", 1.0)),
+            "window": int(proto.param("window", 4.0)),
+        }
+    return {
+        "interval": int(proto.param("interval", 8.0)),
+        "predictor": bool(proto.param("predictor", 1.0)),
+    }
+
+
+def _apply_replay_ctx(module: Module, ctx: ProtectContext) -> None:
+    ctx.application = apply_protocol(
+        module, "replay", **protocol_kwargs(ctx.descriptor, "replay"))
+    ctx.intrinsics.update(ctx.application.intrinsics())
+
+
+def _apply_ckpt_ctx(module: Module, ctx: ProtectContext) -> None:
+    ctx.application = apply_protocol(
+        module, "ckpt", **protocol_kwargs(ctx.descriptor, "ckpt"))
+    ctx.intrinsics.update(ctx.application.intrinsics())
+
+
 #: Protection transforms: pass name -> context-aware in-place applier.
 PROTECTION_APPLIERS: Dict[str, Callable[[Module, ProtectContext], None]] = {
     "swift": _apply_swift_ctx,
     "swift-r": _apply_swift_r_ctx,
     "rskip": _apply_rskip_ctx,
+    "replay": _apply_replay_ctx,
+    "ckpt": _apply_ckpt_ctx,
 }
 
 

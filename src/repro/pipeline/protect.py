@@ -37,6 +37,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.config import RSkipConfig
 from ..core.manager import LoopProfile
+from ..core.protocol import rebuild_protocol_application
 from ..core.rskip import RskipApplication, TargetLayout, rebuild_application
 from ..ir.module import Module
 from ..ir.parser import parse_module
@@ -50,6 +51,7 @@ from .passes import (
     PassRun,
     ProtectContext,
     emit_pass_run,
+    protocol_kwargs,
     run_pipeline,
     swift_detected,
 )
@@ -67,7 +69,9 @@ class ProtectedProgram:
     descriptor: SchemeDescriptor
     module: Module
     intrinsics: Dict[str, object] = field(default_factory=dict)
-    application: Optional[RskipApplication] = None
+    #: RskipApplication or ProtocolApplication (duck-typed: .layouts,
+    #: .runtime, .intrinsics())
+    application: Optional[object] = None
     pass_runs: List[PassRun] = field(default_factory=list)
     optimizations: Dict[str, int] = field(default_factory=dict)
     cache_hit: bool = False
@@ -158,7 +162,7 @@ def protect(
 
     ctx = ProtectContext(
         config=config, profiles=profiles, ar_overrides=ar_overrides,
-        sync_points=sync_points,
+        sync_points=sync_points, descriptor=descriptor,
     )
     runs = run_pipeline(module, passes, verify=verify, context=ctx)
 
@@ -231,7 +235,15 @@ def _rebuild_from_payload(
 
     intrinsics: Dict[str, object] = {}
     application = None
-    if payload.get("layouts") is not None:
+    protocol_pass = next(
+        (p for p in descriptor.passes if p in ("replay", "ckpt")), None)
+    if protocol_pass is not None:
+        layouts = [TargetLayout.from_dict(d) for d in payload.get("layouts") or []]
+        application = rebuild_protocol_application(
+            module, layouts, protocol_pass,
+            **protocol_kwargs(descriptor, protocol_pass))
+        intrinsics.update(application.intrinsics())
+    elif payload.get("layouts") is not None:
         layouts = [TargetLayout.from_dict(d) for d in payload["layouts"]]
         application = rebuild_application(
             module, layouts, config, profiles, ar_overrides)

@@ -180,6 +180,10 @@ class Interpreter:
         #: victim across the whole stack, modelling one shared physical
         #: register file (stale caller values soak up many upsets)
         self._frames: List[Dict[str, object]] = []
+        #: owning function name per active frame, parallel to ``_frames``
+        #: (lets scope-aware injectors — O3's protocol-region flips — pick
+        #: victims only from frames of designated functions)
+        self._frame_funcs: List[str] = []
         self.profile = profile
         self._prof_stack: List[List[int]] = []
         #: optional per-block execution counts ((func, label) -> visits);
@@ -347,11 +351,13 @@ class Interpreter:
                 times[p.name] = t
 
         self._frames.append(regs)
+        self._frame_funcs.append(func.name)
         if self.profile is None:
             try:
                 return self._exec(func, entry, blocks, regs, times, depth)
             finally:
                 self._frames.pop()
+                self._frame_funcs.pop()
 
         child_steps = [0]
         self._prof_stack.append(child_steps)
@@ -360,6 +366,7 @@ class Interpreter:
             return self._exec(func, entry, blocks, regs, times, depth)
         finally:
             self._frames.pop()
+            self._frame_funcs.pop()
             self._prof_stack.pop()
             total = self.steps - start
             self.profile.record(func.name, total, total - child_steps[0])

@@ -120,3 +120,60 @@ def test_o3_checkerless_swift_yields_violation_end_to_end():
         module, "swift", samples=4, seed=0,
         prepared=prepared, intrinsics={})
     assert violations, "checkerless swift passed the fault oracle"
+
+
+# -- O3 over protocol families (workload-backed) ------------------------------
+def _workload_o3(workload_name, protection, samples=6, seed=1, stats=None):
+    from repro.workloads import get_workload
+
+    workload = get_workload(workload_name)
+    module = workload.build()
+    inp = workload.test_inputs(1, seed=3, scale=0.35)[0]
+    return check_fault_metamorphic(
+        module, protection, samples=samples, seed=seed, stats=stats,
+        main_args=inp.args,
+        memory_factory=lambda: workload.fresh_memory(module, inp),
+    )
+
+
+def test_o3_descriptor_follows_verify_as():
+    from repro.difftest.oracles import o3_descriptor
+
+    # REPLAY<n> samples windows, so its full detected-or-masked contract
+    # only holds at the every-window point; verify_as redirects there.
+    assert o3_descriptor("replay2").name == "REPLAY1"
+    assert o3_descriptor("replay").name == "REPLAY1"
+    # non-redirecting schemes verify as themselves
+    assert o3_descriptor("ckpt8").name == "CKPT8"
+    assert o3_descriptor("swift-r").name == "SWIFT-R"
+
+
+def test_o3_protocol_contracts_hold_on_workloads():
+    """REPLAY upholds detected-or-masked and CKPT exactly-masked under
+    region-scoped flips, with the checker demonstrably live (flips
+    land)."""
+    for protection in ("replay", "ckpt"):
+        stats = {}
+        violations = _workload_o3("conv1d", protection, stats=stats)
+        assert violations == [], (protection, violations)
+        assert stats.get("landed", 0) > 0, (protection, stats)
+
+
+def test_o3_unprotected_scheme_is_vacuous():
+    assert check_fault_metamorphic(generate(0, 2).module, "none") == []
+
+
+def test_o3_fires_on_blind_protocol_checker(monkeypatch):
+    """Teeth: neutralize the protocol comparison (every re-execution
+    "matches") and the region flips must surface as violations."""
+    import repro.core.protocol as protocol
+
+    monkeypatch.setattr(protocol, "_same", lambda a, b: True)
+    fired = []
+    for protection in ("replay", "ckpt"):
+        stats = {}
+        violations = _workload_o3(
+            "conv1d", protection, samples=8, seed=2, stats=stats)
+        if violations:
+            fired.append(protection)
+    assert fired, "blind protocol checker passed the fault oracle"

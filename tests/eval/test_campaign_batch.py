@@ -182,3 +182,37 @@ class TestFullScaleBatch:
     def test_stateful_full_batch(self):
         serial, batch = _blocks("sgemm", "SWIFT-R", 60)
         assert batch.to_dict() == serial.to_dict()
+
+
+class TestProtocolSchemes:
+    """REPLAY<n>/CKPT<i> flow through the same single protocol dispatch
+    point as rskip in both engines: per-lane intrinsic tables.  The
+    tallies must match the serial reference byte for byte."""
+
+    def test_replay_tallies_identical(self):
+        serial, batch = _blocks("conv1d", "replay2", 16)
+        assert batch.to_dict() == serial.to_dict()
+
+    def test_ckpt_tallies_identical(self):
+        serial, batch = _blocks("conv1d", "ckpt8", 16)
+        assert batch.to_dict() == serial.to_dict()
+
+    def test_ckpt_fixed_interval_tallies_identical(self):
+        serial, batch = _blocks("conv1d", "ckpt8fix", 12)
+        assert batch.to_dict() == serial.to_dict()
+
+    def test_slab_width_independence(self):
+        wide_serial, wide = _blocks("conv1d", "replay2", 15, lanes=5)
+        narrow_serial, narrow = _blocks("conv1d", "replay2", 15, lanes=7)
+        assert wide_serial.to_dict() == narrow_serial.to_dict()
+        assert wide.to_dict() == wide_serial.to_dict()
+        assert narrow.to_dict() == narrow_serial.to_dict()
+
+    def test_ckpt_rollback_deterministic(self):
+        """Seeded faulty trials exercise the rollback/vote path; the same
+        block run twice must reproduce the exact same tallies, and some
+        trials must actually be caught by the replay comparison."""
+        first, _ = _blocks("conv1d", "ckpt4", 24)
+        second, _ = _blocks("conv1d", "ckpt4", 24)
+        assert first.to_dict() == second.to_dict()
+        assert first.caught > 0

@@ -227,6 +227,36 @@ class TestKindWeightKeying:
             run_campaigns(group, trials=TRIALS, scale=SCALE,
                           checkpoint=path, resume=True, chunk=5)
 
+    def test_checkpoint_rejects_protocol_definition_change(
+            self, conv1d, tmp_path, monkeypatch):
+        """The params key carries per-scheme descriptor hashes (which
+        cover the protocol), so a checkpoint written under one protocol
+        definition refuses to resume under another.  Regression: the
+        version-2 key ignored scheme definitions entirely, so a REPLAY/
+        CKPT knob change silently mixed incompatible chunks."""
+        import repro.eval.campaign_engine as engine
+
+        path = str(tmp_path / "checkpoint.json")
+        group = [(conv1d, "ckpt4", None)]
+        run_campaigns(group, trials=TRIALS, scale=SCALE,
+                      checkpoint=path, chunk=5)
+
+        real_get_scheme = engine.get_scheme
+
+        def tampered_get_scheme(scheme, config=None):
+            descriptor = real_get_scheme(scheme, config)
+
+            class _Tampered:
+                def descriptor_hash(self):
+                    return "protocol-definition-changed"
+
+            return _Tampered()
+
+        monkeypatch.setattr(engine, "get_scheme", tampered_get_scheme)
+        with pytest.raises(ValueError, match="different parameters"):
+            run_campaigns(group, trials=TRIALS, scale=SCALE,
+                          checkpoint=path, resume=True, chunk=5)
+
     def test_parallel_kind_mix_matches_serial(self, conv1d):
         """--jobs N with a non-default kind mix: workers must receive the
         mix (regression: it was not in the task args) and tally

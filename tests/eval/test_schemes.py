@@ -68,3 +68,34 @@ class TestFaultRegion:
         prepared = prepare(get_workload("blackscholes"), "UNSAFE")
         region = fault_region(prepared)
         assert "BlkSchlsEqEuroNoDiv" in region.funcs
+
+
+class TestRegistrySourcing:
+    """The eval axes are enumerated from the scheme registry, so a
+    registered scheme can never silently go missing from the studies
+    (regression: the axes used to be hand-maintained literals)."""
+
+    def test_every_campaign_default_in_perf_axis(self):
+        from repro.eval.perf import PERF_SCHEMES
+        from repro.pipeline import default_campaign_schemes
+
+        assert ("UNSAFE",) + PERF_SCHEMES == tuple(default_campaign_schemes())
+
+    def test_every_protection_family_in_skipmap_axis(self):
+        from repro.eval.skipmap import DEFAULT_SCHEMES
+        from repro.pipeline import all_descriptors, canonical_scheme
+
+        covered = {canonical_scheme(s) for s in DEFAULT_SCHEMES if s}
+        for descriptor in all_descriptors():
+            if not descriptor.passes:
+                continue  # UNSAFE: the None baseline column
+            family_default = canonical_scheme(descriptor.passes[-1])
+            assert family_default in covered, descriptor.name
+
+    def test_protocol_schemes_prepare_like_any_other(self):
+        from repro.eval import prepare
+
+        for scheme in ("REPLAY2", "CKPT8"):
+            prepared = prepare(get_workload("conv1d"), scheme)
+            verify_module(prepared.module)
+            assert prepared.application is not None

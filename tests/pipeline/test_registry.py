@@ -108,3 +108,74 @@ class TestDescriptors:
             assert scheme in names
             assert scheme in listed
         assert SWIFT in listed  # detection-only scheme is listed too
+
+
+class TestProtocolFamilies:
+    @pytest.mark.parametrize(
+        "alias,canon",
+        [
+            ("replay", "REPLAY1"),
+            ("REPLAY1", "REPLAY1"),
+            ("replay2", "REPLAY2"),
+            ("Replay16", "REPLAY16"),
+            ("ckpt", "CKPT8"),
+            ("CKPT8", "CKPT8"),
+            ("ckpt32", "CKPT32"),
+            ("ckpt8fix", "CKPT8FIX"),
+            ("CKPT4FIX", "CKPT4FIX"),
+        ],
+    )
+    def test_protocol_spellings_accepted(self, alias, canon):
+        assert canonical_scheme(alias) == canon
+        assert get_scheme(alias).name == canon
+
+    @pytest.mark.parametrize("bad", ["replay0", "ckpt0", "REPLAY0", "CKPT0FIX"])
+    def test_degenerate_parameters_rejected(self, bad):
+        with pytest.raises(ValueError):
+            canonical_scheme(bad)
+
+    def test_replay_protocol_shape(self):
+        proto = get_scheme("replay2").protocol
+        assert proto.detect == "replay-compare"
+        assert proto.recovery == "abort"
+        assert proto.redundancy == "time"
+        assert proto.flip_scope == "region"
+        assert proto.contract == "detected-or-masked"
+        assert proto.param("sample_period") == 2
+        assert proto.verify_as == "REPLAY1"
+
+    def test_ckpt_protocol_shape(self):
+        proto = get_scheme("ckpt8").protocol
+        assert proto.detect == "replay-compare"
+        assert proto.recovery == "rollback"
+        assert proto.contract == "exactly-masked"
+        assert proto.param("interval") == 8
+        assert proto.param("predictor") == 1.0
+        assert get_scheme("ckpt8fix").protocol.param("predictor") == 0.0
+
+    def test_paper_scheme_protocols_derived_not_hardcoded(self):
+        assert get_scheme(SWIFT).protocol.contract == "detected-or-masked"
+        assert get_scheme(SWIFT_R).protocol.contract == "exactly-masked"
+        assert get_scheme("AR20").protocol.detect == "predict-compare"
+        assert get_scheme(UNSAFE).protocol.contract == "none"
+
+    def test_protocol_params_feed_descriptor_hash(self):
+        # checkpoint-resume integrity depends on this: a protocol knob
+        # change must change the descriptor hash
+        assert (get_scheme("replay2").descriptor_hash()
+                != get_scheme("replay3").descriptor_hash())
+        assert (get_scheme("ckpt8").descriptor_hash()
+                != get_scheme("ckpt8fix").descriptor_hash())
+        assert (get_scheme("ckpt8").descriptor_hash()
+                != get_scheme("ckpt16").descriptor_hash())
+
+    def test_registry_enumerations_cover_protocol_families(self):
+        from repro.pipeline import default_campaign_schemes, protection_pass_schemes
+
+        passes = protection_pass_schemes()
+        assert passes[0] is None  # unprotected baseline first
+        assert "replay" in passes and "ckpt" in passes
+        campaign = default_campaign_schemes()
+        assert campaign[0] == UNSAFE
+        assert "REPLAY2" in campaign and "CKPT8" in campaign
+        assert UNSAFE not in default_campaign_schemes(include_unsafe=False)
